@@ -1,0 +1,223 @@
+//! Ablations over pathmap's design parameters.
+//!
+//! The paper motivates each knob qualitatively — `ω` trades spurious
+//! spikes against over-generalization (Section 3.5), `τ` trades
+//! resolution against cost, `T_u` bounds cost but must cover real
+//! transaction delays, the `3σ` threshold separates spikes from noise.
+//! These ablations measure those trade-offs on the Fig. 5 scenario, where
+//! the correct answer (which edges exist) is known exactly.
+
+use crate::experiments::discover;
+use crate::rubis::{Dispatch, Rubis, RubisConfig};
+use e2eprof_core::PathmapConfig;
+use e2eprof_netsim::NodeId;
+use e2eprof_timeseries::{Nanos, Quanta};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Structural quality of one discovery run against the known topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeQuality {
+    /// Genuine edges found (both graphs pooled).
+    pub found: usize,
+    /// Genuine edges missed.
+    pub missing: usize,
+    /// Discovered edges that carry no causal traffic for that client.
+    pub spurious: usize,
+    /// Wall-clock analysis time.
+    pub elapsed: Duration,
+}
+
+/// The causally correct edge set of the affinity deployment, per client:
+/// the forward chain, the return chain, and the response to the client.
+fn expected_edges(rubis: &Rubis) -> [(NodeId, BTreeSet<(NodeId, NodeId)>); 2] {
+    let n = rubis.nodes();
+    let chain = |ts, ejb, client| -> BTreeSet<(NodeId, NodeId)> {
+        [
+            (n.ws, ts),
+            (ts, ejb),
+            (ejb, n.db),
+            (n.db, ejb),
+            (ejb, ts),
+            (ts, n.ws),
+            (n.ws, client),
+        ]
+        .into_iter()
+        .collect()
+    };
+    [
+        (n.c1, chain(n.ts1, n.ejb1, n.c1)),
+        (n.c2, chain(n.ts2, n.ejb2, n.c2)),
+    ]
+}
+
+/// Runs one discovery with `cfg` and scores it against the ground-truth
+/// edge sets.
+pub fn score(rubis: &Rubis, cfg: &PathmapConfig) -> EdgeQuality {
+    let t0 = Instant::now();
+    let graphs = discover(rubis, cfg);
+    let elapsed = t0.elapsed();
+    let expected = expected_edges(rubis);
+    let mut found = 0;
+    let mut missing = 0;
+    let mut spurious = 0;
+    for (client, truth) in &expected {
+        let Some(g) = graphs.iter().find(|g| g.client == *client) else {
+            missing += truth.len();
+            continue;
+        };
+        let got: BTreeSet<(NodeId, NodeId)> = g
+            .edges()
+            .iter()
+            .filter(|e| !e.is_anchor())
+            .map(|e| (e.from, e.to))
+            .collect();
+        found += got.intersection(truth).count();
+        missing += truth.difference(&got).count();
+        spurious += got.difference(truth).count();
+    }
+    EdgeQuality {
+        found,
+        missing,
+        spurious,
+        elapsed,
+    }
+}
+
+/// Builds the standard ablation subject: a 90-second affinity RUBiS run.
+pub fn subject(seed: u64) -> Rubis {
+    let mut rubis = Rubis::build(RubisConfig {
+        dispatch: Dispatch::Affinity,
+        seed,
+        ..RubisConfig::default()
+    });
+    rubis.sim_mut().run_until(Nanos::from_secs(90));
+    rubis
+}
+
+fn base_cfg() -> e2eprof_core::config::PathmapConfigBuilder {
+    PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(60))
+        .refresh(Nanos::from_secs(15))
+        .max_delay(Nanos::from_secs(2))
+}
+
+/// Sampling-window sweep: too small → spurious spikes, too large →
+/// smearing that misses weak edges (paper: `ω = 50·τ` "gave the best set
+/// of results").
+pub fn sweep_omega(rubis: &Rubis, omegas: &[u64]) -> Vec<(u64, EdgeQuality)> {
+    omegas
+        .iter()
+        .map(|&omega| {
+            let cfg = base_cfg().omega_ticks(omega).build();
+            (omega, score(rubis, &cfg))
+        })
+        .collect()
+}
+
+/// Spike-threshold sweep: low σ admits noise (spurious edges), high σ
+/// drops genuine weak edges.
+pub fn sweep_sigma(rubis: &Rubis, sigmas: &[f64]) -> Vec<(f64, EdgeQuality)> {
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            let cfg = base_cfg().spike_sigma(sigma).build();
+            (sigma, score(rubis, &cfg))
+        })
+        .collect()
+}
+
+/// Time-quantum sweep: finer `τ` costs proportionally more; coarser `τ`
+/// loses delay resolution (ω and the spike-resolution window scale with
+/// `τ` to keep their wall-clock size).
+pub fn sweep_tau(rubis: &Rubis, taus_us: &[u64]) -> Vec<(u64, EdgeQuality)> {
+    taus_us
+        .iter()
+        .map(|&tau_us| {
+            let scale = |ns: u64| (ns / tau_us.max(1)).max(1);
+            let cfg = base_cfg()
+                .quanta(Quanta::from_micros(tau_us))
+                .omega_ticks(scale(50_000))
+                .spike_resolution_ticks(scale(50_000))
+                .build();
+            (tau_us, score(rubis, &cfg))
+        })
+        .collect()
+}
+
+/// Lag-bound sweep: `T_u` below the slowest transaction truncates the
+/// path; larger `T_u` only costs time.
+pub fn sweep_max_delay(rubis: &Rubis, bounds_ms: &[u64]) -> Vec<(u64, EdgeQuality)> {
+    bounds_ms
+        .iter()
+        .map(|&ms| {
+            let cfg = base_cfg().max_delay(Nanos::from_millis(ms)).build();
+            (ms, score(rubis, &cfg))
+        })
+        .collect()
+}
+
+/// Sequential vs. per-client-parallel discovery wall time (Section 3.7).
+pub fn parallel_speedup(rubis: &Rubis) -> (Duration, Duration) {
+    use e2eprof_core::prelude::*;
+    let cfg = base_cfg().build();
+    let pm = Pathmap::new(cfg.clone());
+    let signals = EdgeSignals::from_capture(rubis.sim().captures(), &cfg, rubis.sim().now());
+    let roots = roots_from_topology(rubis.sim().topology());
+    let labels = NodeLabels::from_topology(rubis.sim().topology());
+    let t0 = Instant::now();
+    let sequential = pm.discover(&signals, &roots, &labels);
+    let seq = t0.elapsed();
+    let t0 = Instant::now();
+    let parallel = pm.discover_parallel(&signals, &roots, &labels);
+    let par = t0.elapsed();
+    assert_eq!(sequential, parallel, "parallel discovery must agree");
+    (seq, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_clean() {
+        let rubis = subject(31);
+        let q = score(&rubis, &base_cfg().build());
+        assert_eq!(q.missing, 0, "{q:?}");
+        assert_eq!(q.spurious, 0, "{q:?}");
+        assert_eq!(q.found, 14);
+    }
+
+    #[test]
+    fn tiny_max_delay_truncates_paths() {
+        let rubis = subject(32);
+        let sweeps = sweep_max_delay(&rubis, &[10, 2_000]);
+        let (small, full) = (&sweeps[0].1, &sweeps[1].1);
+        // A 10ms bound cannot see the ~20-50ms hops deeper in the path.
+        assert!(small.missing > 0, "{small:?}");
+        assert!(small.found < full.found);
+        assert_eq!(full.missing, 0);
+    }
+
+    #[test]
+    fn oversized_omega_degrades() {
+        let rubis = subject(33);
+        let sweeps = sweep_omega(&rubis, &[50, 2_000]);
+        let (paper, huge) = (&sweeps[0].1, &sweeps[1].1);
+        assert_eq!(paper.missing, 0);
+        // ω = 2s smears 40ms transactions into uniformity: edges are lost
+        // or delays collapse; structure quality must degrade.
+        assert!(
+            huge.missing > 0 || huge.spurious > 0,
+            "huge omega should degrade: {huge:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_and_runs() {
+        let rubis = subject(34);
+        let (_seq, _par) = parallel_speedup(&rubis); // asserts equality inside
+    }
+}

@@ -1,0 +1,271 @@
+//! The Delta Air Lines Revenue Pipeline model (paper Section 4.3, Fig. 8).
+//!
+//! The Revenue Pipeline tracks operational revenue from worldwide flight
+//! operations: about 40 K events per hour arrive in one of 25 queues at a
+//! front-end control system and are forwarded through black-box vendor
+//! components to back-end servers. The paper's week-long trace analysis
+//! exposed two pathmap stress points reproduced here:
+//!
+//! * **deep queueing** — queueing delays much larger than processing
+//!   times, plus a 4 AM batch submission (a day's worth of world-wide
+//!   paper tickets) driving queue lengths to ~4000, breaking the
+//!   steady-state assumption: paths stay correct, delay estimates do not;
+//! * **the slow-database diagnosis** — a database connection slow enough
+//!   that a moderate workload saw large response times, which E2EProf
+//!   pinpointed from the service path.
+//!
+//! The model: `queue_XX` feed clients (one service class each, mixed
+//! Poisson and bursty ON/OFF arrivals) → `hub` (control system) →
+//! `parser` → `validator` → `revenue_db`.
+
+use e2eprof_netsim::prelude::*;
+use e2eprof_netsim::Route;
+
+/// Revenue-pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct DeltaConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Number of front-end queues (paper: 25).
+    pub queues: usize,
+    /// Total event arrival rate across all queues (paper: ~40 000/hour).
+    pub events_per_hour: f64,
+    /// If set, `batch_size` events arrive back-to-back on queue 0 at this
+    /// instant (the 4 AM paper-ticket submission).
+    pub batch_at: Option<Nanos>,
+    /// Size of the batch surge (paper: queue length reached ~4000).
+    pub batch_size: u32,
+    /// Degrade the revenue database (the diagnosed production problem).
+    pub slow_db: bool,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        DeltaConfig {
+            seed: 7,
+            queues: 25,
+            events_per_hour: 40_000.0,
+            batch_at: None,
+            batch_size: 4_000,
+            slow_db: false,
+        }
+    }
+}
+
+/// Node handles of a built pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaNodes {
+    /// The front-end control system all queues feed into.
+    pub hub: NodeId,
+    /// Ticket parsing stage.
+    pub parser: NodeId,
+    /// Validation stage.
+    pub validator: NodeId,
+    /// The revenue database.
+    pub db: NodeId,
+    /// The feed clients, one per queue.
+    pub queues: Vec<NodeId>,
+}
+
+/// A built Revenue Pipeline: the simulation plus handles.
+#[derive(Debug)]
+pub struct Delta {
+    sim: Simulation,
+    nodes: DeltaNodes,
+    classes: Vec<ClassId>,
+}
+
+impl Delta {
+    /// Builds the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero or the internally constructed topology
+    /// fails validation.
+    pub fn build(config: DeltaConfig) -> Self {
+        assert!(config.queues > 0, "at least one queue");
+        let mut t = TopologyBuilder::new();
+        let link = DelayDist::constant_millis(2);
+
+        let hub = t.service(
+            "hub",
+            ServiceConfig::new(DelayDist::exponential_millis(10))
+                .with_response_time(DelayDist::Constant(Nanos::from_millis(1))),
+        );
+        let parser = t.service(
+            "parser",
+            ServiceConfig::new(DelayDist::exponential_millis(35))
+                .with_response_time(DelayDist::Constant(Nanos::from_millis(1))),
+        );
+        let validator = t.service(
+            "validator",
+            ServiceConfig::new(DelayDist::exponential_millis(25))
+                .with_response_time(DelayDist::Constant(Nanos::from_millis(1))),
+        );
+        let db_service = if config.slow_db {
+            // The slow connection: the workload stays moderate, but the
+            // database's effective service time pushes its utilization to
+            // ~0.85, so queueing (amplified by bursty arrivals) pushes
+            // response times into the multi-second range.
+            DelayDist::exponential_millis(75)
+        } else {
+            DelayDist::exponential_millis(45)
+        };
+        let db = t.service(
+            "revenue_db",
+            ServiceConfig::new(db_service)
+                .with_response_time(DelayDist::Constant(Nanos::from_millis(1))),
+        );
+
+        let per_queue_rate = config.events_per_hour / 3600.0 / config.queues as f64;
+        let mut queues = Vec::with_capacity(config.queues);
+        let mut classes = Vec::with_capacity(config.queues);
+        for i in 0..config.queues {
+            let class = t.service_class(&format!("queue_{i:02}"));
+            // Every feed submits in clumps — upstream systems batch their
+            // events, so each queue is a bursty ON/OFF source with its own
+            // (randomly drawn) rhythm. This "wide variation in request
+            // traffic" matches the paper's workload characterization and
+            // is what makes individual feeds identifiable in the
+            // aggregated downstream traffic.
+            let workload = if i == 0 {
+                match config.batch_at {
+                    Some(at) => Workload::poisson_with_batches(
+                        per_queue_rate,
+                        vec![(at, config.batch_size)],
+                    ),
+                    None => Workload::poisson(per_queue_rate),
+                }
+            } else {
+                Workload::on_off(
+                    per_queue_rate * 4.0,
+                    Nanos::from_secs(30),
+                    Nanos::from_secs(90),
+                )
+            };
+            let q = t.client(&format!("feed_{i:02}"), class, hub, workload);
+            t.connect(q, hub, link.clone());
+            t.route(hub, class, Route::fixed(parser));
+            t.route(parser, class, Route::fixed(validator));
+            t.route(validator, class, Route::fixed(db));
+            t.route(db, class, Route::terminal());
+            queues.push(q);
+            classes.push(class);
+        }
+        t.connect(hub, parser, link.clone());
+        t.connect(parser, validator, link.clone());
+        t.connect(validator, db, link);
+
+        let sim = Simulation::new(t.build().expect("delta topology is valid"), config.seed);
+        Delta {
+            sim,
+            nodes: DeltaNodes {
+                hub,
+                parser,
+                validator,
+                db,
+                queues,
+            },
+            classes,
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Mutable access (to advance time).
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Node handles.
+    pub fn nodes(&self) -> &DeltaNodes {
+        &self.nodes
+    }
+
+    /// The per-queue service classes (indexed like
+    /// [`DeltaNodes::queues`]).
+    pub fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(config: DeltaConfig) -> Delta {
+        Delta::build(DeltaConfig {
+            queues: 5,
+            ..config
+        })
+    }
+
+    #[test]
+    fn pipeline_processes_events_end_to_end() {
+        let mut d = small(DeltaConfig::default());
+        d.sim_mut().run_until(Nanos::from_minutes(10));
+        let truth = d.sim().truth();
+        assert!(truth.completed_count() > 300, "{}", truth.completed_count());
+        // Every class follows hub -> parser -> validator -> db.
+        let n = d.nodes().clone();
+        for &class in d.classes() {
+            let paths = truth.class_paths(class);
+            if paths.is_empty() {
+                continue; // a bursty queue may not have fired yet
+            }
+            assert_eq!(paths.len(), 1, "class {class}: {paths:?}");
+            assert!(paths.contains_key(&vec![n.hub, n.parser, n.validator, n.db]));
+        }
+    }
+
+    #[test]
+    fn batch_surge_floods_the_hub_queue() {
+        let mut d = small(DeltaConfig {
+            batch_at: Some(Nanos::from_minutes(2)),
+            batch_size: 2_000,
+            ..DeltaConfig::default()
+        });
+        d.sim_mut().run_until(Nanos::from_minutes(4));
+        let hub = d.nodes().hub;
+        assert!(
+            d.sim().max_queue_len(hub) > 1_000,
+            "hub queue peaked at {}",
+            d.sim().max_queue_len(hub)
+        );
+    }
+
+    #[test]
+    fn slow_db_inflates_latency_for_moderate_workload() {
+        let fast = {
+            let mut d = small(DeltaConfig::default());
+            d.sim_mut().run_until(Nanos::from_minutes(10));
+            let c = d.classes()[0];
+            d.sim().truth().class_latency(c).mean()
+        };
+        let slow = {
+            let mut d = small(DeltaConfig {
+                slow_db: true,
+                ..DeltaConfig::default()
+            });
+            d.sim_mut().run_until(Nanos::from_minutes(10));
+            let c = d.classes()[0];
+            d.sim().truth().class_latency(c).mean()
+        };
+        assert!(
+            slow > fast * 1.5,
+            "slow {slow} should far exceed fast {fast}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue")]
+    fn zero_queues_rejected() {
+        let _ = Delta::build(DeltaConfig {
+            queues: 0,
+            ..DeltaConfig::default()
+        });
+    }
+}

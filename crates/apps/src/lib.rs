@@ -1,0 +1,35 @@
+//! Application models for the E2EProf evaluation.
+//!
+//! The paper evaluates E2EProf on two enterprise-scale systems; this crate
+//! models both on the simulator substrate, plus the SLA-aware scheduler of
+//! Section 4.2:
+//!
+//! * [`rubis`] — the RUBiS EJB auction deployment of Fig. 4: two client
+//!   machines (bidding and comment service classes), an Apache front end,
+//!   two Tomcat servlet servers, two EJB servers, and a MySQL database,
+//!   with affinity-based, round-robin, or dynamic dispatch at the front
+//!   end, and optional delay perturbations at the EJB servers (Fig. 7 and
+//!   Table 1).
+//! * [`delta`] — the Delta Air Lines Revenue Pipeline of Fig. 8: ~40 K
+//!   events/hour arriving in 25 front-end queues, forwarded through a
+//!   control hub to back-end processing stages, with the 4 AM paper-ticket
+//!   batch surge that drives queue lengths to ~4000 and the slow-database
+//!   scenario E2EProf diagnosed in production.
+//! * [`scheduler`] — the E2EProf-driven path selector: a
+//!   [`DynamicRouter`](e2eprof_netsim::routing::DynamicRouter) that routes
+//!   bidding requests onto the currently fastest path using live pathmap
+//!   branch latencies, penalizing comment requests (Table 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod delta;
+pub mod experiments;
+pub mod pubsub;
+pub mod rubis;
+pub mod scheduler;
+
+pub use delta::{Delta, DeltaConfig};
+pub use rubis::{Dispatch, Rubis, RubisConfig};
+pub use scheduler::{branch_latency, PathLatencyMap, SlaRouter};

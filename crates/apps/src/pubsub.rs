@@ -1,0 +1,203 @@
+//! A publish-subscribe dissemination system — the paper's near-term
+//! future work ("network overlays and publish-subscribe systems",
+//! Section 5), built on the simulator's multicast routes.
+//!
+//! Topology: publishers (one service class each) → a broker tier →
+//! fan-out to subscriber endpoints. Traffic is strictly one-way
+//! (fire-and-forget), so call-return techniques see nothing; pathmap's
+//! correlation spikes recover the whole dissemination *tree*, including
+//! per-subscriber delivery delays.
+//!
+//! ```text
+//! pub_a ─┐            ┌─ sub_0
+//!        ├─ broker ───┼─ sub_1     (copies to every subscriber)
+//! pub_b ─┘            └─ sub_2
+//! ```
+
+use e2eprof_netsim::prelude::*;
+use e2eprof_netsim::Route;
+
+/// Pub-sub deployment parameters.
+#[derive(Debug, Clone)]
+pub struct PubSubConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Number of publishers (each its own service class / analysis root).
+    pub publishers: usize,
+    /// Number of subscriber endpoints the broker fans out to.
+    pub subscribers: usize,
+    /// Publication rate per publisher (messages/second).
+    pub publish_rate: f64,
+}
+
+impl Default for PubSubConfig {
+    fn default() -> Self {
+        PubSubConfig {
+            seed: 23,
+            publishers: 2,
+            subscribers: 3,
+            publish_rate: 20.0,
+        }
+    }
+}
+
+/// Node handles of a built pub-sub system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubSubNodes {
+    /// The broker all publishers send to.
+    pub broker: NodeId,
+    /// Publisher clients.
+    pub publishers: Vec<NodeId>,
+    /// Subscriber endpoints.
+    pub subscribers: Vec<NodeId>,
+}
+
+/// A built pub-sub system.
+#[derive(Debug)]
+pub struct PubSub {
+    sim: Simulation,
+    nodes: PubSubNodes,
+    classes: Vec<ClassId>,
+}
+
+impl PubSub {
+    /// Builds the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no publishers or no subscribers.
+    pub fn build(config: PubSubConfig) -> Self {
+        assert!(config.publishers > 0, "at least one publisher");
+        assert!(config.subscribers > 0, "at least one subscriber");
+        let mut t = TopologyBuilder::new();
+        let link = DelayDist::constant_millis(1);
+        let broker = t.service(
+            "broker",
+            ServiceConfig::new(DelayDist::normal_millis(4, 1)).with_servers(4),
+        );
+        let subscribers: Vec<NodeId> = (0..config.subscribers)
+            .map(|i| {
+                // Subscribers do per-message work (deserialize, persist)
+                // of varying weight, so their delivery delays differ.
+                t.service(
+                    &format!("sub_{i}"),
+                    ServiceConfig::new(DelayDist::normal_millis(3 + 4 * i as u64, 1))
+                        .with_servers(4),
+                )
+            })
+            .collect();
+        let mut publishers = Vec::with_capacity(config.publishers);
+        let mut classes = Vec::with_capacity(config.publishers);
+        for i in 0..config.publishers {
+            let class = t.service_class(&format!("topic_{i}"));
+            let p = t.client(
+                &format!("pub_{i}"),
+                class,
+                broker,
+                Workload::poisson(config.publish_rate),
+            );
+            t.connect(p, broker, link.clone());
+            t.route(broker, class, Route::multicast(subscribers.clone()));
+            for &s in &subscribers {
+                t.route(s, class, Route::sink());
+            }
+            publishers.push(p);
+            classes.push(class);
+        }
+        for &s in &subscribers {
+            t.connect(broker, s, link.clone());
+        }
+        let sim = Simulation::new(t.build().expect("pubsub topology is valid"), config.seed);
+        PubSub {
+            sim,
+            nodes: PubSubNodes {
+                broker,
+                publishers,
+                subscribers,
+            },
+            classes,
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Mutable access (to advance time).
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Node handles.
+    pub fn nodes(&self) -> &PubSubNodes {
+        &self.nodes
+    }
+
+    /// Per-publisher service classes.
+    pub fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2eprof_netsim::capture::TraceKey;
+
+    #[test]
+    fn broker_fans_out_to_every_subscriber() {
+        let mut p = PubSub::build(PubSubConfig::default());
+        p.sim_mut().run_until(Nanos::from_secs(10));
+        let n = p.nodes().clone();
+        let published: usize = n
+            .publishers
+            .iter()
+            .map(|&pb| {
+                p.sim()
+                    .captures()
+                    .timestamps(TraceKey::at_receiver(pb, n.broker))
+                    .len()
+            })
+            .sum();
+        assert!(published > 300);
+        for &s in &n.subscribers {
+            let delivered = p
+                .sim()
+                .captures()
+                .timestamps(TraceKey::at_receiver(n.broker, s))
+                .len();
+            // Every publication reaches every subscriber (minus in-flight).
+            assert!(
+                delivered + 20 >= published,
+                "sub {s}: {delivered} of {published}"
+            );
+        }
+    }
+
+    #[test]
+    fn dissemination_is_fire_and_forget() {
+        let mut p = PubSub::build(PubSubConfig::default());
+        p.sim_mut().run_until(Nanos::from_secs(10));
+        // Nothing ever returns to a publisher.
+        assert_eq!(p.sim().truth().completed_count(), 0);
+        // No reverse traffic exists anywhere.
+        let n = p.nodes().clone();
+        for &s in &n.subscribers {
+            assert!(p
+                .sim()
+                .captures()
+                .timestamps(TraceKey::at_sender(s, n.broker))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subscriber")]
+    fn zero_subscribers_rejected() {
+        let _ = PubSub::build(PubSubConfig {
+            subscribers: 0,
+            ..PubSubConfig::default()
+        });
+    }
+}

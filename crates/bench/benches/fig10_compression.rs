@@ -1,0 +1,55 @@
+//! Fig. 10 (Criterion form): the *cost* side of trace compression — how
+//! long density estimation, zero-suppression, run-length encoding, and
+//! wire encoding take as the window grows. (The representation *sizes*
+//! Fig. 10 plots are printed by `experiments fig10`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use e2eprof_bench::rubis_scenario;
+use e2eprof_timeseries::density::DensityEstimator;
+use e2eprof_timeseries::{wire, Nanos, Quanta};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_compression");
+    for w_secs in [30u64, 60, 120] {
+        let scenario = rubis_scenario(Nanos::from_secs(w_secs), Nanos::from_secs(2), 42);
+        let n = scenario.rubis.nodes();
+        let timestamps: Vec<Nanos> = scenario
+            .rubis
+            .sim()
+            .captures()
+            .edge_signal(n.ts1, n.ws)
+            .to_vec();
+        group.throughput(Throughput::Elements(timestamps.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("density_estimation", w_secs),
+            &timestamps,
+            |b, ts| {
+                b.iter(|| DensityEstimator::from_timestamps(Quanta::from_millis(1), 50, ts));
+            },
+        );
+
+        let sparse = DensityEstimator::from_timestamps(Quanta::from_millis(1), 50, &timestamps);
+        group.bench_with_input(BenchmarkId::new("rle_encode", w_secs), &sparse, |b, s| {
+            b.iter(|| s.to_rle());
+        });
+
+        let rle = sparse.to_rle();
+        group.bench_with_input(BenchmarkId::new("rle_decode", w_secs), &rle, |b, r| {
+            b.iter(|| r.to_sparse());
+        });
+
+        group.bench_with_input(BenchmarkId::new("wire_encode", w_secs), &rle, |b, r| {
+            b.iter(|| wire::encode(r));
+        });
+
+        let frame = wire::encode(&rle);
+        group.bench_with_input(BenchmarkId::new("wire_decode", w_secs), &frame, |b, f| {
+            b.iter(|| wire::decode(f).expect("valid frame"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 9 (Criterion form): execution time of service-path analysis per
+//! correlation strategy, as the sliding window grows.
+//!
+//! Scaled to Criterion-friendly sizes (`T_u` = 2 s instead of the paper's
+//! 1 min); the `experiments fig9` binary runs the larger one-shot sweep.
+//! The shape under test: direct engines grow linearly in `W` with
+//! RLE ≪ burst ≤ no-compression; FFT pays the full window regardless of
+//! `T_u`; the incremental refresh is (near-)constant in `W`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2eprof_bench::rubis_scenario;
+use e2eprof_core::pathmap::Pathmap;
+use e2eprof_timeseries::Nanos;
+use e2eprof_xcorr::engine::all_engines;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_analysis_time");
+    group.sample_size(10);
+    for w_secs in [15u64, 30, 60] {
+        let scenario = rubis_scenario(Nanos::from_secs(w_secs), Nanos::from_secs(2), 42);
+        for engine in all_engines() {
+            let name = engine.name();
+            let pm = Pathmap::with_correlator(scenario.config.clone(), engine);
+            group.bench_with_input(
+                BenchmarkId::new(name, w_secs),
+                &scenario,
+                |b, s| {
+                    b.iter(|| pm.discover(&s.signals, &s.roots, &s.labels));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end analysis benchmarks: pathmap discovery (production RLE
+//! engine), the convolution baseline, and signal extraction from a
+//! capture store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e2eprof_bench::rubis_scenario;
+use e2eprof_core::convolution;
+use e2eprof_core::pathmap::Pathmap;
+use e2eprof_core::signals::EdgeSignals;
+use e2eprof_timeseries::Nanos;
+
+fn bench_pathmap(c: &mut Criterion) {
+    let scenario = rubis_scenario(Nanos::from_secs(15), Nanos::from_secs(2), 42);
+
+    let mut group = c.benchmark_group("pathmap_discovery");
+    group.sample_size(20);
+
+    group.bench_function("pathmap_rle_w15s", |b| {
+        let pm = Pathmap::new(scenario.config.clone());
+        b.iter(|| pm.discover(&scenario.signals, &scenario.roots, &scenario.labels));
+    });
+
+    group.bench_function("convolution_baseline_w15s", |b| {
+        let base = convolution::baseline(&scenario.config);
+        let signals = EdgeSignals::from_capture(
+            scenario.rubis.sim().captures(),
+            base.config(),
+            scenario.rubis.sim().now(),
+        );
+        b.iter(|| base.discover(&signals, &scenario.roots, &scenario.labels));
+    });
+
+    group.bench_function("signal_extraction_w15s", |b| {
+        b.iter(|| {
+            EdgeSignals::from_capture(
+                scenario.rubis.sim().captures(),
+                &scenario.config,
+                scenario.rubis.sim().now(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pathmap);
+criterion_main!(benches);

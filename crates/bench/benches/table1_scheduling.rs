@@ -1,0 +1,25 @@
+//! Table 1 (Criterion form): end-to-end cost of one run of each
+//! path-selection policy (simulation + closed-loop analysis), on a
+//! shortened 1-minute measurement interval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2eprof_apps::experiments::{table1, Table1Policy};
+use e2eprof_timeseries::Nanos;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_scheduling");
+    group.sample_size(10);
+    for (policy, name) in [
+        (Table1Policy::RoundRobinBaseline, "round_robin_baseline"),
+        (Table1Policy::RoundRobinPerturbed, "round_robin_perturbed"),
+        (Table1Policy::E2EProfPerturbed, "e2eprof_perturbed"),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| table1(policy, 42, Nanos::from_minutes(1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

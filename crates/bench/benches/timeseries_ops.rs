@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the signal layer: the per-node tracer's work
+//! (density estimation, streaming RLE) and the analyzer's window
+//! maintenance.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use e2eprof_bench::rubis_scenario;
+use e2eprof_timeseries::density::DensityEstimator;
+use e2eprof_timeseries::window::SlidingWindow;
+use e2eprof_timeseries::{Nanos, Quanta, Tick};
+
+fn bench_timeseries(c: &mut Criterion) {
+    let scenario = rubis_scenario(Nanos::from_secs(30), Nanos::from_secs(2), 42);
+    let n = scenario.rubis.nodes();
+    let timestamps: Vec<Nanos> = scenario
+        .rubis
+        .sim()
+        .captures()
+        .edge_signal(n.ws, n.ts1)
+        .to_vec();
+
+    let mut group = c.benchmark_group("timeseries_ops");
+    group.throughput(Throughput::Elements(timestamps.len() as u64));
+
+    group.bench_function("density_streaming_chunks", |b| {
+        // The tracer's pattern: push records, drain a chunk per second.
+        b.iter(|| {
+            let mut est = DensityEstimator::new(Quanta::from_millis(1), 50);
+            let mut out = 0usize;
+            let mut i = 0;
+            for drain_at in (1..=30u64).map(|s| s * 1000) {
+                let horizon = Nanos::from_millis(drain_at) + Nanos::from_micros(25_000);
+                while i < timestamps.len() && timestamps[i] < horizon {
+                    est.push(timestamps[i]);
+                    i += 1;
+                }
+                out += est.drain_chunk(Tick::new(drain_at)).num_entries();
+            }
+            out
+        });
+    });
+
+    let sparse = DensityEstimator::from_timestamps(Quanta::from_millis(1), 50, &timestamps);
+    let rle = sparse.to_rle();
+    group.bench_function("sliding_window_append_evict", |b| {
+        let chunk_len = rle.len() / 10;
+        let chunks: Vec<_> = (0..10)
+            .map(|i| {
+                rle.slice(
+                    Tick::new(rle.start().index() + i * chunk_len),
+                    Tick::new(rle.start().index() + (i + 1) * chunk_len),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut w = SlidingWindow::new(3 * chunk_len);
+            for chunk in &chunks {
+                w.append_chunk(chunk);
+            }
+            w.end()
+        });
+    });
+
+    group.bench_function("series_stats", |b| {
+        b.iter(|| rle.stats().variance());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeseries);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the correlation engines on one prepared signal
+//! pair: the unit cost underlying Fig. 9, plus normalization, spike
+//! detection, and the incremental update path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2eprof_bench::{corr_pair, rubis_scenario};
+use e2eprof_timeseries::{Nanos, Tick};
+use e2eprof_xcorr::engine::all_engines;
+use e2eprof_xcorr::incremental::IncrementalCorrelator;
+use e2eprof_xcorr::{normalize, rle, SpikeDetector};
+
+fn bench_engines(c: &mut Criterion) {
+    let scenario = rubis_scenario(Nanos::from_secs(30), Nanos::from_secs(2), 42);
+    let (x, y) = corr_pair(&scenario);
+    let max_lag = scenario.config.max_lag();
+
+    let mut group = c.benchmark_group("xcorr_engines");
+    for engine in all_engines() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(engine.name()),
+            &(&x, &y),
+            |b, (x, y)| {
+                b.iter(|| engine.correlate(x, y, max_lag));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("xcorr_support");
+    let raw = rle::correlate(&x, &y, max_lag);
+    group.bench_function("normalize_eq1", |b| {
+        b.iter(|| normalize::normalize(&raw, &x, &y));
+    });
+    let rho = normalize::normalize(&raw, &x, &y);
+    let detector = SpikeDetector::new(3.0, 50);
+    group.bench_function("spike_detection", |b| {
+        b.iter(|| detector.detect(rho.values()));
+    });
+    // One ΔW = W/4 incremental advance (the online analyzer's unit of
+    // work per refresh per edge).
+    let (start, end) = (x.start(), x.end());
+    let quarter = (end - start) / 4;
+    group.bench_function("incremental_refresh", |b| {
+        b.iter_batched(
+            || {
+                let mut inc = IncrementalCorrelator::new(max_lag);
+                inc.append(&x.slice(start, Tick::new(end.index() - quarter)), &y);
+                inc
+            },
+            |mut inc| {
+                inc.append(&x.slice(Tick::new(end.index() - quarter), end), &y);
+                inc.evict_to(Tick::new(start.index() + quarter), &x, &y);
+                inc
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

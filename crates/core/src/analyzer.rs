@@ -1,0 +1,419 @@
+//! The central online analyzer.
+//!
+//! Consumes wire-encoded density chunks streamed by [`TracerAgent`]s,
+//! maintains per-edge sliding windows, and republishes service graphs
+//! every `ΔW`. Correlations are updated *incrementally*: each refresh only
+//! processes the `ΔW` ticks appended and evicted since the previous
+//! refresh (the optimization that keeps pathmap's per-refresh cost flat as
+//! `W` grows — Fig. 9).
+//!
+//! [`TracerAgent`]: crate::tracer::TracerAgent
+
+use crate::change::ChangeTracker;
+use crate::config::PathmapConfig;
+use crate::graph::{NodeLabels, ServiceGraph};
+use crate::pathmap::{CorrelationProvider, Pathmap};
+use crate::signals::EdgeSignals;
+use crate::tracer::TracerFrame;
+use crossbeam::channel::{Receiver, Sender};
+use e2eprof_netsim::NodeId;
+use e2eprof_timeseries::window::SlidingWindow;
+use e2eprof_timeseries::{wire, Nanos, RleSeries, Tick};
+use e2eprof_xcorr::incremental::IncrementalCorrelator;
+use e2eprof_xcorr::CorrSeries;
+use std::collections::HashMap;
+
+/// The online pathmap analyzer.
+#[derive(Debug)]
+pub struct OnlineAnalyzer {
+    config: PathmapConfig,
+    pathmap: Pathmap,
+    roots: Vec<(NodeId, NodeId)>,
+    labels: NodeLabels,
+    rx: Receiver<TracerFrame>,
+    windows: HashMap<(NodeId, NodeId), SlidingWindow>,
+    incs: HashMap<(NodeId, (NodeId, NodeId)), IncrementalCorrelator>,
+    change: ChangeTracker,
+    /// Capacity of each sliding window, in ticks.
+    capacity: u64,
+    /// Subscribers receiving every refresh's graphs.
+    subscribers: Vec<Sender<GraphUpdate>>,
+}
+
+/// One published refresh: the paper's envisioned "pluggable" service
+/// interface — subscribers "receive real-time information about their
+/// service paths and systems' health in general" (Section 5).
+#[derive(Debug, Clone)]
+pub struct GraphUpdate {
+    /// Wall-clock label of the refresh.
+    pub at: Nanos,
+    /// The refreshed service graphs (shared, immutable).
+    pub graphs: std::sync::Arc<Vec<ServiceGraph>>,
+}
+
+impl OnlineAnalyzer {
+    /// Creates an analyzer fed by `rx`.
+    pub fn new(
+        config: PathmapConfig,
+        roots: Vec<(NodeId, NodeId)>,
+        labels: NodeLabels,
+        rx: Receiver<TracerFrame>,
+    ) -> Self {
+        // Retain enough history for the source window, the lag horizon,
+        // and one refresh interval of eviction corrections.
+        let capacity = config.window_ticks() + config.max_lag() + 2 * config.refresh_ticks();
+        let pathmap = Pathmap::new(config.clone());
+        OnlineAnalyzer {
+            config,
+            pathmap,
+            roots,
+            labels,
+            rx,
+            windows: HashMap::new(),
+            incs: HashMap::new(),
+            change: ChangeTracker::new(),
+            capacity,
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// Subscribes to refresh results. Every non-empty refresh is published
+    /// to all live subscribers; disconnected receivers are dropped
+    /// silently.
+    pub fn subscribe(&mut self) -> Receiver<GraphUpdate> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.subscribers.push(tx);
+        rx
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &PathmapConfig {
+        &self.config
+    }
+
+    /// Drains all pending tracer frames into the sliding windows. Returns
+    /// the number of frames ingested.
+    ///
+    /// Stream discontinuities heal automatically: a restarted tracer's
+    /// replayed history is deduplicated (only novel ticks append), and a
+    /// true gap (frames lost in transit) resets that edge's window, with
+    /// the affected incremental correlators falling back to a from-scratch
+    /// computation on the next refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame fails to decode — a tracer bug, not a recoverable
+    /// condition.
+    pub fn ingest(&mut self) -> usize {
+        let mut count = 0;
+        let capacity = self.capacity;
+        while let Ok(frame) = self.rx.try_recv() {
+            let chunk = wire::decode(&frame.payload).expect("undecodable tracer frame");
+            let healed = self
+                .windows
+                .entry(frame.edge)
+                .or_insert_with(|| SlidingWindow::new(capacity))
+                .append_or_reset(&chunk);
+            if healed {
+                // Invalidate correlators involving the reset edge.
+                self.incs
+                    .retain(|&(client, edge), _| edge != frame.edge && client != frame.edge.0);
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// The newest tick for which *every* stream has data (streams drained
+    /// to different points can only be analyzed up to the common prefix).
+    pub fn common_end(&self) -> Option<Tick> {
+        self.windows.values().map(|w| w.end()).min()
+    }
+
+    /// Runs one refresh: discovers the current service graphs from the
+    /// retained windows and records them in the change tracker under the
+    /// wall-clock label `at`.
+    ///
+    /// Returns an empty vec until enough data is buffered for one full
+    /// analysis window.
+    pub fn refresh(&mut self, at: Nanos) -> Vec<ServiceGraph> {
+        let Some(data_end) = self.common_end() else {
+            return Vec::new();
+        };
+        let max_lag = self.config.max_lag();
+        let window_ticks = self.config.window_ticks();
+        if data_end.index() < max_lag + window_ticks {
+            return Vec::new();
+        }
+        let end = data_end.saturating_sub(max_lag);
+        let start = end.saturating_sub(window_ticks);
+
+        // Materialize the per-edge signal views.
+        let mut signals_map = HashMap::new();
+        for (&edge, window) in &self.windows {
+            signals_map.insert(edge, window.view(start, data_end));
+        }
+        let signals =
+            EdgeSignals::from_parts(self.config.quanta(), (start, end), max_lag, signals_map);
+
+        let fronts: HashMap<NodeId, NodeId> = self.roots.iter().copied().collect();
+        let mut provider = IncrementalProvider {
+            windows: &self.windows,
+            incs: &mut self.incs,
+            window: (start, end),
+            fronts,
+        };
+        let graphs = self
+            .pathmap
+            .discover_with(&signals, &self.roots, &self.labels, &mut provider);
+        self.change.record(at, &graphs);
+        if !graphs.is_empty() && !self.subscribers.is_empty() {
+            let update = GraphUpdate {
+                at,
+                graphs: std::sync::Arc::new(graphs.clone()),
+            };
+            self.subscribers
+                .retain(|tx| tx.send(update.clone()).is_ok());
+        }
+        graphs
+    }
+
+    /// The per-edge delay histories across refreshes.
+    pub fn change_tracker(&self) -> &ChangeTracker {
+        &self.change
+    }
+}
+
+/// Correlation provider that maintains one incremental correlator per
+/// `(client, edge)` pair, advancing it by the window delta instead of
+/// recomputing — with a from-scratch fallback whenever the retained
+/// history cannot support an exact advance.
+struct IncrementalProvider<'a> {
+    windows: &'a HashMap<(NodeId, NodeId), SlidingWindow>,
+    incs: &'a mut HashMap<(NodeId, (NodeId, NodeId)), IncrementalCorrelator>,
+    /// Current source window.
+    window: (Tick, Tick),
+    /// Each client's front-end node: the client's source signal lives on
+    /// the `(client, front)` edge.
+    fronts: HashMap<NodeId, NodeId>,
+}
+
+impl CorrelationProvider for IncrementalProvider<'_> {
+    fn correlate(
+        &mut self,
+        client: NodeId,
+        edge: (NodeId, NodeId),
+        x: &RleSeries,
+        y: &RleSeries,
+        max_lag: u64,
+    ) -> CorrSeries {
+        let (ws, we) = self.window;
+        let inc = self
+            .incs
+            .entry((client, edge))
+            .or_insert_with(|| IncrementalCorrelator::new(max_lag));
+        if inc.max_lag() != max_lag {
+            *inc = IncrementalCorrelator::new(max_lag);
+        }
+        // The x signal is always the client's root signal, retained on the
+        // (client, front) window — needed for eviction corrections that
+        // reach before the current view.
+        let x_window = self
+            .fronts
+            .get(&client)
+            .and_then(|front| self.windows.get(&(client, *front)));
+        // Determine whether an exact incremental advance is possible.
+        let advance_ok = match (inc.window(), x_window) {
+            (Some((s, e)), Some(xw)) => {
+                s <= ws && e >= ws && e <= we && xw.start() <= s && {
+                    // y history for the eviction span [s, ws + L).
+                    self.windows
+                        .get(&edge)
+                        .map(|yw| yw.start() <= s)
+                        .unwrap_or(false)
+                }
+            }
+            _ => false,
+        };
+        if advance_ok {
+            let (s, e) = inc.window().expect("checked");
+            let xw = x_window.expect("checked");
+            let yw = self.windows.get(&edge).expect("checked");
+            let y_horizon = yw.end();
+            if e < we {
+                inc.append(&xw.view(e, we), &yw.view(e, y_horizon));
+            }
+            inc.evict_to(ws, &xw.view(s, ws), &yw.view(s, (ws + max_lag).min(y_horizon)));
+        } else {
+            inc.reset();
+            inc.append(x, y);
+        }
+        inc.corr().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathmap::roots_from_topology;
+    use crate::tracer::TracerAgent;
+    use crossbeam::channel::unbounded;
+    use e2eprof_netsim::prelude::*;
+    use e2eprof_netsim::Route;
+    use std::collections::HashSet;
+
+    fn cfg() -> PathmapConfig {
+        PathmapConfig::builder()
+            .window(Nanos::from_secs(10))
+            .refresh(Nanos::from_secs(2))
+            .max_delay(Nanos::from_secs(1))
+            .build()
+    }
+
+    fn two_tier(seed: u64) -> Simulation {
+        let mut t = TopologyBuilder::new();
+        let class = t.service_class("c");
+        let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+        let db = t.service("db", ServiceConfig::new(DelayDist::exponential_millis(8)));
+        let cli = t.client("cli", class, web, Workload::poisson(40.0));
+        t.connect(cli, web, DelayDist::constant_millis(1));
+        t.connect(web, db, DelayDist::constant_millis(1));
+        t.route(web, class, Route::fixed(db));
+        t.route(db, class, Route::terminal());
+        Simulation::new(t.build().unwrap(), seed)
+    }
+
+    /// Drives a sim with tracer agents on all services and an analyzer,
+    /// returning the graphs of the last refresh.
+    fn run_online(seed: u64, total_secs: u64) -> (Vec<ServiceGraph>, OnlineAnalyzer) {
+        let mut sim = two_tier(seed);
+        let (tx, rx) = unbounded();
+        let config = cfg();
+        let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+        let mut agents: Vec<TracerAgent> = sim
+            .topology()
+            .services()
+            .into_iter()
+            .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+            .collect();
+        let mut analyzer = OnlineAnalyzer::new(
+            config.clone(),
+            roots_from_topology(sim.topology()),
+            NodeLabels::from_topology(sim.topology()),
+            rx,
+        );
+        let mut last = Vec::new();
+        for step in 1..=(total_secs / 2) {
+            let now = Nanos::from_secs(step * 2);
+            sim.run_until(now);
+            // Drain 1 s behind the clock (safely past ω).
+            let drain = Tick::new(step * 2_000 - 1_000);
+            for a in &mut agents {
+                a.poll(sim.captures(), drain);
+            }
+            analyzer.ingest();
+            let graphs = analyzer.refresh(now);
+            if !graphs.is_empty() {
+                last = graphs;
+            }
+        }
+        (last, analyzer)
+    }
+
+    #[test]
+    fn online_pipeline_discovers_the_path() {
+        let (graphs, _) = run_online(5, 30);
+        assert_eq!(graphs.len(), 1, "no graphs produced online");
+        let g = &graphs[0];
+        assert!(g.has_edge_between("web", "db"), "missing web->db:\n{g}");
+        assert!(g.has_edge_between("db", "web"));
+        assert!(g.has_edge_between("web", "cli"));
+    }
+
+    #[test]
+    fn refresh_before_enough_data_is_empty() {
+        let (_tx, rx) = unbounded::<TracerFrame>();
+        let mut analyzer = OnlineAnalyzer::new(
+            cfg(),
+            vec![],
+            NodeLabels::default(),
+            rx,
+        );
+        assert!(analyzer.refresh(Nanos::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_offline_discovery() {
+        // The online (incremental) analysis must find the same edges as an
+        // offline from-scratch pass over the same horizon.
+        let (online, analyzer) = run_online(7, 30);
+        let mut sim = two_tier(7);
+        sim.run_until(Nanos::from_secs(30));
+        let config = analyzer.config().clone();
+        let pm = Pathmap::new(config.clone());
+        // Offline window aligned with the analyzer's final refresh: the
+        // analyzer drained to 29s, so analyze as of 29s.
+        let signals = crate::signals::EdgeSignals::from_capture(
+            sim.captures(),
+            &config,
+            Nanos::from_secs(29),
+        );
+        let offline = pm.discover(
+            &signals,
+            &roots_from_topology(sim.topology()),
+            &NodeLabels::from_topology(sim.topology()),
+        );
+        let edges = |gs: &[ServiceGraph]| {
+            let mut v: Vec<(NodeId, NodeId)> =
+                gs[0].edges().iter().map(|e| (e.from, e.to)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(edges(&online), edges(&offline));
+    }
+
+    #[test]
+    fn subscribers_receive_refreshes() {
+        let mut sim = two_tier(13);
+        let (tx, rx) = unbounded();
+        let config = cfg();
+        let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+        let mut agents: Vec<TracerAgent> = sim
+            .topology()
+            .services()
+            .into_iter()
+            .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+            .collect();
+        let mut analyzer = OnlineAnalyzer::new(
+            config,
+            roots_from_topology(sim.topology()),
+            NodeLabels::from_topology(sim.topology()),
+            rx,
+        );
+        let sub = analyzer.subscribe();
+        let dropped = analyzer.subscribe();
+        drop(dropped); // disconnected subscriber must not break publishing
+        for step in 1..=10u64 {
+            let now = Nanos::from_secs(step * 2);
+            sim.run_until(now);
+            for a in &mut agents {
+                a.poll(sim.captures(), e2eprof_timeseries::Tick::new(step * 2_000 - 1_000));
+            }
+            analyzer.ingest();
+            let _ = analyzer.refresh(now);
+        }
+        let updates: Vec<GraphUpdate> = sub.try_iter().collect();
+        assert!(updates.len() >= 3, "got {} updates", updates.len());
+        assert!(updates.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(!updates.last().unwrap().graphs.is_empty());
+    }
+
+    #[test]
+    fn change_tracker_accumulates_refreshes() {
+        let (_, analyzer) = run_online(9, 30);
+        let keys: Vec<_> = analyzer.change_tracker().keys().collect();
+        assert!(!keys.is_empty());
+        let (c, f, t) = keys[0];
+        assert!(analyzer.change_tracker().history(c, f, t).len() >= 2);
+    }
+}

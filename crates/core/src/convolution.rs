@@ -1,0 +1,49 @@
+//! The convolution baseline of Aguilera et al. (SOSP 2003).
+//!
+//! The paper positions pathmap against the *convolution algorithm*:
+//! FFT-based cross-correlation over the full lag range, intended for
+//! offline analysis. The baseline here reuses the same `ServiceRoot` /
+//! `ComputePath` structure but (a) computes correlations via the FFT
+//! (Eq. 2), and (b) evaluates the *entire* lag range — the window length —
+//! rather than bounding it by `T_u`. That is exactly the cost profile
+//! Fig. 9 compares against.
+
+use crate::config::PathmapConfig;
+use crate::pathmap::Pathmap;
+use e2eprof_xcorr::engine::FftCorrelator;
+
+/// Builds the convolution baseline for the given analysis parameters: same
+/// windows and spike detection, but FFT correlation with the lag bound
+/// widened to the full window.
+pub fn baseline(config: &PathmapConfig) -> Pathmap {
+    let full_lag_cfg = PathmapConfig::builder()
+        .quanta(config.quanta())
+        .omega_ticks(config.omega_ticks())
+        .window(config.window())
+        .refresh(config.refresh())
+        // Full lag range: the whole window.
+        .max_delay(config.window())
+        .spike_sigma(config.spike_sigma())
+        .spike_resolution_ticks(config.spike_detector().resolution())
+        .min_spike_value(config.min_spike_value())
+        .build();
+    Pathmap::with_correlator(full_lag_cfg, Box::new(FftCorrelator))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2eprof_timeseries::Nanos;
+
+    #[test]
+    fn baseline_widens_lag_to_window() {
+        let cfg = PathmapConfig::builder()
+            .window(Nanos::from_secs(30))
+            .refresh(Nanos::from_secs(10))
+            .max_delay(Nanos::from_secs(2))
+            .build();
+        let base = baseline(&cfg);
+        assert_eq!(base.config().max_lag(), cfg.window_ticks());
+        assert_eq!(base.config().window_ticks(), cfg.window_ticks());
+    }
+}

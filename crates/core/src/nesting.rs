@@ -1,0 +1,290 @@
+//! The *nesting* baseline of Aguilera et al. (SOSP 2003).
+//!
+//! The paper contrasts pathmap with both of Aguilera's algorithms: the
+//! FFT *convolution* algorithm (see [`convolution`](crate::convolution))
+//! and the *nesting* algorithm, which "assumes 'RPC-style' (call-return)
+//! communication". Nesting pairs each request message with its response
+//! to form call intervals, then infers causality from interval
+//! containment: a call `b → c` whose interval nests inside a call
+//! `a → b`'s interval was (probably) issued on its behalf.
+//!
+//! This implementation uses FIFO call-return matching (exact for
+//! FIFO services; Aguilera et al. use probabilistic matching for the
+//! general case) and is deliberately *not* given request IDs — it is a
+//! black-box baseline, like pathmap.
+//!
+//! Where it breaks, by design: **unidirectional paths**. Streaming-style
+//! pipelines produce no responses, so no call intervals exist and nesting
+//! finds nothing — while pathmap's correlation spikes don't care
+//! (paper Section 3.1's path-shape assumption, demonstrated in the
+//! integration tests).
+
+use crate::graph::{GraphEdge, NodeLabels, ServiceGraph};
+use e2eprof_netsim::capture::TraceKey;
+use e2eprof_netsim::{CaptureStore, NodeId};
+use e2eprof_timeseries::Nanos;
+use std::collections::HashSet;
+
+/// One inferred RPC: a request matched with its response, in the clock of
+/// the node that observed both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcCall {
+    /// Request observation time.
+    pub start: Nanos,
+    /// Response observation time.
+    pub end: Nanos,
+}
+
+/// Pairs request timestamps with response timestamps FIFO: the `i`-th
+/// request matches the earliest response after it that follows the
+/// previous match. Unmatched trailing requests (in flight at the trace
+/// horizon) are dropped.
+pub fn pair_calls(requests: &[Nanos], responses: &[Nanos]) -> Vec<RpcCall> {
+    let mut calls = Vec::new();
+    let mut j = 0;
+    for &req in requests {
+        while j < responses.len() && responses[j] <= req {
+            j += 1;
+        }
+        let Some(&resp) = responses.get(j) else {
+            break;
+        };
+        calls.push(RpcCall {
+            start: req,
+            end: resp,
+        });
+        j += 1;
+    }
+    calls
+}
+
+/// The nesting path-discovery baseline.
+#[derive(Debug, Clone)]
+pub struct Nesting {
+    /// Minimum nested calls for an edge to count as causal.
+    min_support: usize,
+    /// Minimum fraction of child calls that must nest in some parent.
+    min_fraction: f64,
+}
+
+impl Default for Nesting {
+    fn default() -> Self {
+        Nesting {
+            min_support: 20,
+            min_fraction: 0.5,
+        }
+    }
+}
+
+impl Nesting {
+    /// Creates a baseline requiring at least `min_support` nested calls
+    /// and a `min_fraction` nesting rate per accepted edge.
+    pub fn new(min_support: usize, min_fraction: f64) -> Self {
+        Nesting {
+            min_support,
+            min_fraction,
+        }
+    }
+
+    /// Discovers one forward call graph per `(client, front)` root.
+    ///
+    /// Unlike pathmap's output, nesting graphs contain only the forward
+    /// (request) direction — the return path is implicit in the call
+    /// model.
+    pub fn discover(
+        &self,
+        capture: &CaptureStore,
+        roots: &[(NodeId, NodeId)],
+        labels: &NodeLabels,
+    ) -> Vec<ServiceGraph> {
+        let mut graphs = Vec::new();
+        let clients: HashSet<NodeId> = roots.iter().map(|&(c, _)| c).collect();
+        for &(client, front) in roots {
+            // Root intervals, both directions observed at the front end.
+            let requests = capture.timestamps(TraceKey::at_receiver(client, front));
+            let responses = capture.timestamps(TraceKey::at_sender(front, client));
+            let parents = pair_calls(requests, responses);
+            let mut graph = ServiceGraph::new(client, labels.label(client), front);
+            graph.add_vertex(front, labels.label(front));
+            graph.add_edge(GraphEdge::anchor(client, front));
+            if !parents.is_empty() {
+                let mut visited = HashSet::new();
+                self.explore(
+                    &mut graph,
+                    capture,
+                    front,
+                    &parents,
+                    Nanos::ZERO,
+                    &clients,
+                    labels,
+                    &mut visited,
+                );
+            }
+            graph.recompute_hop_delays();
+            graph.annotate_bottlenecks(0.5);
+            graphs.push(graph);
+        }
+        graphs
+    }
+
+    /// Recursively explores calls issued by `node` while it serves
+    /// `parents`.
+    #[allow(clippy::too_many_arguments)]
+    fn explore(
+        &self,
+        graph: &mut ServiceGraph,
+        capture: &CaptureStore,
+        node: NodeId,
+        parents: &[RpcCall],
+        base_cum: Nanos,
+        clients: &HashSet<NodeId>,
+        labels: &NodeLabels,
+        visited: &mut HashSet<NodeId>,
+    ) {
+        visited.insert(node);
+        for (src, next) in capture.edges_from(node) {
+            debug_assert_eq!(src, node);
+            if clients.contains(&next) || visited.contains(&next) {
+                continue;
+            }
+            // Child calls as observed at `node`: requests it sends, the
+            // responses it receives — one clock, directly comparable with
+            // the parent intervals.
+            let child_requests = capture.timestamps(TraceKey::at_sender(node, next));
+            let child_responses = capture.timestamps(TraceKey::at_receiver(next, node));
+            let children = pair_calls(child_requests, child_responses);
+            if children.len() < self.min_support {
+                continue;
+            }
+            let (nested, mut offsets) = nest(parents, &children);
+            if nested < self.min_support
+                || (nested as f64) < self.min_fraction * children.len() as f64
+            {
+                continue;
+            }
+            offsets.sort_unstable();
+            let median = offsets[offsets.len() / 2];
+            let cum = base_cum + median;
+            graph.add_vertex(next, labels.label(next));
+            graph.add_edge(GraphEdge {
+                from: node,
+                to: next,
+                spikes: vec![crate::graph::DelaySpike {
+                    delay: cum,
+                    strength: nested as f64 / children.len() as f64,
+                }],
+                hop_delay: median,
+            });
+            // Recurse with the child's own intervals (its clock).
+            let grand_requests = capture.timestamps(TraceKey::at_receiver(node, next));
+            let grand_responses = capture.timestamps(TraceKey::at_sender(next, node));
+            let next_parents = pair_calls(grand_requests, grand_responses);
+            if !next_parents.is_empty() {
+                self.explore(
+                    graph,
+                    capture,
+                    next,
+                    &next_parents,
+                    cum,
+                    clients,
+                    labels,
+                    visited,
+                );
+            }
+        }
+    }
+}
+
+/// Counts child calls nested inside some parent interval, collecting the
+/// `child.start − parent.start` offsets of the matches.
+///
+/// Parents are scanned FIFO: for each child, the latest parent starting
+/// at or before the child (bounded back-walk over overlapping parents).
+fn nest(parents: &[RpcCall], children: &[RpcCall]) -> (usize, Vec<Nanos>) {
+    let mut nested = 0;
+    let mut offsets = Vec::new();
+    for child in children {
+        // Index of the first parent starting after the child.
+        let hi = parents.partition_point(|p| p.start <= child.start);
+        // Walk back over (bounded) concurrent parents for containment.
+        for p in parents[hi.saturating_sub(64)..hi].iter().rev() {
+            if p.end >= child.end {
+                nested += 1;
+                offsets.push(child.start - p.start);
+                break;
+            }
+        }
+    }
+    (nested, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn pairing_is_fifo() {
+        let req = [ms(1), ms(5), ms(9)];
+        let resp = [ms(3), ms(8), ms(12)];
+        let calls = pair_calls(&req, &resp);
+        assert_eq!(
+            calls,
+            vec![
+                RpcCall { start: ms(1), end: ms(3) },
+                RpcCall { start: ms(5), end: ms(8) },
+                RpcCall { start: ms(9), end: ms(12) },
+            ]
+        );
+    }
+
+    #[test]
+    fn pairing_skips_orphan_responses_and_trailing_requests() {
+        // A response before any request is ignored; the last request has
+        // no response (in flight) and is dropped.
+        let req = [ms(5), ms(20)];
+        let resp = [ms(2), ms(9)];
+        let calls = pair_calls(&req, &resp);
+        assert_eq!(calls, vec![RpcCall { start: ms(5), end: ms(9) }]);
+    }
+
+    #[test]
+    fn pairing_empty_inputs() {
+        assert!(pair_calls(&[], &[ms(1)]).is_empty());
+        assert!(pair_calls(&[ms(1)], &[]).is_empty());
+    }
+
+    #[test]
+    fn nesting_counts_contained_children() {
+        let parents = vec![
+            RpcCall { start: ms(0), end: ms(10) },
+            RpcCall { start: ms(20), end: ms(30) },
+        ];
+        let children = vec![
+            RpcCall { start: ms(2), end: ms(8) },   // inside parent 0
+            RpcCall { start: ms(22), end: ms(28) }, // inside parent 1
+            RpcCall { start: ms(12), end: ms(18) }, // inside none
+            RpcCall { start: ms(25), end: ms(40) }, // overlaps but not nested
+        ];
+        let (nested, offsets) = nest(&parents, &children);
+        assert_eq!(nested, 2);
+        assert_eq!(offsets, vec![ms(2), ms(2)]);
+    }
+
+    #[test]
+    fn nesting_handles_concurrent_parents() {
+        // Two overlapping parents; the child nests in the earlier one
+        // only (the later parent ends too soon).
+        let parents = vec![
+            RpcCall { start: ms(0), end: ms(50) },
+            RpcCall { start: ms(4), end: ms(6) },
+        ];
+        let children = vec![RpcCall { start: ms(5), end: ms(20) }];
+        let (nested, offsets) = nest(&parents, &children);
+        assert_eq!(nested, 1);
+        assert_eq!(offsets, vec![ms(5)]);
+    }
+}

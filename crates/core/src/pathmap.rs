@@ -1,0 +1,453 @@
+//! The pathmap algorithm (Algorithm 1 of the paper).
+//!
+//! `ServiceRoot` seeds one service graph per client at each front-end
+//! node; `ComputePath` recursively explores the system by
+//! cross-correlating the client's request-arrival signal `T_c` with the
+//! signal of every edge leaving the node under consideration. A
+//! distinguishable spike establishes causality (the edge carries traffic
+//! caused by this client's requests) and its lag measures the cumulative
+//! delay from front-end arrival to that edge.
+
+use crate::config::PathmapConfig;
+use crate::graph::{GraphEdge, NodeLabels, ServiceGraph};
+use crate::signals::EdgeSignals;
+use e2eprof_netsim::{NodeId, Topology};
+use e2eprof_timeseries::RleSeries;
+use e2eprof_xcorr::engine::RleCorrelator;
+use e2eprof_xcorr::{normalize, CorrSeries, Correlator};
+use std::collections::HashSet;
+
+/// Supplies lagged-product series to the path search.
+///
+/// The default implementation recomputes from scratch with a stateless
+/// engine; the online analyzer substitutes an incremental provider that
+/// only touches the `ΔW` ticks that changed since the last refresh.
+pub trait CorrelationProvider {
+    /// Raw lagged products of the client's source signal `x` against the
+    /// edge signal `y`.
+    fn correlate(
+        &mut self,
+        client: NodeId,
+        edge: (NodeId, NodeId),
+        x: &RleSeries,
+        y: &RleSeries,
+        max_lag: u64,
+    ) -> CorrSeries;
+}
+
+/// Stateless provider wrapping any [`Correlator`] engine.
+#[derive(Debug)]
+pub struct StatelessProvider<'a> {
+    engine: &'a dyn Correlator,
+}
+
+impl<'a> StatelessProvider<'a> {
+    /// Wraps an engine.
+    pub fn new(engine: &'a dyn Correlator) -> Self {
+        StatelessProvider { engine }
+    }
+}
+
+impl CorrelationProvider for StatelessProvider<'_> {
+    fn correlate(
+        &mut self,
+        _client: NodeId,
+        _edge: (NodeId, NodeId),
+        x: &RleSeries,
+        y: &RleSeries,
+        max_lag: u64,
+    ) -> CorrSeries {
+        self.engine.correlate(x, y, max_lag)
+    }
+}
+
+/// The `(client, front-end)` pairs pathmap starts its search from.
+///
+/// In a real deployment these come from operator configuration (the front
+/// end knows its clients and their service classes); for simulations they
+/// are read off the topology.
+pub fn roots_from_topology(topo: &Topology) -> Vec<(NodeId, NodeId)> {
+    let mut roots = Vec::new();
+    for (front, clients) in topo.front_ends() {
+        for client in clients {
+            roots.push((client, front));
+        }
+    }
+    roots
+}
+
+/// The pathmap path-discovery algorithm.
+#[derive(Debug)]
+pub struct Pathmap {
+    config: PathmapConfig,
+    engine: Box<dyn Correlator>,
+    /// Fraction of the maximum per-node delay above which a node is marked
+    /// a bottleneck.
+    bottleneck_fraction: f64,
+}
+
+impl Pathmap {
+    /// Creates a pathmap instance with the production engine (RLE-native
+    /// correlation).
+    pub fn new(config: PathmapConfig) -> Self {
+        Self::with_correlator(config, Box::new(RleCorrelator))
+    }
+
+    /// Creates a pathmap instance with an explicit correlation engine
+    /// (used for the Fig. 9 engine comparison).
+    pub fn with_correlator(config: PathmapConfig, engine: Box<dyn Correlator>) -> Self {
+        Pathmap {
+            config,
+            engine,
+            bottleneck_fraction: 0.5,
+        }
+    }
+
+    /// Sets the bottleneck-marking threshold (fraction of the maximum
+    /// per-node delay; default 0.5).
+    pub fn with_bottleneck_fraction(mut self, fraction: f64) -> Self {
+        self.bottleneck_fraction = fraction;
+        self
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &PathmapConfig {
+        &self.config
+    }
+
+    /// Runs `ServiceRoot`: discovers one service graph per
+    /// `(client, front-end)` root using the configured stateless engine.
+    pub fn discover(
+        &self,
+        signals: &EdgeSignals,
+        roots: &[(NodeId, NodeId)],
+        labels: &NodeLabels,
+    ) -> Vec<ServiceGraph> {
+        let mut provider = StatelessProvider::new(self.engine.as_ref());
+        self.discover_with(signals, roots, labels, &mut provider)
+    }
+
+    /// Runs `ServiceRoot` with one thread per client graph.
+    ///
+    /// The paper (Section 3.7): "the pathmap algorithm can easily be made
+    /// more scalable by parallely computing the service graph of each
+    /// client node" — client graphs are independent given the shared
+    /// read-only signals. Results are identical to
+    /// [`discover`](Pathmap::discover), in root order.
+    pub fn discover_parallel(
+        &self,
+        signals: &EdgeSignals,
+        roots: &[(NodeId, NodeId)],
+        labels: &NodeLabels,
+    ) -> Vec<ServiceGraph> {
+        // The full client set must be shared across threads: a thread
+        // exploring one client's graph must still know that the *other*
+        // clients are untraced endpoints it cannot recurse into.
+        let clients: HashSet<NodeId> = roots.iter().map(|&(c, _)| c).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = roots
+                .iter()
+                .map(|&(client, front)| {
+                    let clients = &clients;
+                    scope.spawn(move || {
+                        let mut provider = StatelessProvider::new(self.engine.as_ref());
+                        self.discover_one(signals, client, front, clients, labels, &mut provider)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("discovery thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Runs `ServiceRoot` with an explicit correlation provider.
+    pub fn discover_with(
+        &self,
+        signals: &EdgeSignals,
+        roots: &[(NodeId, NodeId)],
+        labels: &NodeLabels,
+        provider: &mut dyn CorrelationProvider,
+    ) -> Vec<ServiceGraph> {
+        let clients: HashSet<NodeId> = roots.iter().map(|&(c, _)| c).collect();
+        let mut graphs = Vec::new();
+        for &(client, front) in roots {
+            if let Some(graph) =
+                self.discover_one(signals, client, front, &clients, labels, provider)
+            {
+                graphs.push(graph);
+            }
+        }
+        graphs
+    }
+
+    /// Builds one client's graph (`None` if its source signal is absent).
+    fn discover_one(
+        &self,
+        signals: &EdgeSignals,
+        client: NodeId,
+        front: NodeId,
+        clients: &HashSet<NodeId>,
+        labels: &NodeLabels,
+        provider: &mut dyn CorrelationProvider,
+    ) -> Option<ServiceGraph> {
+        let x = signals.source_signal(client, front)?;
+        let mut graph = ServiceGraph::new(client, labels.label(client), front);
+        graph.add_vertex(front, labels.label(front));
+        // The client's own edge carries no measured delay (clients are
+        // untraced); it anchors the graph.
+        graph.add_edge(GraphEdge::anchor(client, front));
+        let mut visited = HashSet::new();
+        self.compute_path(
+            &mut graph, client, &x, front, 0, &mut visited, clients, signals, labels, provider,
+        );
+        graph.recompute_hop_delays();
+        graph.annotate_bottlenecks(self.bottleneck_fraction);
+        Some(graph)
+    }
+
+    /// `ComputePath`: explores edges out of `node`, adding those whose
+    /// correlation with `x` spikes, and recursing depth-first.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_path(
+        &self,
+        graph: &mut ServiceGraph,
+        client: NodeId,
+        x: &RleSeries,
+        node: NodeId,
+        base_lag: u64,
+        visited: &mut HashSet<NodeId>,
+        clients: &HashSet<NodeId>,
+        signals: &EdgeSignals,
+        labels: &NodeLabels,
+        provider: &mut dyn CorrelationProvider,
+    ) {
+        visited.insert(node);
+        let detector = self.config.spike_detector();
+        let quanta = self.config.quanta();
+        let max_lag = signals.max_lag();
+        for &next in signals.edges_from(node) {
+            let Some(y) = signals.target_signal(node, next) else {
+                continue;
+            };
+            let raw = provider.correlate(client, (node, next), x, y, max_lag);
+            let rho = normalize::normalize(&raw, x, y);
+            let spikes: Vec<_> = detector
+                .detect(rho.values())
+                .into_iter()
+                .filter(|s| s.value >= self.config.min_spike_value())
+                .collect();
+            if spikes.is_empty() {
+                continue;
+            }
+            graph.add_vertex(next, labels.label(next));
+            let min_lag = spikes.iter().map(|s| s.lag).min().expect("non-empty");
+            graph.add_edge(GraphEdge {
+                from: node,
+                to: next,
+                spikes: spikes
+                    .iter()
+                    .map(|s| crate::graph::DelaySpike {
+                        delay: quanta.ticks_to_nanos(s.lag),
+                        strength: s.value,
+                    })
+                    .collect(),
+                hop_delay: quanta.ticks_to_nanos(min_lag.saturating_sub(base_lag)),
+            });
+            if !visited.contains(&next) && !clients.contains(&next) {
+                self.compute_path(
+                    graph, client, x, next, min_lag, visited, clients, signals, labels, provider,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeLabels;
+    use e2eprof_netsim::prelude::*;
+    use e2eprof_netsim::Route;
+    use e2eprof_timeseries::Nanos;
+
+    /// Short-horizon config so tests stay fast: W = 20 s, T_u = 2 s.
+    fn test_cfg() -> PathmapConfig {
+        PathmapConfig::builder()
+            .window(Nanos::from_secs(20))
+            .refresh(Nanos::from_secs(5))
+            .max_delay(Nanos::from_secs(2))
+            .build()
+    }
+
+    /// client -> web -> app -> db chain.
+    fn chain_sim(seed: u64) -> Simulation {
+        let mut t = TopologyBuilder::new();
+        let class = t.service_class("bid");
+        let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+        let app = t.service("app", ServiceConfig::new(DelayDist::exponential_millis(12)));
+        let db = t.service("db", ServiceConfig::new(DelayDist::constant_millis(5)));
+        let cli = t.client("cli", class, web, Workload::poisson(25.0));
+        t.connect(cli, web, DelayDist::constant_millis(1));
+        t.connect(web, app, DelayDist::constant_millis(1));
+        t.connect(app, db, DelayDist::constant_millis(1));
+        t.route(web, class, Route::fixed(app));
+        t.route(app, class, Route::fixed(db));
+        t.route(db, class, Route::terminal());
+        Simulation::new(t.build().unwrap(), seed)
+    }
+
+    fn discover(sim: &Simulation) -> Vec<ServiceGraph> {
+        let cfg = test_cfg();
+        let pm = Pathmap::new(cfg.clone());
+        let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
+        let labels = NodeLabels::from_topology(sim.topology());
+        pm.discover(&signals, &roots_from_topology(sim.topology()), &labels)
+    }
+
+    #[test]
+    fn chain_path_fully_discovered() {
+        let mut sim = chain_sim(3);
+        sim.run_until(Nanos::from_secs(30));
+        let graphs = discover(&sim);
+        assert_eq!(graphs.len(), 1);
+        let g = &graphs[0];
+        // Forward path.
+        assert!(g.has_edge_between("web", "app"));
+        assert!(g.has_edge_between("app", "db"));
+        // Return path.
+        assert!(g.has_edge_between("db", "app"));
+        assert!(g.has_edge_between("app", "web"));
+        assert!(g.has_edge_between("web", "cli"));
+    }
+
+    #[test]
+    fn cumulative_delays_increase_along_path() {
+        let mut sim = chain_sim(4);
+        sim.run_until(Nanos::from_secs(30));
+        let g = &discover(&sim)[0];
+        let cum = |a: &str, b: &str| {
+            let e = g
+                .edges()
+                .iter()
+                .find(|e| g.label_of(e.from) == a && g.label_of(e.to) == b)
+                .unwrap_or_else(|| panic!("edge {a}->{b}"));
+            e.min_delay().unwrap()
+        };
+        let up1 = cum("web", "app");
+        let up2 = cum("app", "db");
+        let back = cum("web", "cli");
+        assert!(up1 < up2, "{up1} < {up2}");
+        assert!(up2 < back, "{up2} < {back}");
+    }
+
+    #[test]
+    fn app_server_marked_bottleneck() {
+        let mut sim = chain_sim(5);
+        sim.run_until(Nanos::from_secs(30));
+        let g = &discover(&sim)[0];
+        let app = g
+            .vertices()
+            .iter()
+            .find(|v| v.label == "app")
+            .expect("app vertex");
+        assert!(app.bottleneck, "app (20ms exp + db round trip) dominates");
+    }
+
+    #[test]
+    fn unrelated_branch_not_discovered() {
+        // Two clients with disjoint backends behind one front end: each
+        // graph must contain only its own branch.
+        let mut t = TopologyBuilder::new();
+        let bid = t.service_class("bid");
+        let cmt = t.service_class("comment");
+        let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+        let s1 = t.service("s1", ServiceConfig::new(DelayDist::exponential_millis(15)));
+        let s2 = t.service("s2", ServiceConfig::new(DelayDist::exponential_millis(15)));
+        let c1 = t.client("c1", bid, web, Workload::poisson(25.0));
+        let c2 = t.client("c2", cmt, web, Workload::poisson(25.0));
+        t.connect(c1, web, DelayDist::constant_millis(1));
+        t.connect(c2, web, DelayDist::constant_millis(1));
+        t.connect(web, s1, DelayDist::constant_millis(1));
+        t.connect(web, s2, DelayDist::constant_millis(1));
+        t.route(web, bid, Route::fixed(s1));
+        t.route(web, cmt, Route::fixed(s2));
+        t.route(s1, bid, Route::terminal());
+        t.route(s2, cmt, Route::terminal());
+        let mut sim = Simulation::new(t.build().unwrap(), 6);
+        sim.run_until(Nanos::from_secs(30));
+        let graphs = discover(&sim);
+        assert_eq!(graphs.len(), 2);
+        let g1 = graphs.iter().find(|g| g.client_label == "c1").unwrap();
+        let g2 = graphs.iter().find(|g| g.client_label == "c2").unwrap();
+        assert!(g1.has_edge_between("web", "s1"));
+        assert!(
+            !g1.has_edge_between("web", "s2"),
+            "c1's graph leaked into s2:\n{g1}"
+        );
+        assert!(g2.has_edge_between("web", "s2"));
+        assert!(!g2.has_edge_between("web", "s1"), "c2's graph leaked into s1");
+        // Cross-client response edges must not appear either.
+        assert!(!g1.has_edge_between("web", "c2"));
+        assert!(!g2.has_edge_between("web", "c1"));
+    }
+
+    #[test]
+    fn round_robin_discovers_both_paths() {
+        let mut t = TopologyBuilder::new();
+        let class = t.service_class("bid");
+        let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+        let a = t.service("a", ServiceConfig::new(DelayDist::exponential_millis(12)));
+        let b = t.service("b", ServiceConfig::new(DelayDist::exponential_millis(12)));
+        let cli = t.client("cli", class, web, Workload::poisson(50.0));
+        t.connect(cli, web, DelayDist::constant_millis(1));
+        t.connect(web, a, DelayDist::constant_millis(1));
+        t.connect(web, b, DelayDist::constant_millis(1));
+        t.route(web, class, Route::round_robin(vec![a, b]));
+        t.route(a, class, Route::terminal());
+        t.route(b, class, Route::terminal());
+        let mut sim = Simulation::new(t.build().unwrap(), 7);
+        sim.run_until(Nanos::from_secs(30));
+        let graphs = discover(&sim);
+        let g = &graphs[0];
+        assert!(g.has_edge_between("web", "a"));
+        assert!(g.has_edge_between("web", "b"));
+        assert!(g.has_edge_between("a", "web"));
+        assert!(g.has_edge_between("b", "web"));
+    }
+
+    #[test]
+    fn all_stateless_engines_find_the_same_path() {
+        use e2eprof_xcorr::engine::all_engines;
+        let mut sim = chain_sim(8);
+        sim.run_until(Nanos::from_secs(30));
+        let cfg = test_cfg();
+        let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
+        let labels = NodeLabels::from_topology(sim.topology());
+        let roots = roots_from_topology(sim.topology());
+        let mut edge_sets = Vec::new();
+        for engine in all_engines() {
+            let pm = Pathmap::with_correlator(cfg.clone(), engine);
+            let graphs = pm.discover(&signals, &roots, &labels);
+            let mut edges: Vec<(NodeId, NodeId)> = graphs[0]
+                .edges()
+                .iter()
+                .map(|e| (e.from, e.to))
+                .collect();
+            edges.sort_unstable();
+            edge_sets.push(edges);
+        }
+        for pair in edge_sets.windows(2) {
+            assert_eq!(pair[0], pair[1], "engines disagree on discovered edges");
+        }
+    }
+
+    #[test]
+    fn empty_capture_yields_anchored_graph_only() {
+        let sim = chain_sim(9); // never run
+        let graphs = discover(&sim);
+        // The source signal is missing entirely; no graph is produced.
+        assert!(graphs.is_empty() || graphs[0].edges().len() <= 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Clock-skew estimation (paper Section 3.8).
+//!
+//! The same messages observed at both ends of one edge yield two copies of
+//! one signal, offset by `skew + network delay`. Cross-correlating the
+//! sender-side series `T^x_{x→y}` with the receiver-side series
+//! `T^y_{x→y}` puts a spike at exactly that offset. Subtracting an
+//! independently known (or passively measured) network delay isolates the
+//! skew.
+
+use e2eprof_timeseries::density::DensityEstimator;
+use e2eprof_timeseries::{Nanos, Quanta};
+use e2eprof_xcorr::{normalize, rle, SpikeDetector};
+
+/// The result of a skew estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewEstimate {
+    /// Receiver clock minus sender clock at message-crossing time,
+    /// *including* the network delay (positive: the receiver stamps later).
+    pub offset_ns: i64,
+    /// Peak normalized correlation supporting the estimate.
+    pub strength: f64,
+}
+
+impl SkewEstimate {
+    /// The skew after removing a known network delay.
+    pub fn skew_minus_network(&self, network_delay: Nanos) -> i64 {
+        self.offset_ns - network_delay.as_nanos() as i64
+    }
+}
+
+/// Estimates the receiver−sender clock offset from the two ends' local
+/// timestamps of the *same* messages on one edge.
+///
+/// `max_offset` bounds the search in both directions. Returns `None` when
+/// no distinguishable spike exists (e.g. empty traces).
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_core::skew::estimate_skew;
+/// use e2eprof_timeseries::{Nanos, Quanta};
+///
+/// // Receiver's clock runs 5 ms ahead; network adds 1 ms.
+/// let sender: Vec<Nanos> = (0..600u64)
+///     .map(|i| Nanos::from_millis(i * 37 % 10_000))
+///     .collect();
+/// let mut sender = sender; sender.sort();
+/// let receiver: Vec<Nanos> = sender.iter().map(|t| *t + Nanos::from_millis(6)).collect();
+/// let est = estimate_skew(&sender, &receiver, Quanta::from_millis(1), 3, 100).unwrap();
+/// assert_eq!(est.offset_ns, 6_000_000);
+/// assert_eq!(est.skew_minus_network(Nanos::from_millis(1)), 5_000_000);
+/// ```
+pub fn estimate_skew(
+    sender_ts: &[Nanos],
+    receiver_ts: &[Nanos],
+    quanta: Quanta,
+    omega_ticks: u64,
+    max_offset_ticks: u64,
+) -> Option<SkewEstimate> {
+    if sender_ts.is_empty() || receiver_ts.is_empty() {
+        return None;
+    }
+    let x = DensityEstimator::from_timestamps(quanta, omega_ticks, sender_ts).to_rle();
+    let y = DensityEstimator::from_timestamps(quanta, omega_ticks, receiver_ts).to_rle();
+    let detector = SpikeDetector::new(3.0, omega_ticks.max(1));
+
+    // Positive offsets: receiver stamps later than sender.
+    let raw_pos = rle::correlate(&x, &y, max_offset_ticks + 1);
+    let rho_pos = normalize::normalize(&raw_pos, &x, &y);
+    // Negative offsets: correlate the other way around.
+    let raw_neg = rle::correlate(&y, &x, max_offset_ticks + 1);
+    let rho_neg = normalize::normalize(&raw_neg, &y, &x);
+
+    let best = |rho: &e2eprof_xcorr::CorrSeries| {
+        detector
+            .detect(rho.values())
+            .into_iter()
+            .max_by(|a, b| a.value.partial_cmp(&b.value).expect("finite"))
+    };
+    let pos = best(&rho_pos);
+    let neg = best(&rho_neg);
+    let tick_ns = quanta.duration().as_nanos() as i64;
+    match (pos, neg) {
+        (Some(p), Some(n)) => {
+            if p.value >= n.value {
+                Some(SkewEstimate {
+                    offset_ns: p.lag as i64 * tick_ns,
+                    strength: p.value,
+                })
+            } else {
+                Some(SkewEstimate {
+                    offset_ns: -(n.lag as i64) * tick_ns,
+                    strength: n.value,
+                })
+            }
+        }
+        (Some(p), None) => Some(SkewEstimate {
+            offset_ns: p.lag as i64 * tick_ns,
+            strength: p.value,
+        }),
+        (None, Some(n)) => Some(SkewEstimate {
+            offset_ns: -(n.lag as i64) * tick_ns,
+            strength: n.value,
+        }),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Irregular message timestamps (hash-scattered, sorted).
+    fn trace(n: u64, span_ms: u64, seed: u64) -> Vec<Nanos> {
+        let mut ts: Vec<Nanos> = (0..n)
+            .map(|i| {
+                let h = (i ^ seed).wrapping_mul(0x9e3779b97f4a7c15);
+                Nanos::from_micros((h % (span_ms * 1000)).max(1))
+            })
+            .collect();
+        ts.sort();
+        ts
+    }
+
+    #[test]
+    fn positive_offset_detected() {
+        let s = trace(500, 20_000, 3);
+        let r: Vec<Nanos> = s.iter().map(|t| *t + Nanos::from_millis(7)).collect();
+        let est = estimate_skew(&s, &r, Quanta::from_millis(1), 3, 50).unwrap();
+        assert_eq!(est.offset_ns, 7_000_000);
+        assert!(est.strength > 0.8);
+    }
+
+    #[test]
+    fn negative_offset_detected() {
+        // Receiver's clock runs *behind* despite the network delay.
+        let s = trace(500, 20_000, 5);
+        let r: Vec<Nanos> = s
+            .iter()
+            .map(|t| t.saturating_sub(Nanos::from_millis(4)))
+            .collect();
+        let est = estimate_skew(&s, &r, Quanta::from_millis(1), 3, 50).unwrap();
+        assert_eq!(est.offset_ns, -4_000_000);
+    }
+
+    #[test]
+    fn zero_offset_detected() {
+        let s = trace(500, 20_000, 7);
+        let est = estimate_skew(&s, &s, Quanta::from_millis(1), 3, 50).unwrap();
+        assert_eq!(est.offset_ns, 0);
+    }
+
+    #[test]
+    fn empty_traces_yield_none() {
+        assert!(estimate_skew(&[], &[], Quanta::from_millis(1), 3, 50).is_none());
+    }
+
+    #[test]
+    fn network_delay_subtraction() {
+        let est = SkewEstimate {
+            offset_ns: 6_000_000,
+            strength: 1.0,
+        };
+        assert_eq!(est.skew_minus_network(Nanos::from_millis(2)), 4_000_000);
+    }
+}

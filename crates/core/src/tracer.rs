@@ -1,0 +1,232 @@
+//! Node-side tracer agents — the userspace analogue of the paper's
+//! `tracer` kernel module.
+//!
+//! Each service node runs an agent that (1) taps the node's packet capture,
+//! (2) converts message timestamps into the density time series on the
+//! node itself (offloading the central analyzer, Section 3.6), (3)
+//! run-length-encodes the series, and (4) streams wire-encoded chunks to
+//! the analyzer every `ΔW`.
+//!
+//! Signal ownership follows the paper's conventions: a node streams the
+//! *receiver-side* series of every edge arriving at it, plus the
+//! *sender-side* series of its edges toward (untraced) client nodes.
+
+use crate::config::PathmapConfig;
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use e2eprof_netsim::capture::TraceKey;
+use e2eprof_netsim::{CaptureStore, NodeId};
+use e2eprof_timeseries::density::DensityEstimator;
+use e2eprof_timeseries::{wire, Nanos, Tick};
+use std::collections::{HashMap, HashSet};
+
+/// One streamed chunk: the RLE density series of a directed edge over
+/// `[previous drain tick, drain tick)`, wire-encoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerFrame {
+    /// The directed edge the series describes.
+    pub edge: (NodeId, NodeId),
+    /// Wire-encoded [`RleSeries`](e2eprof_timeseries::RleSeries).
+    pub payload: Bytes,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    estimator: DensityEstimator,
+    cursor: usize,
+    drained_to: Tick,
+}
+
+/// A tracer agent for one service node.
+#[derive(Debug)]
+pub struct TracerAgent {
+    node: NodeId,
+    clients: HashSet<NodeId>,
+    config: PathmapConfig,
+    streams: HashMap<TraceKey, StreamState>,
+    tx: Sender<TracerFrame>,
+}
+
+impl TracerAgent {
+    /// Creates an agent for `node`. `clients` are the untraced client
+    /// nodes (the agent streams sender-side series for edges toward them).
+    pub fn new(
+        node: NodeId,
+        clients: HashSet<NodeId>,
+        config: PathmapConfig,
+        tx: Sender<TracerFrame>,
+    ) -> Self {
+        TracerAgent {
+            node,
+            clients,
+            config,
+            streams: HashMap::new(),
+            tx,
+        }
+    }
+
+    /// The node this agent runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Streams all series this agent owns up to tick `drain_to`.
+    ///
+    /// The caller guarantees that `capture` already contains every record
+    /// this node will ever produce with local timestamp below
+    /// `drain_to·τ + ω/2` (in practice: poll with `drain_to` at least
+    /// `ω + max clock error` behind the current time).
+    ///
+    /// Every owned stream emits a frame per poll — possibly an empty chunk
+    /// — so the analyzer's sliding windows stay contiguous.
+    pub fn poll(&mut self, capture: &CaptureStore, drain_to: Tick) {
+        // Discover streams this node owns.
+        let mut owned: Vec<TraceKey> = Vec::new();
+        for (src, dst) in capture.edges() {
+            if dst == self.node {
+                owned.push(TraceKey::at_receiver(src, dst));
+            } else if src == self.node && self.clients.contains(&dst) {
+                owned.push(TraceKey::at_sender(src, dst));
+            }
+        }
+        owned.sort_unstable();
+
+        let quanta = self.config.quanta();
+        let omega = self.config.omega_ticks();
+        let horizon = Nanos::from_nanos(
+            drain_to.index() * quanta.duration().as_nanos()
+                + omega * quanta.duration().as_nanos() / 2,
+        );
+        for key in owned {
+            let state = self.streams.entry(key).or_insert_with(|| StreamState {
+                estimator: DensityEstimator::new(quanta, omega),
+                cursor: 0,
+                drained_to: Tick::ZERO,
+            });
+            if drain_to <= state.drained_to && state.drained_to > Tick::ZERO {
+                continue; // nothing new to drain for this stream
+            }
+            let new = capture.timestamps_since(key, state.cursor);
+            let mut pushed = 0;
+            for &ts in new {
+                if ts >= horizon {
+                    break;
+                }
+                state.estimator.push(ts);
+                pushed += 1;
+            }
+            state.cursor += pushed;
+            let chunk = state.estimator.drain_chunk(drain_to);
+            state.drained_to = drain_to;
+            let frame = TracerFrame {
+                edge: (key.src, key.dst),
+                payload: wire::encode(&chunk.to_rle()),
+            };
+            // A disconnected analyzer just means the frame is dropped;
+            // tracers must not crash the node they run on.
+            let _ = self.tx.send(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use e2eprof_netsim::prelude::*;
+    use e2eprof_netsim::Route;
+    use e2eprof_timeseries::RleSeries;
+
+    fn cfg() -> PathmapConfig {
+        PathmapConfig::builder()
+            .window(Nanos::from_secs(10))
+            .refresh(Nanos::from_secs(2))
+            .max_delay(Nanos::from_secs(1))
+            .build()
+    }
+
+    fn two_tier(seed: u64) -> Simulation {
+        let mut t = TopologyBuilder::new();
+        let class = t.service_class("c");
+        let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+        let db = t.service("db", ServiceConfig::new(DelayDist::constant_millis(5)));
+        let cli = t.client("cli", class, web, Workload::poisson(40.0));
+        t.connect(cli, web, DelayDist::constant_millis(1));
+        t.connect(web, db, DelayDist::constant_millis(1));
+        t.route(web, class, Route::fixed(db));
+        t.route(db, class, Route::terminal());
+        Simulation::new(t.build().unwrap(), seed)
+    }
+
+    #[test]
+    fn agent_streams_owned_edges_only() {
+        let mut sim = two_tier(1);
+        sim.run_until(Nanos::from_secs(5));
+        let (tx, rx) = unbounded();
+        let web = NodeId::new(0);
+        let cli = NodeId::new(2);
+        let mut agent = TracerAgent::new(web, HashSet::from([cli]), cfg(), tx);
+        agent.poll(sim.captures(), Tick::new(4_000));
+        let frames: Vec<TracerFrame> = rx.try_iter().collect();
+        let mut edges: Vec<(NodeId, NodeId)> = frames.iter().map(|f| f.edge).collect();
+        edges.sort_unstable();
+        // web owns: cli->web (recv), db->web (recv), web->cli (send).
+        let db = NodeId::new(1);
+        assert_eq!(edges, vec![(web, cli), (db, web), (cli, web)]);
+    }
+
+    #[test]
+    fn chunks_are_contiguous_and_decodable() {
+        let mut sim = two_tier(2);
+        let (tx, rx) = unbounded();
+        let web = NodeId::new(0);
+        let cli = NodeId::new(2);
+        let mut agent = TracerAgent::new(web, HashSet::from([cli]), cfg(), tx);
+        let mut assembled: HashMap<(NodeId, NodeId), RleSeries> = HashMap::new();
+        for step in 1..=5u64 {
+            sim.run_until(Nanos::from_secs(step * 2));
+            // Drain 1s behind the simulation clock (≫ ω = 50 ms).
+            agent.poll(sim.captures(), Tick::new(step * 2_000 - 1_000));
+            for frame in rx.try_iter() {
+                let chunk = wire::decode(&frame.payload).expect("decodable frame");
+                match assembled.get_mut(&frame.edge) {
+                    None => {
+                        assembled.insert(frame.edge, chunk);
+                    }
+                    Some(series) => series.append_chunk(&chunk), // panics if gap
+                }
+            }
+        }
+        let db = NodeId::new(1);
+        let series = &assembled[&(cli, web)];
+        assert_eq!(series.end(), Tick::new(9_000));
+        assert!(series.support() > 0, "client arrivals must show up");
+        assert!(assembled.contains_key(&(db, web)));
+    }
+
+    #[test]
+    fn repeated_poll_at_same_tick_is_idempotent() {
+        let mut sim = two_tier(3);
+        sim.run_until(Nanos::from_secs(4));
+        let (tx, rx) = unbounded();
+        let web = NodeId::new(0);
+        let mut agent = TracerAgent::new(web, HashSet::new(), cfg(), tx);
+        agent.poll(sim.captures(), Tick::new(3_000));
+        let first: Vec<_> = rx.try_iter().collect();
+        agent.poll(sim.captures(), Tick::new(3_000));
+        let second: Vec<_> = rx.try_iter().collect();
+        assert!(!first.is_empty());
+        assert!(second.is_empty(), "no duplicate frames for the same tick");
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_panic() {
+        let mut sim = two_tier(4);
+        sim.run_until(Nanos::from_secs(3));
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let web = NodeId::new(0);
+        let mut agent = TracerAgent::new(web, HashSet::new(), cfg(), tx);
+        agent.poll(sim.captures(), Tick::new(2_000)); // must not panic
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the pathmap algorithm on randomized chain and
+//! fork topologies: the forward path must always be discovered when the
+//! signal is adequate, never an edge that carried no traffic, and the
+//! parallel implementation must agree with the sequential one.
+
+use e2eprof_core::prelude::*;
+use e2eprof_netsim::prelude::*;
+use e2eprof_netsim::Route;
+use proptest::prelude::*;
+
+fn test_cfg() -> PathmapConfig {
+    PathmapConfig::builder()
+        .window(Nanos::from_secs(20))
+        .refresh(Nanos::from_secs(5))
+        .max_delay(Nanos::from_secs(2))
+        .build()
+}
+
+/// A chain with randomized (but adequately provisioned) service times.
+fn chain_sim(service_ms: &[u64], rate: f64, seed: u64) -> Simulation {
+    let mut t = TopologyBuilder::new();
+    let class = t.service_class("c");
+    let services: Vec<NodeId> = service_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &ms)| {
+            t.service(
+                &format!("s{i}"),
+                ServiceConfig::new(DelayDist::normal_millis(ms, (ms / 4).max(1)))
+                    .with_servers(4),
+            )
+        })
+        .collect();
+    let cli = t.client("cli", class, services[0], Workload::poisson(rate));
+    t.connect(cli, services[0], DelayDist::constant_millis(1));
+    for w in services.windows(2) {
+        t.connect(w[0], w[1], DelayDist::constant_millis(1));
+    }
+    for (i, &s) in services.iter().enumerate() {
+        if i + 1 < services.len() {
+            t.route(s, class, Route::fixed(services[i + 1]));
+        } else {
+            t.route(s, class, Route::terminal());
+        }
+    }
+    Simulation::new(t.build().expect("valid chain"), seed)
+}
+
+fn discover(sim: &Simulation) -> Vec<ServiceGraph> {
+    let cfg = test_cfg();
+    let pm = Pathmap::new(cfg.clone());
+    let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
+    pm.discover(
+        &signals,
+        &roots_from_topology(sim.topology()),
+        &NodeLabels::from_topology(sim.topology()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn forward_chain_always_discovered(
+        depth in 2usize..5,
+        base_ms in 3u64..15,
+        rate in 15.0f64..40.0,
+        seed in 0u64..500,
+    ) {
+        let service: Vec<u64> = (0..depth).map(|i| base_ms + 2 * i as u64).collect();
+        let mut sim = chain_sim(&service, rate, seed);
+        sim.run_until(Nanos::from_secs(30));
+        let graphs = discover(&sim);
+        prop_assert_eq!(graphs.len(), 1);
+        let g = &graphs[0];
+        for i in 0..depth - 1 {
+            prop_assert!(
+                g.has_edge_between(&format!("s{i}"), &format!("s{}", i + 1)),
+                "missing s{i}->s{}:\n{}", i + 1, g
+            );
+        }
+        // Cumulative delays are monotone along the forward chain.
+        let mut prev = Nanos::ZERO;
+        for i in 0..depth - 1 {
+            let e = g.edges().iter().find(|e| {
+                g.label_of(e.from) == format!("s{i}") && g.label_of(e.to) == format!("s{}", i + 1)
+            }).expect("edge just checked");
+            let cum = e.min_delay().expect("non-empty");
+            prop_assert!(cum > prev, "cum not monotone at hop {i}");
+            prev = cum;
+        }
+    }
+
+    #[test]
+    fn no_phantom_edges(
+        depth in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        // Every discovered edge must correspond to traffic that actually
+        // flowed (present in the capture's edge list).
+        let service: Vec<u64> = vec![5; depth];
+        let mut sim = chain_sim(&service, 25.0, seed);
+        sim.run_until(Nanos::from_secs(30));
+        let traffic: std::collections::HashSet<(NodeId, NodeId)> =
+            sim.captures().edges().collect();
+        for g in discover(&sim) {
+            for e in g.edges() {
+                if e.is_anchor() {
+                    continue; // the anchoring client edge
+                }
+                prop_assert!(
+                    traffic.contains(&(e.from, e.to)),
+                    "edge {}->{} has no traffic", e.from, e.to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_discovery_matches_sequential(
+        seed in 0u64..500,
+    ) {
+        // Two clients with separate branches: parallel per-root discovery
+        // must produce the identical graphs, in root order.
+        let mut t = TopologyBuilder::new();
+        let c1 = t.service_class("a");
+        let c2 = t.service_class("b");
+        let front = t.service("front", ServiceConfig::new(DelayDist::normal_millis(3, 1)).with_servers(4));
+        let s1 = t.service("s1", ServiceConfig::new(DelayDist::normal_millis(10, 2)).with_servers(4));
+        let s2 = t.service("s2", ServiceConfig::new(DelayDist::normal_millis(14, 3)).with_servers(4));
+        let k1 = t.client("k1", c1, front, Workload::poisson(20.0));
+        let k2 = t.client("k2", c2, front, Workload::poisson(20.0));
+        t.connect(k1, front, DelayDist::constant_millis(1));
+        t.connect(k2, front, DelayDist::constant_millis(1));
+        t.connect(front, s1, DelayDist::constant_millis(1));
+        t.connect(front, s2, DelayDist::constant_millis(1));
+        t.route(front, c1, Route::fixed(s1));
+        t.route(front, c2, Route::fixed(s2));
+        t.route(s1, c1, Route::terminal());
+        t.route(s2, c2, Route::terminal());
+        let mut sim = Simulation::new(t.build().expect("valid"), seed);
+        sim.run_until(Nanos::from_secs(30));
+
+        let cfg = test_cfg();
+        let pm = Pathmap::new(cfg.clone());
+        let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
+        let roots = roots_from_topology(sim.topology());
+        let labels = NodeLabels::from_topology(sim.topology());
+        let sequential = pm.discover(&signals, &roots, &labels);
+        let parallel = pm.discover_parallel(&signals, &roots, &labels);
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn discovery_is_deterministic(seed in 0u64..500) {
+        let mut a = chain_sim(&[5, 9], 25.0, seed);
+        let mut b = chain_sim(&[5, 9], 25.0, seed);
+        a.run_until(Nanos::from_secs(25));
+        b.run_until(Nanos::from_secs(25));
+        prop_assert_eq!(discover(&a), discover(&b));
+    }
+}

@@ -1,0 +1,133 @@
+//! The simulation event queue.
+
+use crate::ids::NodeId;
+use crate::message::Message;
+use e2eprof_timeseries::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A message arrives at its destination.
+    Deliver(Message),
+    /// A server at the node finishes the carried work item.
+    WorkDone(NodeId, Message),
+    /// The client `NodeId` emits its next request.
+    Emit(NodeId),
+}
+
+/// Min-heap of events ordered by time, with a sequence number making the
+/// order of simultaneous events deterministic (FIFO).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: Nanos,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Nanos, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_millis(5), Event::Emit(NodeId::new(1)));
+        q.schedule(Nanos::from_millis(2), Event::Emit(NodeId::new(2)));
+        q.schedule(Nanos::from_millis(9), Event::Emit(NodeId::new(3)));
+        let order: Vec<Nanos> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(
+            order,
+            vec![
+                Nanos::from_millis(2),
+                Nanos::from_millis(5),
+                Nanos::from_millis(9)
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.schedule(Nanos::from_millis(1), Event::Emit(NodeId::new(i)));
+        }
+        let order: Vec<NodeId> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Emit(n) => n,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, (0..5).map(NodeId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Nanos::from_millis(4), Event::Emit(NodeId::new(0)));
+        assert_eq!(q.peek_time(), Some(Nanos::from_millis(4)));
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+    }
+}

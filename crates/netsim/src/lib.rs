@@ -1,0 +1,80 @@
+//! A deterministic discrete-event simulator of multi-tier distributed
+//! systems — E2EProf's evaluation substrate.
+//!
+//! The paper evaluates pathmap against live deployments (RUBiS on six
+//! servers, Delta Air Lines' Revenue Pipeline) traced by a `netfilter`
+//! kernel module. This crate provides the equivalent in-process substrate:
+//! a simulated topology of client and service nodes connected by links,
+//! with FIFO queueing, configurable service-time distributions, routing
+//! policies, workload generators, per-node clocks (with injectable skew),
+//! passive per-node packet capture, and a ground-truth recorder for
+//! validating inferred delays.
+//!
+//! The contract with the analysis layers is deliberately thin: pathmap only
+//! ever sees what the paper's tracer saw — `(timestamp, source,
+//! destination)` packet records collected *at* each service node, stamped
+//! with that node's local clock. Everything else (ground truth, queue
+//! lengths) exists purely for validation.
+//!
+//! # Example
+//!
+//! ```
+//! use e2eprof_netsim::prelude::*;
+//!
+//! let mut t = TopologyBuilder::new();
+//! let class = t.service_class("browse");
+//! let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+//! let db = t.service("db", ServiceConfig::new(DelayDist::constant_millis(5)));
+//! let client = t.client("client", class, web, Workload::poisson(50.0));
+//! t.connect(client, web, DelayDist::constant_millis(1));
+//! t.connect(web, db, DelayDist::constant_millis(1));
+//! t.route(web, class, Route::fixed(db));
+//! t.route(db, class, Route::terminal());
+//!
+//! let mut sim = Simulation::new(t.build()?, 42);
+//! sim.run_until(Nanos::from_secs(10));
+//! let stats = sim.truth().class_latency(class);
+//! assert!(stats.count() > 300);
+//! // ~2 + 5 + small response hops + 4 link crossings of 1ms.
+//! assert!(stats.mean() > 10e6 && stats.mean() < 16e6);
+//! # Ok::<(), e2eprof_netsim::topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod clock;
+pub mod dist;
+pub mod events;
+pub mod ids;
+pub mod message;
+pub mod perturb;
+pub mod routing;
+pub mod sim;
+pub mod topology;
+pub mod truth;
+pub mod workload;
+
+/// Convenient glob-import of the simulator's main types.
+pub mod prelude {
+    pub use crate::capture::{CaptureStore, TraceKey};
+    pub use crate::clock::NodeClock;
+    pub use crate::dist::DelayDist;
+    pub use crate::ids::{ClassId, NodeId, RequestId};
+    pub use crate::perturb::DelaySchedule;
+    pub use crate::routing::Route;
+    pub use crate::sim::Simulation;
+    pub use crate::topology::{ServiceConfig, Topology, TopologyBuilder};
+    pub use crate::truth::TruthRecorder;
+    pub use crate::workload::Workload;
+    pub use e2eprof_timeseries::Nanos;
+}
+
+pub use capture::{CaptureStore, TraceKey};
+pub use dist::DelayDist;
+pub use ids::{ClassId, NodeId, RequestId};
+pub use routing::Route;
+pub use sim::Simulation;
+pub use topology::{ServiceConfig, Topology, TopologyBuilder};
+pub use workload::Workload;

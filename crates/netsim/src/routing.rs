@@ -1,0 +1,268 @@
+//! Per-node, per-class routing policies.
+//!
+//! The RUBiS experiments use two dispatch policies at the front-end web
+//! server — *affinity* (fixed server per class) and *round-robin* — and the
+//! SLA experiment replaces round-robin with a dynamic policy driven by
+//! E2EProf's live path latencies. [`DynamicRouter`] is that extension
+//! point: the apps crate implements it on top of the pathmap analyzer.
+
+use crate::ids::{ClassId, NodeId};
+use e2eprof_timeseries::Nanos;
+use std::fmt;
+use std::sync::Arc;
+
+/// A pluggable routing decision source for [`Route::Dynamic`].
+pub trait DynamicRouter: fmt::Debug + Send + Sync {
+    /// Chooses the next hop for a request of `class` at time `now`.
+    fn choose(&self, class: ClassId, now: Nanos) -> NodeId;
+}
+
+/// What a node does with a request of a given class after servicing it.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Route {
+    /// Do not forward: generate the response here (back-end node).
+    Terminal,
+    /// Absorb the request without responding — a unidirectional path, as
+    /// in the streaming-media pipelines of paper Section 3.1.
+    Sink,
+    /// Always forward to this node (affinity dispatch).
+    Fixed(NodeId),
+    /// Rotate through these nodes per arrival (round-robin dispatch).
+    RoundRobin(Vec<NodeId>),
+    /// Deterministic weighted rotation: each hop receives arrivals in
+    /// proportion to its weight (e.g. capacity-aware dispatch).
+    Weighted(Vec<(NodeId, u32)>),
+    /// Ask a [`DynamicRouter`] (e.g. the E2EProf-driven SLA scheduler).
+    Dynamic(Arc<dyn DynamicRouter>),
+    /// Fire-and-forget fan-out: one copy of the message to *each* listed
+    /// hop, with no responses expected anywhere downstream — the
+    /// publish-subscribe dissemination pattern of the paper's future-work
+    /// section.
+    Multicast(Vec<NodeId>),
+}
+
+impl Route {
+    /// Terminal route (respond here).
+    pub fn terminal() -> Self {
+        Route::Terminal
+    }
+
+    /// Sink route (absorb without responding).
+    pub fn sink() -> Self {
+        Route::Sink
+    }
+
+    /// Fixed next hop.
+    pub fn fixed(next: NodeId) -> Self {
+        Route::Fixed(next)
+    }
+
+    /// Round-robin over the given next hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty.
+    pub fn round_robin(hops: Vec<NodeId>) -> Self {
+        assert!(!hops.is_empty(), "round-robin needs at least one hop");
+        Route::RoundRobin(hops)
+    }
+
+    /// Weighted rotation over `(hop, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty or all weights are zero.
+    pub fn weighted(hops: Vec<(NodeId, u32)>) -> Self {
+        assert!(!hops.is_empty(), "weighted routing needs at least one hop");
+        assert!(
+            hops.iter().any(|&(_, w)| w > 0),
+            "weighted routing needs a positive weight"
+        );
+        Route::Weighted(hops)
+    }
+
+    /// Dynamic route consulting `router` per request.
+    pub fn dynamic(router: Arc<dyn DynamicRouter>) -> Self {
+        Route::Dynamic(router)
+    }
+
+    /// Fire-and-forget multicast to every listed hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty.
+    pub fn multicast(hops: Vec<NodeId>) -> Self {
+        assert!(!hops.is_empty(), "multicast needs at least one hop");
+        Route::Multicast(hops)
+    }
+
+    /// Resolves the next hop; `None` means terminal. `counter` is the
+    /// node's per-class round-robin state, advanced on use.
+    pub fn next_hop(&self, class: ClassId, now: Nanos, counter: &mut usize) -> Option<NodeId> {
+        match self {
+            Route::Terminal | Route::Sink => None,
+            Route::Fixed(n) => Some(*n),
+            Route::RoundRobin(hops) => {
+                let n = hops[*counter % hops.len()];
+                *counter += 1;
+                Some(n)
+            }
+            Route::Weighted(hops) => {
+                // Deterministic: the counter indexes into the weight-
+                // expanded rotation (stride-interleaved for smoothness).
+                let total: u32 = hops.iter().map(|&(_, w)| w).sum();
+                let mut slot = (*counter as u32) % total;
+                *counter += 1;
+                for &(n, w) in hops {
+                    if slot < w {
+                        return Some(n);
+                    }
+                    slot -= w;
+                }
+                unreachable!("slot within total weight");
+            }
+            Route::Dynamic(router) => Some(router.choose(class, now)),
+            // Multicast is handled by `multicast_hops`; it has no single
+            // next hop.
+            Route::Multicast(_) => None,
+        }
+    }
+
+    /// The multicast fan-out targets, if this is a multicast route.
+    pub fn multicast_hops(&self) -> Option<&[NodeId]> {
+        match self {
+            Route::Multicast(hops) => Some(hops),
+            _ => None,
+        }
+    }
+
+    /// Whether this route absorbs requests without responding.
+    pub fn is_sink(&self) -> bool {
+        matches!(self, Route::Sink)
+    }
+
+    /// Every node this route can possibly forward to (for validation).
+    pub fn candidate_hops(&self) -> Vec<NodeId> {
+        match self {
+            Route::Terminal | Route::Sink => Vec::new(),
+            Route::Fixed(n) => vec![*n],
+            Route::RoundRobin(hops) => hops.clone(),
+            Route::Weighted(hops) => hops.iter().map(|&(n, _)| n).collect(),
+            Route::Multicast(hops) => hops.clone(),
+            // Dynamic candidates are unknown statically; the topology
+            // validates dynamic hops at runtime instead.
+            Route::Dynamic(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn terminal_yields_none() {
+        let mut c = 0;
+        assert_eq!(
+            Route::terminal().next_hop(ClassId::new(0), Nanos::ZERO, &mut c),
+            None
+        );
+    }
+
+    #[test]
+    fn fixed_always_same() {
+        let r = Route::fixed(n(4));
+        let mut c = 0;
+        for _ in 0..5 {
+            assert_eq!(r.next_hop(ClassId::new(0), Nanos::ZERO, &mut c), Some(n(4)));
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let r = Route::round_robin(vec![n(1), n(2)]);
+        let mut c = 0;
+        let picks: Vec<NodeId> = (0..4)
+            .map(|_| r.next_hop(ClassId::new(0), Nanos::ZERO, &mut c).unwrap())
+            .collect();
+        assert_eq!(picks, vec![n(1), n(2), n(1), n(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_round_robin_rejected() {
+        let _ = Route::round_robin(vec![]);
+    }
+
+    #[derive(Debug)]
+    struct AlwaysTwo;
+    impl DynamicRouter for AlwaysTwo {
+        fn choose(&self, _: ClassId, _: Nanos) -> NodeId {
+            n(2)
+        }
+    }
+
+    #[test]
+    fn dynamic_consults_router() {
+        let r = Route::dynamic(Arc::new(AlwaysTwo));
+        let mut c = 0;
+        assert_eq!(r.next_hop(ClassId::new(1), Nanos::ZERO, &mut c), Some(n(2)));
+    }
+
+    #[test]
+    fn weighted_respects_proportions() {
+        let r = Route::weighted(vec![(n(1), 3), (n(2), 1)]);
+        let mut c = 0;
+        let picks: Vec<NodeId> = (0..8)
+            .map(|_| r.next_hop(ClassId::new(0), Nanos::ZERO, &mut c).unwrap())
+            .collect();
+        assert_eq!(picks.iter().filter(|&&p| p == n(1)).count(), 6);
+        assert_eq!(picks.iter().filter(|&&p| p == n(2)).count(), 2);
+    }
+
+    #[test]
+    fn weighted_zero_weight_hop_never_picked() {
+        let r = Route::weighted(vec![(n(1), 0), (n(2), 2)]);
+        let mut c = 0;
+        for _ in 0..6 {
+            assert_eq!(r.next_hop(ClassId::new(0), Nanos::ZERO, &mut c), Some(n(2)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn weighted_all_zero_rejected() {
+        let _ = Route::weighted(vec![(n(1), 0)]);
+    }
+
+    #[test]
+    fn multicast_exposes_fanout() {
+        let r = Route::multicast(vec![n(1), n(2), n(3)]);
+        assert_eq!(r.multicast_hops(), Some(&[n(1), n(2), n(3)][..]));
+        let mut c = 0;
+        assert_eq!(r.next_hop(ClassId::new(0), Nanos::ZERO, &mut c), None);
+        assert_eq!(r.candidate_hops().len(), 3);
+        assert!(Route::terminal().multicast_hops().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_multicast_rejected() {
+        let _ = Route::multicast(vec![]);
+    }
+
+    #[test]
+    fn candidate_hops_reported() {
+        assert!(Route::terminal().candidate_hops().is_empty());
+        assert_eq!(Route::fixed(n(3)).candidate_hops(), vec![n(3)]);
+        assert_eq!(
+            Route::round_robin(vec![n(1), n(2)]).candidate_hops(),
+            vec![n(1), n(2)]
+        );
+    }
+}

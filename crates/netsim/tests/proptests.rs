@@ -1,0 +1,177 @@
+//! Property-based tests of the simulator's conservation laws: no request
+//! is lost or duplicated, capture taps see consistent traffic on both ends
+//! of every internal edge, and latencies are bounded below by the physics
+//! of the configured path.
+
+use e2eprof_netsim::capture::TraceKey;
+use e2eprof_netsim::prelude::*;
+use e2eprof_timeseries::Nanos;
+use proptest::prelude::*;
+
+/// Builds a linear chain `client -> s0 -> s1 -> ... -> s(depth-1)` with the
+/// given per-node service times (ms) and 1 ms links.
+fn chain_sim(service_ms: &[u64], rate: f64, seed: u64) -> Simulation {
+    let mut t = TopologyBuilder::new();
+    let class = t.service_class("c");
+    let services: Vec<NodeId> = service_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &ms)| {
+            t.service(
+                &format!("s{i}"),
+                ServiceConfig::new(DelayDist::constant_millis(ms)),
+            )
+        })
+        .collect();
+    let cli = t.client("cli", class, services[0], Workload::poisson(rate));
+    t.connect(cli, services[0], DelayDist::constant_millis(1));
+    for w in services.windows(2) {
+        t.connect(w[0], w[1], DelayDist::constant_millis(1));
+    }
+    for (i, &s) in services.iter().enumerate() {
+        if i + 1 < services.len() {
+            t.route(s, class, Route::fixed(services[i + 1]));
+        } else {
+            t.route(s, class, Route::terminal());
+        }
+    }
+    Simulation::new(t.build().expect("valid chain"), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_request_lost_or_duplicated(
+        depth in 1usize..5,
+        service_ms in 1u64..8,
+        rate in 5.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        let service: Vec<u64> = vec![service_ms; depth];
+        let mut sim = chain_sim(&service, rate, seed);
+        sim.run_until(Nanos::from_secs(5));
+        let truth = sim.truth();
+        prop_assert!(truth.completed_count() <= truth.started_count());
+        // Under light load everything but the in-flight tail completes.
+        prop_assert!(
+            truth.completed_count() + 50 >= truth.started_count(),
+            "started {} completed {}", truth.started_count(), truth.completed_count()
+        );
+    }
+
+    #[test]
+    fn latency_bounded_below_by_path_physics(
+        depth in 1usize..4,
+        service_ms in 2u64..10,
+        seed in 0u64..1000,
+    ) {
+        let service: Vec<u64> = vec![service_ms; depth];
+        let mut sim = chain_sim(&service, 10.0, seed);
+        sim.run_until(Nanos::from_secs(5));
+        let class = ClassId::new(0);
+        let stats = sim.truth().class_latency(class);
+        prop_assume!(stats.count() > 5);
+        // Lower bound: every link crossed twice + all service times.
+        let links = depth as u64; // client link + (depth − 1) inter-service links
+        let min_ms = 2 * links + service_ms * depth as u64;
+        prop_assert!(
+            stats.mean() >= (min_ms as f64) * 1e6,
+            "mean {} < min {}", stats.mean() / 1e6, min_ms
+        );
+    }
+
+    #[test]
+    fn sender_and_receiver_taps_agree(
+        depth in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let service: Vec<u64> = vec![2; depth];
+        let mut sim = chain_sim(&service, 20.0, seed);
+        sim.run_until(Nanos::from_secs(3));
+        // For every internal service-service edge, sender-side and
+        // receiver-side packet counts are identical (in-flight packets at
+        // the horizon may differ by the few still on the wire).
+        for (src, dst) in sim.captures().edges().collect::<Vec<_>>() {
+            if sim.topology().is_client(src) || sim.topology().is_client(dst) {
+                continue;
+            }
+            let s = sim.captures().timestamps(TraceKey::at_sender(src, dst)).len();
+            let r = sim.captures().timestamps(TraceKey::at_receiver(src, dst)).len();
+            prop_assert!((s as i64 - r as i64).abs() <= 3, "edge {src}->{dst}: {s} vs {r}");
+        }
+    }
+
+    #[test]
+    fn capture_timestamps_are_sorted(
+        depth in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let service: Vec<u64> = vec![3; depth];
+        let mut sim = chain_sim(&service, 30.0, seed);
+        sim.run_until(Nanos::from_secs(2));
+        for (src, dst) in sim.captures().edges().collect::<Vec<_>>() {
+            for key in [TraceKey::at_sender(src, dst), TraceKey::at_receiver(src, dst)] {
+                let ts = sim.captures().timestamps(key);
+                prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_requests_follow_configured_path(
+        depth in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let service: Vec<u64> = vec![2; depth];
+        let mut sim = chain_sim(&service, 15.0, seed);
+        sim.run_until(Nanos::from_secs(3));
+        let class = ClassId::new(0);
+        let expected: Vec<NodeId> = (0..depth as u32).map(NodeId::new).collect();
+        let paths = sim.truth().class_paths(class);
+        prop_assume!(!paths.is_empty());
+        prop_assert_eq!(paths.len(), 1, "affinity must use exactly one path");
+        prop_assert!(paths.contains_key(&expected));
+    }
+
+    #[test]
+    fn identical_seeds_identical_worlds(seed in 0u64..1000) {
+        let mut a = chain_sim(&[2, 3], 25.0, seed);
+        let mut b = chain_sim(&[2, 3], 25.0, seed);
+        a.run_until(Nanos::from_secs(2));
+        b.run_until(Nanos::from_secs(2));
+        prop_assert_eq!(a.truth().completed_count(), b.truth().completed_count());
+        prop_assert_eq!(a.captures().total_packets(), b.captures().total_packets());
+    }
+}
+
+#[test]
+fn packets_per_message_multiplies_trace_density() {
+    // Same topology and seed, 3 packets per message at the service: the
+    // per-edge packet count triples while request completions stay equal.
+    let build = |packets: u32| {
+        let mut t = TopologyBuilder::new();
+        let class = t.service_class("c");
+        let svc = t.service(
+            "svc",
+            ServiceConfig::new(DelayDist::constant_millis(2)).with_packets_per_message(packets),
+        );
+        let cli = t.client("cli", class, svc, Workload::poisson(20.0));
+        t.connect(cli, svc, DelayDist::constant_millis(1));
+        t.route(svc, class, Route::terminal());
+        let mut sim = Simulation::new(t.build().unwrap(), 3);
+        sim.run_until(Nanos::from_secs(5));
+        sim
+    };
+    let single = build(1);
+    let triple = build(3);
+    assert_eq!(
+        single.truth().completed_count(),
+        triple.truth().completed_count()
+    );
+    let key = TraceKey::at_receiver(NodeId::new(1), NodeId::new(0));
+    assert_eq!(
+        triple.captures().timestamps(key).len(),
+        3 * single.captures().timestamps(key).len()
+    );
+}

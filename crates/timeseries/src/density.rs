@@ -1,0 +1,311 @@
+//! The density-function estimator (paper Section 3.5).
+//!
+//! The message traces collected at service nodes are converted to
+//! time-series data using a density function `d(i)`: the square root of the
+//! number of messages in the rectangular sampling window
+//! `[i·τ − ω/2, i·τ + ω/2]` centered on tick `i`. The square root damps the
+//! dominance of large bursts so correlation spikes reflect *timing*
+//! alignment rather than sheer volume; the sampling window `ω` (an integer
+//! multiple of `τ`, typically `50·τ`) smooths delay variance and suppresses
+//! noise-induced spurious paths. Ticks whose window contains no messages
+//! are not recorded at all — this is the input to burst compression.
+
+use crate::sparse::{SparseEntry, SparseSeries};
+use crate::time::{Nanos, Quanta, Tick};
+use std::collections::BTreeMap;
+
+/// Streaming estimator turning non-decreasing message timestamps into a
+/// sparse density series.
+///
+/// Used by tracer agents: push each observed message's timestamp, then
+/// periodically [`drain_chunk`](DensityEstimator::drain_chunk) finalized
+/// ticks for streaming (every `ΔW`), or [`finish`](DensityEstimator::finish)
+/// to flush everything for offline analysis.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{Quanta, Nanos, density::DensityEstimator};
+/// let mut est = DensityEstimator::new(Quanta::from_millis(1), 3);
+/// est.push(Nanos::from_millis(5));
+/// est.push(Nanos::from_millis(5));
+/// let series = est.finish();
+/// assert_eq!(series.value_at(5.into()), 2f64.sqrt());
+/// // ω = 3 ticks, so the window [4ms, 6ms] also covers ticks 4 and 6.
+/// assert_eq!(series.value_at(4.into()), 2f64.sqrt());
+/// assert_eq!(series.value_at(7.into()), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityEstimator {
+    quanta: Quanta,
+    omega_half_ns: u64,
+    /// Count deltas at tick boundaries not yet integrated.
+    diffs: BTreeMap<u64, i64>,
+    /// Next tick to be emitted.
+    cursor: u64,
+    /// Running message count at `cursor`.
+    running: i64,
+    /// Largest timestamp pushed so far (monotonicity check).
+    last_ts: Option<Nanos>,
+    /// Highest tick any pushed message can influence.
+    max_hi: u64,
+}
+
+impl DensityEstimator {
+    /// Creates an estimator with time quantum `quanta` (`τ`) and sampling
+    /// window of `omega_ticks · τ` (`ω`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega_ticks` is zero.
+    pub fn new(quanta: Quanta, omega_ticks: u64) -> Self {
+        assert!(omega_ticks > 0, "sampling window must be positive");
+        DensityEstimator {
+            quanta,
+            omega_half_ns: omega_ticks * quanta.duration().as_nanos() / 2,
+            diffs: BTreeMap::new(),
+            cursor: 0,
+            running: 0,
+            last_ts: None,
+            max_hi: 0,
+        }
+    }
+
+    /// One-shot conversion of a sorted timestamp slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps are not non-decreasing.
+    pub fn from_timestamps(quanta: Quanta, omega_ticks: u64, timestamps: &[Nanos]) -> SparseSeries {
+        let mut est = DensityEstimator::new(quanta, omega_ticks);
+        for &ts in timestamps {
+            est.push(ts);
+        }
+        est.finish()
+    }
+
+    /// The configured time quantum.
+    pub fn quanta(&self) -> Quanta {
+        self.quanta
+    }
+
+    /// Records one message observed at `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` precedes a previously pushed timestamp, or if the
+    /// message would affect an already-drained tick.
+    pub fn push(&mut self, ts: Nanos) {
+        if let Some(last) = self.last_ts {
+            assert!(ts >= last, "timestamps must be non-decreasing");
+        }
+        self.last_ts = Some(ts);
+        let tau = self.quanta.duration().as_nanos();
+        let s = ts.as_nanos();
+        // lo = ceil((s - ω/2) / τ) clamped to 0; hi = floor((s + ω/2) / τ).
+        let lo = if s <= self.omega_half_ns {
+            0
+        } else {
+            (s - self.omega_half_ns).div_ceil(tau)
+        };
+        let hi = (s + self.omega_half_ns) / tau;
+        assert!(
+            lo >= self.cursor,
+            "message affects an already-drained tick (drained too eagerly)"
+        );
+        *self.diffs.entry(lo).or_insert(0) += 1;
+        *self.diffs.entry(hi + 1).or_insert(0) -= 1;
+        self.max_hi = self.max_hi.max(hi);
+    }
+
+    /// The first tick a message at `ts` would influence; ticks strictly
+    /// before this are final once all messages up to `ts` are pushed.
+    pub fn frontier(&self, ts: Nanos) -> Tick {
+        let tau = self.quanta.duration().as_nanos();
+        let s = ts.as_nanos();
+        let lo = if s <= self.omega_half_ns {
+            0
+        } else {
+            (s - self.omega_half_ns).div_ceil(tau)
+        };
+        Tick::new(lo)
+    }
+
+    /// Emits the finalized density series for `[cursor, end)` and advances
+    /// the cursor.
+    ///
+    /// The caller guarantees that every message with a sampling window
+    /// touching a tick before `end` has already been pushed (i.e. all
+    /// messages with timestamp `< end·τ + ω/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the current cursor.
+    pub fn drain_chunk(&mut self, end: Tick) -> SparseSeries {
+        let end = end.index();
+        assert!(end >= self.cursor, "drain cursor moved backwards");
+        let start = self.cursor;
+        let mut entries = Vec::new();
+        // Integrate diffs over [start, end). Between boundary keys the count
+        // is constant, so fill whole stretches at once.
+        let keys: Vec<u64> = self.diffs.range(..end).map(|(&k, _)| k).collect();
+        let mut pos = start;
+        let mut running = self.running;
+        for k in keys {
+            let k_clamped = k.max(start);
+            if running > 0 {
+                for t in pos..k_clamped {
+                    entries.push(SparseEntry::new(Tick::new(t), (running as f64).sqrt()));
+                }
+            }
+            pos = k_clamped;
+            running += self.diffs.remove(&k).expect("key just observed");
+        }
+        if running > 0 {
+            for t in pos..end {
+                entries.push(SparseEntry::new(Tick::new(t), (running as f64).sqrt()));
+            }
+        }
+        self.cursor = end;
+        self.running = running;
+        SparseSeries::from_parts(Tick::new(start), end - start, entries)
+    }
+
+    /// Flushes all remaining ticks and consumes the estimator.
+    ///
+    /// When used incrementally (after [`drain_chunk`] calls) this returns
+    /// only the not-yet-drained tail; otherwise the full series from tick 0.
+    ///
+    /// [`drain_chunk`]: DensityEstimator::drain_chunk
+    pub fn finish(mut self) -> SparseSeries {
+        let end = Tick::new((self.max_hi + 1).max(self.cursor));
+        self.drain_chunk(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(omega: u64) -> DensityEstimator {
+        DensityEstimator::new(Quanta::from_millis(1), omega)
+    }
+
+    #[test]
+    fn single_message_covers_omega_window() {
+        let mut e = est(5); // ω/2 = 2.5ms
+        e.push(Nanos::from_millis(10));
+        let s = e.finish();
+        // ticks 8..=12 covered (|t-10| <= 2.5)
+        for t in 8..=12 {
+            assert_eq!(s.value_at(Tick::new(t)), 1.0, "tick {t}");
+        }
+        assert_eq!(s.value_at(Tick::new(7)), 0.0);
+        assert_eq!(s.value_at(Tick::new(13)), 0.0);
+    }
+
+    #[test]
+    fn density_is_sqrt_of_count() {
+        let mut e = est(1); // window = exactly the tick (±0.5ms)
+        for _ in 0..9 {
+            e.push(Nanos::from_millis(4));
+        }
+        let s = e.finish();
+        assert_eq!(s.value_at(Tick::new(4)), 3.0);
+        assert_eq!(s.value_at(Tick::new(5)), 0.0);
+    }
+
+    #[test]
+    fn message_near_zero_clamps_window() {
+        let mut e = est(10);
+        e.push(Nanos::from_millis(1));
+        let s = e.finish();
+        assert_eq!(s.value_at(Tick::new(0)), 1.0);
+        assert_eq!(s.value_at(Tick::new(6)), 1.0);
+        assert_eq!(s.value_at(Tick::new(7)), 0.0);
+    }
+
+    #[test]
+    fn chunked_drain_equals_one_shot() {
+        let ts: Vec<Nanos> = [3u64, 4, 4, 9, 15, 15, 15, 22, 40]
+            .iter()
+            .map(|&ms| Nanos::from_millis(ms))
+            .collect();
+        let one_shot = DensityEstimator::from_timestamps(Quanta::from_millis(1), 5, &ts);
+
+        let mut chunked = DensityEstimator::new(Quanta::from_millis(1), 5);
+        let mut acc: Option<SparseSeries> = None;
+        let mut i = 0;
+        // Drain at tick 10 after pushing everything with ts < 10ms + 2.5ms.
+        for drain_at in [10u64, 30] {
+            let horizon = Nanos::from_millis(drain_at) + Nanos::from_micros(2_500);
+            while i < ts.len() && ts[i] < horizon {
+                chunked.push(ts[i]);
+                i += 1;
+            }
+            let chunk = chunked.drain_chunk(Tick::new(drain_at));
+            match &mut acc {
+                None => acc = Some(chunk),
+                Some(a) => a.append_chunk(&chunk),
+            }
+        }
+        while i < ts.len() {
+            chunked.push(ts[i]);
+            i += 1;
+        }
+        let tail = chunked.finish();
+        let mut acc = acc.expect("chunks drained");
+        acc.append_chunk(&tail);
+
+        for t in 0..one_shot.end().index() {
+            assert_eq!(
+                acc.value_at(Tick::new(t)),
+                one_shot.value_at(Tick::new(t)),
+                "tick {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_bursts_accumulate() {
+        let mut e = est(5);
+        e.push(Nanos::from_millis(10));
+        e.push(Nanos::from_millis(12));
+        let s = e.finish();
+        // tick 11 sees both (dist 1 and 1), tick 9 sees only the first.
+        assert_eq!(s.value_at(Tick::new(11)), 2f64.sqrt());
+        assert_eq!(s.value_at(Tick::new(9)), 1.0);
+        assert_eq!(s.value_at(Tick::new(14)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_travel() {
+        let mut e = est(5);
+        e.push(Nanos::from_millis(10));
+        e.push(Nanos::from_millis(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-drained")]
+    fn rejects_message_behind_drain_cursor() {
+        let mut e = est(1);
+        e.push(Nanos::from_millis(2));
+        let _ = e.drain_chunk(Tick::new(10));
+        e.push(Nanos::from_millis(5)); // affects tick 5 < 10
+    }
+
+    #[test]
+    fn frontier_marks_first_affected_tick() {
+        let e = est(5);
+        assert_eq!(e.frontier(Nanos::from_millis(10)), Tick::new(8));
+        assert_eq!(e.frontier(Nanos::from_millis(1)), Tick::new(0));
+    }
+
+    #[test]
+    fn empty_estimator_finishes_empty() {
+        let e = est(5);
+        let s = e.finish();
+        assert_eq!(s.num_entries(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Sliding-window storage for streamed series (Algorithm 1's buffers).
+//!
+//! The analyzer maintains, per edge signal, the most recent stretch of the
+//! density series. Chunks of `ΔW` ticks arrive from tracer agents; the
+//! window retains at most `capacity` ticks and evicts the oldest data.
+//!
+//! The capacity is typically `W + T_u` rather than just `W`: the correlated
+//! *target* signal must stay available `T_u` ticks past the source window so
+//! that bounded-lag correlation never reads unmaterialized (future) data.
+
+use crate::rle::RleSeries;
+use crate::time::Tick;
+
+/// A bounded window over a run-length-encoded signal.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{window::SlidingWindow, RleSeries, Run, Tick};
+/// let mut w = SlidingWindow::new(10);
+/// w.append_chunk(&RleSeries::from_parts(Tick::new(0), 8, vec![Run::new(Tick::new(2), 1, 1.0)]));
+/// w.append_chunk(&RleSeries::from_parts(Tick::new(8), 8, vec![Run::new(Tick::new(9), 2, 2.0)]));
+/// // 16 ticks seen, capacity 10: window now spans [6, 16).
+/// assert_eq!(w.start(), Tick::new(6));
+/// assert_eq!(w.end(), Tick::new(16));
+/// assert_eq!(w.series().value_at(Tick::new(2)), 0.0); // evicted
+/// assert_eq!(w.series().value_at(Tick::new(10)), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: u64,
+    series: Option<RleSeries>,
+}
+
+impl SlidingWindow {
+    /// Creates an empty window retaining at most `capacity` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            capacity,
+            series: None,
+        }
+    }
+
+    /// The retention capacity in ticks.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Whether any data has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_none()
+    }
+
+    /// First retained tick (the window start). Tick zero before any data.
+    pub fn start(&self) -> Tick {
+        self.series.as_ref().map(|s| s.start()).unwrap_or(Tick::ZERO)
+    }
+
+    /// One past the last retained tick. Tick zero before any data.
+    pub fn end(&self) -> Tick {
+        self.series.as_ref().map(|s| s.end()).unwrap_or(Tick::ZERO)
+    }
+
+    /// Appends the next contiguous chunk, evicting old data past capacity.
+    ///
+    /// The first chunk establishes the window's origin; later chunks must
+    /// start exactly at [`end`](SlidingWindow::end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-first chunk is not contiguous.
+    pub fn append_chunk(&mut self, chunk: &RleSeries) {
+        match &mut self.series {
+            None => self.series = Some(chunk.clone()),
+            Some(s) => s.append_chunk(chunk),
+        }
+        let s = self.series.as_mut().expect("just set");
+        if s.len() > self.capacity {
+            let new_start = Tick::new(s.end().index() - self.capacity);
+            *s = s.slice(new_start, s.end());
+        }
+    }
+
+    /// The retained series (empty series at tick zero before any data).
+    pub fn series(&self) -> RleSeries {
+        self.series
+            .clone()
+            .unwrap_or_else(|| RleSeries::empty(Tick::ZERO, 0))
+    }
+
+    /// A view of `[from, to)` clamped to the retained span.
+    pub fn view(&self, from: Tick, to: Tick) -> RleSeries {
+        match &self.series {
+            None => RleSeries::empty(from, to.checked_sub(from).unwrap_or(0)),
+            Some(s) => {
+                let from = from.max(s.start());
+                let to = to.min(s.end()).max(from);
+                s.slice(from, to)
+            }
+        }
+    }
+
+    /// Appends a chunk, recovering from stream discontinuities:
+    ///
+    /// * a chunk starting *past* the retained end (frames were lost in
+    ///   transit) resets the window to the chunk — returns `true`;
+    /// * a chunk *overlapping* retained data (a restarted tracer replaying
+    ///   history from its origin) has its stale prefix dropped and only
+    ///   the novel suffix appended — returns `false`;
+    /// * a chunk entirely within retained data is ignored — returns
+    ///   `false`.
+    pub fn append_or_reset(&mut self, chunk: &RleSeries) -> bool {
+        let Some(s) = &self.series else {
+            self.append_chunk(chunk);
+            return false;
+        };
+        let end = s.end();
+        if chunk.start() > end {
+            self.series = Some(chunk.clone());
+            true
+        } else if chunk.end() <= end {
+            false // stale duplicate
+        } else if chunk.start() < end {
+            let suffix = chunk.slice(end, chunk.end());
+            self.append_chunk(&suffix);
+            false
+        } else {
+            self.append_chunk(chunk);
+            false
+        }
+    }
+
+    /// The most recent `ticks`-long view (shorter if less data is retained).
+    pub fn latest(&self, ticks: u64) -> RleSeries {
+        let end = self.end();
+        let from = end.saturating_sub(ticks).max(self.start());
+        self.view(from, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rle::Run;
+
+    fn chunk(start: u64, len: u64, runs: Vec<Run>) -> RleSeries {
+        RleSeries::from_parts(Tick::new(start), len, runs)
+    }
+
+    #[test]
+    fn first_chunk_establishes_origin() {
+        let mut w = SlidingWindow::new(100);
+        assert!(w.is_empty());
+        w.append_chunk(&chunk(40, 10, vec![Run::new(Tick::new(45), 1, 1.0)]));
+        assert_eq!(w.start(), Tick::new(40));
+        assert_eq!(w.end(), Tick::new(50));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn eviction_keeps_capacity() {
+        let mut w = SlidingWindow::new(5);
+        w.append_chunk(&chunk(0, 4, vec![Run::new(Tick::new(0), 4, 1.0)]));
+        w.append_chunk(&chunk(4, 4, vec![Run::new(Tick::new(4), 4, 2.0)]));
+        assert_eq!(w.start(), Tick::new(3));
+        assert_eq!(w.end(), Tick::new(8));
+        assert_eq!(w.series().value_at(Tick::new(2)), 0.0);
+        assert_eq!(w.series().value_at(Tick::new(3)), 1.0);
+        assert_eq!(w.series().value_at(Tick::new(7)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn noncontiguous_chunk_panics() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 10, vec![]));
+        w.append_chunk(&chunk(11, 10, vec![]));
+    }
+
+    #[test]
+    fn view_clamps_to_span() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(10, 10, vec![Run::new(Tick::new(12), 2, 3.0)]));
+        let v = w.view(Tick::new(0), Tick::new(15));
+        assert_eq!(v.start(), Tick::new(10));
+        assert_eq!(v.end(), Tick::new(15));
+        assert_eq!(v.value_at(Tick::new(12)), 3.0);
+    }
+
+    #[test]
+    fn latest_returns_tail() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 20, vec![Run::new(Tick::new(19), 1, 5.0)]));
+        let v = w.latest(4);
+        assert_eq!(v.start(), Tick::new(16));
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.value_at(Tick::new(19)), 5.0);
+    }
+
+    #[test]
+    fn gap_resets_window() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 10, vec![Run::new(Tick::new(2), 1, 1.0)]));
+        // Tracer restarted: next chunk starts at 50 instead of 10.
+        let healed = w.append_or_reset(&chunk(50, 10, vec![Run::new(Tick::new(55), 1, 2.0)]));
+        assert!(healed);
+        assert_eq!(w.start(), Tick::new(50));
+        assert_eq!(w.series().value_at(Tick::new(2)), 0.0);
+        assert_eq!(w.series().value_at(Tick::new(55)), 2.0);
+        // Contiguous appends keep working and report no healing.
+        assert!(!w.append_or_reset(&chunk(60, 5, vec![])));
+        assert_eq!(w.end(), Tick::new(65));
+    }
+
+    #[test]
+    fn overlapping_replay_appends_only_the_novel_suffix() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 10, vec![Run::new(Tick::new(3), 1, 1.0)]));
+        // Restarted tracer replays from 0 up to tick 15.
+        let healed = w.append_or_reset(&chunk(
+            0,
+            15,
+            vec![Run::new(Tick::new(3), 1, 1.0), Run::new(Tick::new(12), 1, 2.0)],
+        ));
+        assert!(!healed);
+        assert_eq!(w.end(), Tick::new(15));
+        assert_eq!(w.series().value_at(Tick::new(3)), 1.0);
+        assert_eq!(w.series().value_at(Tick::new(12)), 2.0);
+        // A fully-stale chunk is ignored.
+        assert!(!w.append_or_reset(&chunk(0, 10, vec![])));
+        assert_eq!(w.end(), Tick::new(15));
+    }
+
+    #[test]
+    fn empty_window_views_are_empty() {
+        let w = SlidingWindow::new(10);
+        assert_eq!(w.series().len(), 0);
+        assert_eq!(w.view(Tick::new(5), Tick::new(9)).len(), 4);
+        assert_eq!(w.latest(3).len(), 0);
+    }
+}

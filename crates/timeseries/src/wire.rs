@@ -1,0 +1,208 @@
+//! Wire encoding for streaming RLE series from tracers to the analyzer.
+//!
+//! The paper's `tracer` kernel module streams RLE-encoded time series from
+//! each service node to a central analysis node. This module provides the
+//! equivalent byte format: a small header followed by fixed-width run
+//! records. The format is versioned and length-checked so a truncated or
+//! corrupt stream is detected rather than misparsed.
+
+use crate::rle::{RleSeries, Run};
+use crate::time::Tick;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+/// Format version byte; bump on incompatible changes.
+const WIRE_VERSION: u8 = 1;
+/// Magic prefix identifying an E2EProf series frame.
+const WIRE_MAGIC: &[u8; 4] = b"E2EP";
+
+/// Errors produced when decoding a series frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The frame does not begin with the expected magic bytes.
+    BadMagic,
+    /// The frame uses an unsupported format version.
+    UnsupportedVersion(u8),
+    /// The frame ended before the declared content.
+    Truncated,
+    /// The decoded runs violate series invariants (overlap / out of span).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "frame does not start with E2EP magic"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::Truncated => write!(f, "frame truncated before declared content"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encodes a series into a self-describing byte frame.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{wire, RleSeries, Run, Tick};
+/// let series = RleSeries::from_parts(Tick::new(3), 10, vec![Run::new(Tick::new(4), 2, 1.5)]);
+/// let frame = wire::encode(&series);
+/// let back = wire::decode(&frame)?;
+/// assert_eq!(back, series);
+/// # Ok::<(), wire::DecodeError>(())
+/// ```
+pub fn encode(series: &RleSeries) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 1 + 8 + 8 + 4 + series.num_runs() * 20);
+    buf.put_slice(WIRE_MAGIC);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u64(series.start().index());
+    buf.put_u64(series.len());
+    buf.put_u32(series.num_runs() as u32);
+    for r in series.runs() {
+        buf.put_u64(r.start().index());
+        buf.put_u32(u32::try_from(r.len()).expect("run length exceeds u32"));
+        buf.put_f64(r.value());
+    }
+    buf.freeze()
+}
+
+/// Decodes a byte frame produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the frame is malformed, truncated, or
+/// violates series invariants.
+pub fn decode(mut frame: &[u8]) -> Result<RleSeries, DecodeError> {
+    if frame.remaining() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    frame.copy_to_slice(&mut magic);
+    if &magic != WIRE_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = frame.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    if frame.remaining() < 20 {
+        return Err(DecodeError::Truncated);
+    }
+    let start = Tick::new(frame.get_u64());
+    let len = frame.get_u64();
+    let num_runs = frame.get_u32() as usize;
+    if frame.remaining() < num_runs * 20 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut runs = Vec::with_capacity(num_runs);
+    let mut prev_end: Option<u64> = None;
+    for _ in 0..num_runs {
+        let rs = frame.get_u64();
+        let rl = frame.get_u32() as u64;
+        let rv = frame.get_f64();
+        if rl == 0 {
+            return Err(DecodeError::Corrupt("zero-length run"));
+        }
+        if rv == 0.0 || !rv.is_finite() {
+            return Err(DecodeError::Corrupt("zero or non-finite run value"));
+        }
+        if rs < start.index() || rs + rl > start.index() + len {
+            return Err(DecodeError::Corrupt("run outside declared span"));
+        }
+        if let Some(pe) = prev_end {
+            if rs < pe {
+                return Err(DecodeError::Corrupt("runs overlap or out of order"));
+            }
+        }
+        prev_end = Some(rs + rl);
+        runs.push(Run::new(Tick::new(rs), rl, rv));
+    }
+    Ok(RleSeries::from_parts(start, len, runs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RleSeries {
+        RleSeries::from_parts(
+            Tick::new(100),
+            60,
+            vec![
+                Run::new(Tick::new(101), 5, 1.0),
+                Run::new(Tick::new(120), 2, 2f64.sqrt()),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        assert_eq!(decode(&encode(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_series_round_trip() {
+        let s = RleSeries::empty(Tick::new(7), 0);
+        assert_eq!(decode(&encode(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut f = encode(&sample()).to_vec();
+        f[0] = b'X';
+        assert_eq!(decode(&f), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut f = encode(&sample()).to_vec();
+        f[4] = 99;
+        assert_eq!(decode(&f), Err(DecodeError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let f = encode(&sample());
+        for cut in [0, 3, 8, 24, f.len() - 1] {
+            assert_eq!(decode(&f[..cut]), Err(DecodeError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_run_value_rejected() {
+        let mut f = encode(&sample()).to_vec();
+        // Overwrite the first run's value (offset 25 + 12) with NaN.
+        let off = 25 + 12;
+        f[off..off + 8].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert!(matches!(decode(&f), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn run_outside_span_rejected() {
+        let mut f = encode(&sample()).to_vec();
+        // Overwrite the first run's start tick with one past the span.
+        let off = 25;
+        f[off..off + 8].copy_from_slice(&999u64.to_be_bytes());
+        assert!(matches!(decode(&f), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn display_messages_are_lowercase() {
+        for e in [
+            DecodeError::BadMagic,
+            DecodeError::UnsupportedVersion(2),
+            DecodeError::Truncated,
+            DecodeError::Corrupt("x"),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests for the series representations: every
+//! representation is a lossless view of the same underlying signal, and
+//! compression must never change values, spans, or statistics.
+
+use e2eprof_timeseries::density::DensityEstimator;
+use e2eprof_timeseries::{wire, DenseSeries, Nanos, Quanta, SparseSeries, Tick};
+use proptest::prelude::*;
+
+/// An arbitrary signal as a dense value vector; values are drawn from the
+/// small set a density function can produce (sqrt of small counts) plus
+/// zeros, so RLE merging actually happens.
+fn signal_strategy() -> impl Strategy<Value = (u64, Vec<f64>)> {
+    (
+        0u64..1000,
+        prop::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f64),
+                2 => (1u32..5).prop_map(|c| (c as f64).sqrt()),
+            ],
+            0..200,
+        ),
+    )
+}
+
+fn dense(start: u64, values: Vec<f64>) -> DenseSeries {
+    DenseSeries::new(Tick::new(start), values)
+}
+
+proptest! {
+    #[test]
+    fn dense_sparse_round_trip((start, values) in signal_strategy()) {
+        let d = dense(start, values);
+        let back = d.to_sparse().to_dense();
+        prop_assert_eq!(&back, &d);
+    }
+
+    #[test]
+    fn sparse_rle_round_trip((start, values) in signal_strategy()) {
+        let s = dense(start, values).to_sparse();
+        prop_assert_eq!(s.to_rle().to_sparse(), s);
+    }
+
+    #[test]
+    fn rle_support_equals_sparse_entries((start, values) in signal_strategy()) {
+        let s = dense(start, values).to_sparse();
+        prop_assert_eq!(s.to_rle().support(), s.num_entries() as u64);
+    }
+
+    #[test]
+    fn stats_agree_across_representations((start, values) in signal_strategy()) {
+        let d = dense(start, values);
+        let s = d.to_sparse();
+        let r = s.to_rle();
+        prop_assert!((d.stats().mean() - s.stats().mean()).abs() < 1e-9);
+        prop_assert!((s.stats().mean() - r.stats().mean()).abs() < 1e-9);
+        prop_assert!((d.stats().variance() - r.stats().variance()).abs() < 1e-9);
+        prop_assert_eq!(d.stats().window_len(), r.stats().window_len());
+    }
+
+    #[test]
+    fn wire_round_trip((start, values) in signal_strategy()) {
+        let r = dense(start, values).to_sparse().to_rle();
+        let decoded = wire::decode(&wire::encode(&r)).expect("round trip");
+        prop_assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn slice_matches_pointwise(
+        (start, values) in signal_strategy(),
+        a in 0u64..220,
+        b in 0u64..220,
+    ) {
+        let d = dense(start, values);
+        let (a, b) = (start + a.min(b), start + a.max(b));
+        let sliced = d.to_sparse().slice(Tick::new(a), Tick::new(b));
+        for t in a..b {
+            prop_assert_eq!(sliced.value_at(Tick::new(t)), d.value_at(Tick::new(t)));
+        }
+        // Nothing outside the slice span.
+        prop_assert!(sliced
+            .entries()
+            .iter()
+            .all(|e| e.tick().index() >= a && e.tick().index() < b));
+    }
+
+    #[test]
+    fn rle_slice_matches_sparse_slice(
+        (start, values) in signal_strategy(),
+        a in 0u64..220,
+        b in 0u64..220,
+    ) {
+        let s = dense(start, values).to_sparse();
+        let (a, b) = (start + a.min(b), start + a.max(b));
+        let via_rle = s.to_rle().slice(Tick::new(a), Tick::new(b)).to_sparse();
+        let direct = s.slice(Tick::new(a), Tick::new(b));
+        prop_assert_eq!(via_rle, direct);
+    }
+
+    #[test]
+    fn rle_append_equals_whole_encode(
+        (start, values) in signal_strategy(),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let d = dense(start, values);
+        let split = start + ((d.len() as f64 * split_frac) as u64).min(d.len());
+        let whole = d.to_sparse().to_rle();
+        let mut left = d.to_sparse().slice(d.start(), Tick::new(split)).to_rle();
+        let right = d.to_sparse().slice(Tick::new(split), d.end()).to_rle();
+        left.append_chunk(&right);
+        prop_assert_eq!(left, whole);
+    }
+}
+
+/// Arbitrary sorted timestamps in a bounded horizon (milliseconds).
+fn timestamps_strategy() -> impl Strategy<Value = Vec<Nanos>> {
+    prop::collection::vec(0u64..500_000u64, 0..300).prop_map(|mut us| {
+        us.sort_unstable();
+        us.into_iter().map(Nanos::from_micros).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn density_count_matches_brute_force(ts in timestamps_strategy(), omega in 1u64..60) {
+        let quanta = Quanta::from_millis(1);
+        let series = DensityEstimator::from_timestamps(quanta, omega, &ts);
+        let half_ns = omega * 1_000_000 / 2;
+        // Check a sample of ticks against the definition.
+        for tick in (0..series.end().index()).step_by(7) {
+            let center = tick * 1_000_000;
+            let count = ts
+                .iter()
+                .filter(|t| {
+                    let t = t.as_nanos();
+                    t + half_ns >= center && t <= center + half_ns
+                })
+                .count();
+            let expect = (count as f64).sqrt();
+            let got = series.value_at(Tick::new(tick));
+            prop_assert!((got - expect).abs() < 1e-9, "tick {}: got {} expect {}", tick, got, expect);
+        }
+    }
+
+    #[test]
+    fn density_chunked_equals_one_shot(ts in timestamps_strategy(), omega in 1u64..40) {
+        let quanta = Quanta::from_millis(1);
+        let one_shot = DensityEstimator::from_timestamps(quanta, omega, &ts);
+
+        let mut est = DensityEstimator::new(quanta, omega);
+        let mut acc: Option<SparseSeries> = None;
+        let mut i = 0;
+        for drain_at in [100u64, 250, 400] {
+            // All messages whose window could touch ticks < drain_at.
+            let horizon = drain_at * 1_000_000 + omega * 1_000_000 / 2;
+            while i < ts.len() && ts[i].as_nanos() < horizon {
+                est.push(ts[i]);
+                i += 1;
+            }
+            let chunk = est.drain_chunk(Tick::new(drain_at));
+            match &mut acc {
+                None => acc = Some(chunk),
+                Some(a) => a.append_chunk(&chunk),
+            }
+        }
+        while i < ts.len() {
+            est.push(ts[i]);
+            i += 1;
+        }
+        let tail = est.finish();
+        let mut acc = acc.expect("chunks");
+        acc.append_chunk(&tail);
+
+        for t in 0..one_shot.end().index() {
+            prop_assert_eq!(acc.value_at(Tick::new(t)), one_shot.value_at(Tick::new(t)));
+        }
+    }
+}
+
+proptest! {
+    /// Decoding arbitrary bytes must never panic — only return errors.
+    #[test]
+    fn wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Corrupting any single byte of a valid frame either still decodes
+    /// (value fields) or errors — never panics.
+    #[test]
+    fn wire_single_byte_corruption_is_safe(
+        (start, values) in signal_strategy(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let r = dense(start, values).to_sparse().to_rle();
+        let mut frame = wire::encode(&r).to_vec();
+        prop_assume!(!frame.is_empty());
+        let pos = ((frame.len() - 1) as f64 * pos_frac) as usize;
+        frame[pos] ^= xor;
+        let _ = wire::decode(&frame);
+    }
+}

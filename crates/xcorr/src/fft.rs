@@ -1,0 +1,295 @@
+//! FFT-based cross-correlation (the paper's Eq. 2 baseline).
+//!
+//! `x ⋆ y = F⁻¹[ F[x]* · F[y] ]` — asymptotically `O(n log n)` but
+//! non-incremental and always computing the *full* lag range, which is why
+//! the paper's direct bounded-lag engines beat it for online analysis
+//! (Fig. 9). The radix-2 complex FFT is implemented here directly; only its
+//! asymptotic behaviour matters for the comparison.
+
+use crate::corr::CorrSeries;
+use e2eprof_timeseries::DenseSeries;
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+/// In-place iterative radix-2 FFT (decimation in time).
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for c in buf.iter_mut() {
+            c.re *= inv_n;
+            c.im *= inv_n;
+        }
+    }
+}
+
+/// Computes `r(d) = Σ_t x(t) · y(t + d)` for `d ∈ [0, max_lag)` via the
+/// cross-correlation theorem.
+///
+/// The signals are aligned on a common origin, zero-padded to the next
+/// power of two large enough to avoid circular aliasing, transformed,
+/// multiplied (`F[x]* · F[y]`), and inverse-transformed. Note the full lag
+/// range is computed regardless of `max_lag` — that is inherent to the FFT
+/// route and exactly the inefficiency the paper's direct engines avoid.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{DenseSeries, Tick};
+/// use e2eprof_xcorr::{dense, fft};
+/// let x = DenseSeries::new(Tick::new(0), vec![1.0, 0.0, 2.0, 1.0]);
+/// let y = DenseSeries::new(Tick::new(1), vec![3.0, 1.0, 0.0, 2.0]);
+/// let direct = dense::correlate(&x, &y, 4);
+/// let viafft = fft::correlate(&x, &y, 4);
+/// assert!(direct.max_abs_diff(&viafft) < 1e-9);
+/// ```
+pub fn correlate(x: &DenseSeries, y: &DenseSeries, max_lag: u64) -> CorrSeries {
+    let xn = x.values().len();
+    let yn = y.values().len();
+    if xn == 0 || yn == 0 || max_lag == 0 {
+        return CorrSeries::zeros(max_lag);
+    }
+    let n = (xn + yn).next_power_of_two();
+    let mut fx = vec![Complex::default(); n];
+    let mut fy = vec![Complex::default(); n];
+    for (i, &v) in x.values().iter().enumerate() {
+        fx[i].re = v;
+    }
+    for (i, &v) in y.values().iter().enumerate() {
+        fy[i].re = v;
+    }
+    fft(&mut fx, false);
+    fft(&mut fy, false);
+    for i in 0..n {
+        fx[i] = fx[i].conj() * fy[i];
+    }
+    fft(&mut fx, true);
+    // fx[m mod n] now holds Σ_i xa[i]·ya[i+m] where xa/ya are indexed from
+    // their own starts; lag d in tick space maps to m = d + (xs − ys).
+    let off = x.start().index() as i64 - y.start().index() as i64;
+    let out = (0..max_lag as i64)
+        .map(|d| {
+            let m = d + off;
+            // Lags outside the linear support are exactly zero.
+            if m <= -(xn as i64) || m >= yn as i64 {
+                0.0
+            } else {
+                fx[m.rem_euclid(n as i64) as usize].re
+            }
+        })
+        .collect();
+    CorrSeries::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+    use e2eprof_timeseries::Tick;
+
+    fn ds(start: u64, v: Vec<f64>) -> DenseSeries {
+        DenseSeries::new(Tick::new(start), v)
+    }
+
+    #[test]
+    fn fft_inverse_round_trip() {
+        let mut buf: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let orig = buf.clone();
+        fft(&mut buf, false);
+        fft(&mut buf, true);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!(a.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 4];
+        buf[0].re = 1.0;
+        fft(&mut buf, false);
+        for c in &buf {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 6];
+        fft(&mut buf, false);
+    }
+
+    #[test]
+    fn matches_direct_engine() {
+        let x = ds(0, vec![0.0, 3.0, 0.0, 1.0, 1.0, 0.0, 2.0]);
+        let y = ds(0, vec![1.0, 0.0, 3.0, 0.0, 1.0, 1.0, 0.0, 2.0, 5.0]);
+        let d = dense::correlate(&x, &y, 8);
+        let f = correlate(&x, &y, 8);
+        assert!(d.max_abs_diff(&f) < 1e-9);
+    }
+
+    #[test]
+    fn matches_direct_engine_with_offsets() {
+        let x = ds(50, vec![1.0, 2.0, 0.0, 4.0]);
+        let y = ds(47, vec![2.0, 0.0, 1.0, 1.0, 2.0, 0.0, 4.0, 0.0, 1.0]);
+        let d = dense::correlate(&x, &y, 10);
+        let f = correlate(&x, &y, 10);
+        assert!(d.max_abs_diff(&f) < 1e-9);
+    }
+
+    #[test]
+    fn lag_bound_larger_than_signals() {
+        let x = ds(0, vec![1.0, 1.0]);
+        let y = ds(0, vec![1.0, 1.0]);
+        let d = dense::correlate(&x, &y, 20);
+        let f = correlate(&x, &y, 20);
+        assert!(d.max_abs_diff(&f) < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_yields_zeros() {
+        let x = ds(0, vec![]);
+        let y = ds(0, vec![1.0]);
+        let r = correlate(&x, &y, 4);
+        assert_eq!(r.values(), &[0.0; 4]);
+    }
+}
+
+#[cfg(test)]
+mod precision_tests {
+    use super::*;
+    use crate::dense;
+    use e2eprof_timeseries::{DenseSeries, Tick};
+
+    /// Pseudo-random signal of length n.
+    fn noise(n: usize, mut seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed % 1000) as f64 / 100.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn large_transform_round_trip_precision() {
+        // 2^17-point round trip: butterflies and twiddles must not
+        // accumulate error beyond ~1e-7 relative.
+        let n = 1 << 17;
+        let orig: Vec<Complex> = noise(n, 3)
+            .into_iter()
+            .map(|v| Complex::new(v, 0.0))
+            .collect();
+        let mut buf = orig.clone();
+        fft(&mut buf, false);
+        fft(&mut buf, true);
+        let max_err = buf
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a.re - b.re).abs().max(a.im.abs()))
+            .fold(0.0, f64::max);
+        assert!(max_err < 1e-7, "round-trip error {max_err}");
+    }
+
+    #[test]
+    fn large_correlation_matches_direct() {
+        // 32k-point signals: FFT correlation vs the O(n·L) direct path.
+        let x = DenseSeries::new(Tick::new(0), noise(32_768, 5));
+        let y = DenseSeries::new(Tick::new(7), noise(40_000, 9));
+        let f = correlate(&x, &y, 64);
+        let d = dense::correlate(&x, &y, 64);
+        // Values are ~sums of 32k products of O(10) magnitudes (~1e6);
+        // allow relative 1e-9.
+        let max_rel = f
+            .values()
+            .iter()
+            .zip(d.values())
+            .map(|(a, b)| (a - b).abs() / b.abs().max(1.0))
+            .fold(0.0, f64::max);
+        assert!(max_rel < 1e-9, "relative error {max_rel}");
+    }
+}

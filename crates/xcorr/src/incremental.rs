@@ -1,0 +1,234 @@
+//! Incremental maintenance of lagged products across a sliding window.
+//!
+//! Because `r(d) = Σ_t x(t) · y(t+d)` is a sum over the source window's
+//! ticks, sliding the window is two bounded corrections: *add* the products
+//! contributed by the newly appended `ΔW` ticks and *subtract* those of the
+//! evicted prefix — `O((ΔW/τ)/(k·r) · T_u/τ)` per refresh instead of
+//! recomputing the whole `W` window (paper Sections 3.4 and 3.7, the reason
+//! pathmap's per-refresh cost in Fig. 9 is flat in `W`).
+//!
+//! The correction terms only read `y` up to `T_u` ticks past the affected
+//! `x` region, so the analyzer retains `W + T_u` ticks of each target
+//! signal and the arithmetic is exact (modulo float summation order).
+
+use crate::corr::CorrSeries;
+use crate::rle;
+use e2eprof_timeseries::{RleSeries, Tick};
+
+/// Stateful bounded-lag correlator for one (source, target) signal pair.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{DenseSeries, Tick};
+/// use e2eprof_xcorr::{incremental::IncrementalCorrelator, rle};
+///
+/// let sig = DenseSeries::new(Tick::new(0), vec![1., 0., 2., 0., 0., 3., 1., 0., 4., 0.]);
+/// let x = sig.to_sparse().to_rle();
+/// let y = x.clone();
+///
+/// let mut inc = IncrementalCorrelator::new(4);
+/// inc.append(&x.slice(Tick::new(0), Tick::new(6)), &y);
+/// inc.append(&x.slice(Tick::new(6), Tick::new(10)), &y);
+/// inc.evict_to(Tick::new(3), &x, &y);
+///
+/// // Window is now [3, 10): identical to a from-scratch computation.
+/// let direct = rle::correlate(&x.slice(Tick::new(3), Tick::new(10)), &y, 4);
+/// assert!(inc.corr().max_abs_diff(&direct) < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalCorrelator {
+    max_lag: u64,
+    acc: CorrSeries,
+    window: Option<(Tick, Tick)>,
+}
+
+impl IncrementalCorrelator {
+    /// Creates an empty correlator with the given lag bound (`T_u/τ`).
+    pub fn new(max_lag: u64) -> Self {
+        IncrementalCorrelator {
+            max_lag,
+            acc: CorrSeries::zeros(max_lag),
+            window: None,
+        }
+    }
+
+    /// The lag bound.
+    pub fn max_lag(&self) -> u64 {
+        self.max_lag
+    }
+
+    /// The current source window `[start, end)`, if any data was appended.
+    pub fn window(&self) -> Option<(Tick, Tick)> {
+        self.window
+    }
+
+    /// The accumulated lagged products for the current window.
+    pub fn corr(&self) -> &CorrSeries {
+        &self.acc
+    }
+
+    /// Appends a new chunk of the source signal.
+    ///
+    /// `y` must contain the target signal's values over at least
+    /// `[chunk.start, chunk.end + max_lag)` intersected with its
+    /// materialized span (values outside `y`'s span count as zero, exactly
+    /// like the stateless engines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is not contiguous with the current window.
+    pub fn append(&mut self, chunk: &RleSeries, y: &RleSeries) {
+        match self.window {
+            None => self.window = Some((chunk.start(), chunk.end())),
+            Some((s, e)) => {
+                assert_eq!(chunk.start(), e, "appended chunk must be contiguous");
+                self.window = Some((s, chunk.end()));
+            }
+        }
+        let delta = rle::correlate(chunk, y, self.max_lag);
+        self.acc.add_assign(&delta);
+    }
+
+    /// Evicts the window prefix before `new_start`.
+    ///
+    /// `x` must cover (at least) the evicted region `[start, new_start)`;
+    /// `y` must cover `[start, new_start + max_lag)` intersected with its
+    /// materialized span — the same values that were present when the
+    /// corresponding `append` ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no data was appended yet or if `new_start` lies outside
+    /// the current window.
+    pub fn evict_to(&mut self, new_start: Tick, x: &RleSeries, y: &RleSeries) {
+        let (s, e) = self.window.expect("evict on an empty correlator");
+        assert!(
+            new_start >= s && new_start <= e,
+            "eviction point outside current window"
+        );
+        if new_start == s {
+            return;
+        }
+        let evicted = x.slice(s, new_start);
+        let delta = rle::correlate(&evicted, y, self.max_lag);
+        self.acc.sub_assign(&delta);
+        self.window = Some((new_start, e));
+    }
+
+    /// Discards all state, returning to the empty window.
+    pub fn reset(&mut self) {
+        self.acc = CorrSeries::zeros(self.max_lag);
+        self.window = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2eprof_timeseries::DenseSeries;
+
+    fn rles(start: u64, v: Vec<f64>) -> RleSeries {
+        DenseSeries::new(Tick::new(start), v).to_sparse().to_rle()
+    }
+
+    fn signal(len: u64, seed: u64) -> RleSeries {
+        // Deterministic pseudo-random sparse-ish signal.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let v: Vec<f64> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                match state % 5 {
+                    0 => 1.0,
+                    1 => 2f64.sqrt(),
+                    _ => 0.0,
+                }
+            })
+            .collect();
+        rles(0, v)
+    }
+
+    #[test]
+    fn sliding_matches_recompute() {
+        let x = signal(200, 7);
+        let y = signal(230, 13);
+        let max_lag = 25;
+        let mut inc = IncrementalCorrelator::new(max_lag);
+
+        // Slide a 60-tick window in 20-tick steps.
+        let mut appended = 0u64;
+        for step in 0..8u64 {
+            let new_end = (step + 1) * 20 + 40;
+            let chunk = x.slice(Tick::new(appended), Tick::new(new_end.min(200)));
+            inc.append(&chunk, &y);
+            appended = new_end.min(200);
+            let new_start = appended.saturating_sub(60);
+            inc.evict_to(Tick::new(new_start), &x, &y);
+
+            let direct = rle::correlate(
+                &x.slice(Tick::new(new_start), Tick::new(appended)),
+                &y,
+                max_lag,
+            );
+            assert!(
+                inc.corr().max_abs_diff(&direct) < 1e-9,
+                "step {step}: drifted from direct recompute"
+            );
+        }
+    }
+
+    #[test]
+    fn first_append_establishes_window() {
+        let x = rles(10, vec![1.0, 0.0, 2.0]);
+        let mut inc = IncrementalCorrelator::new(4);
+        assert_eq!(inc.window(), None);
+        inc.append(&x, &x);
+        assert_eq!(inc.window(), Some((Tick::new(10), Tick::new(13))));
+    }
+
+    #[test]
+    fn evict_everything_returns_to_zero() {
+        let x = signal(100, 3);
+        let mut inc = IncrementalCorrelator::new(10);
+        inc.append(&x, &x);
+        inc.evict_to(Tick::new(100), &x, &x);
+        assert!(inc.corr().values().iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn evict_to_current_start_is_noop() {
+        let x = signal(50, 5);
+        let mut inc = IncrementalCorrelator::new(10);
+        inc.append(&x, &x);
+        let before = inc.corr().clone();
+        inc.evict_to(Tick::new(0), &x, &x);
+        assert_eq!(inc.corr(), &before);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gap_in_appends_panics() {
+        let mut inc = IncrementalCorrelator::new(4);
+        inc.append(&rles(0, vec![1.0]), &rles(0, vec![1.0]));
+        inc.append(&rles(5, vec![1.0]), &rles(0, vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty correlator")]
+    fn evict_before_append_panics() {
+        let mut inc = IncrementalCorrelator::new(4);
+        inc.evict_to(Tick::new(0), &rles(0, vec![1.0]), &rles(0, vec![1.0]));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let x = signal(50, 9);
+        let mut inc = IncrementalCorrelator::new(10);
+        inc.append(&x, &x);
+        inc.reset();
+        assert_eq!(inc.window(), None);
+        assert!(inc.corr().values().iter().all(|&v| v == 0.0));
+    }
+}

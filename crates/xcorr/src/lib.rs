@@ -1,0 +1,69 @@
+//! Cross-correlation engines and spike detection for E2EProf's pathmap.
+//!
+//! The causal-path discovery of E2EProf (Agarwala et al., DSN 2007) rests on
+//! one signal-processing primitive: the lagged cross-correlation of two
+//! density time series. If the signal on edge `B` contains a delayed copy of
+//! the signal on edge `A`, their cross-correlation has a distinguishable
+//! spike at the lag equal to the delay — evidence of a causal relationship
+//! and a direct measurement of the path delay.
+//!
+//! This crate provides the paper's full menu of correlation strategies, all
+//! computing the same *raw lagged products* `r(d) = Σ_t x(t) · y(t + d)` for
+//! lags `d ∈ [0, T_u/τ)` so they can be compared head-to-head (Fig. 9):
+//!
+//! * [`engine::DenseCorrelator`] — direct computation on uncompressed
+//!   signals ("no compression"), `O(n · L)` after the bounded-lag
+//!   optimization.
+//! * [`engine::SparseCorrelator`] — skips quiet zones ("burst
+//!   compression"), `O(n/k · L)`.
+//! * [`engine::RleCorrelator`] — correlates run-length-encoded series,
+//!   processing each pair of overlapping runs in constant time ("RLE
+//!   compression").
+//! * [`engine::FftCorrelator`] — the classical FFT route (Eq. 2), the
+//!   paper's non-incremental baseline.
+//! * [`incremental::IncrementalCorrelator`] — maintains `r(d)` across
+//!   sliding-window advances, touching only the `ΔW` appended/evicted
+//!   ticks.
+//!
+//! On top of the raw products, [`normalize`] applies Eq. 1's normalization
+//! (per-lag Pearson coefficient) and [`spike`] finds the distinguishable
+//! spikes (`mean + 3σ` threshold, local maxima, tallest-in-resolution-window
+//! filtering) that pathmap interprets as causal delays.
+//!
+//! # Example
+//!
+//! ```
+//! use e2eprof_timeseries::{DenseSeries, Tick};
+//! use e2eprof_xcorr::engine::{Correlator, RleCorrelator};
+//! use e2eprof_xcorr::spike::SpikeDetector;
+//!
+//! // y is a copy of x delayed by 3 ticks.
+//! let x = DenseSeries::new(Tick::new(0), vec![0., 4., 0., 0., 2., 1., 0., 0.]);
+//! let y = DenseSeries::new(Tick::new(0), vec![0., 0., 0., 0., 4., 0., 0., 2.]);
+//! let corr = RleCorrelator.correlate(
+//!     &x.to_sparse().to_rle(),
+//!     &y.to_sparse().to_rle(),
+//!     6,
+//! );
+//! // Production windows span thousands of lags, where the paper's 3σ
+//! // threshold is appropriate; this toy series gets a gentler one.
+//! let spikes = SpikeDetector::new(1.5, 1).detect(corr.values());
+//! assert_eq!(spikes[0].lag, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corr;
+pub mod dense;
+pub mod engine;
+pub mod fft;
+pub mod incremental;
+pub mod normalize;
+pub mod rle;
+pub mod sparse;
+pub mod spike;
+
+pub use corr::CorrSeries;
+pub use engine::Correlator;
+pub use spike::{Spike, SpikeDetector};

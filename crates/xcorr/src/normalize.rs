@@ -1,0 +1,192 @@
+//! Eq. 1 normalization: per-lag Pearson correlation coefficients.
+//!
+//! The raw lagged products `r(d)` depend on signal energy; Eq. 1 of the
+//! paper normalizes them into correlation coefficients in `[-1, 1]` by
+//! centering both windows and dividing by their energies. With the window
+//! sums `S(d) = Σ y(t+d)` and `Q(d) = Σ y(t+d)²` (over the `n` ticks of the
+//! source window), the normalized value is
+//!
+//! ```text
+//!             r(d) − x̄·S(d)
+//! ρ(d) = ─────────────────────────────
+//!         √(Eₓ) · √(Q(d) − S(d)²/n)
+//! ```
+//!
+//! where `Eₓ = Σ (x − x̄)²`. `S` and `Q` are computed in `O(runs + L)` from
+//! the RLE representation, so normalization never dominates the engines.
+
+use crate::corr::CorrSeries;
+use e2eprof_timeseries::{RleSeries, Tick};
+
+/// Energy threshold below which a window is considered constant (its
+/// correlation with anything is defined as zero).
+const EPS_ENERGY: f64 = 1e-12;
+
+/// Prefix-sum evaluator over an RLE signal: cumulative sum and sum of
+/// squares of `y` over all ticks `< t`.
+#[derive(Debug)]
+struct RlePrefix<'a> {
+    series: &'a RleSeries,
+    /// cum[i] = (Σ value·len, Σ value²·len) over runs[0..i].
+    cum: Vec<(f64, f64)>,
+}
+
+impl<'a> RlePrefix<'a> {
+    fn new(series: &'a RleSeries) -> Self {
+        let mut cum = Vec::with_capacity(series.num_runs() + 1);
+        cum.push((0.0, 0.0));
+        let (mut s, mut q) = (0.0, 0.0);
+        for r in series.runs() {
+            s += r.value() * r.len() as f64;
+            q += r.value() * r.value() * r.len() as f64;
+            cum.push((s, q));
+        }
+        RlePrefix { series, cum }
+    }
+
+    /// `(Σ_{u<t} y(u), Σ_{u<t} y(u)²)`.
+    fn eval(&self, t: Tick) -> (f64, f64) {
+        let runs = self.series.runs();
+        // Number of runs ending at or before t.
+        let i = runs.partition_point(|r| r.end() <= t);
+        let (mut s, mut q) = self.cum[i];
+        if let Some(r) = runs.get(i) {
+            if r.start() < t {
+                let part = (t - r.start()) as f64;
+                s += r.value() * part;
+                q += r.value() * r.value() * part;
+            }
+        }
+        (s, q)
+    }
+}
+
+/// Normalizes raw lagged products into per-lag Pearson coefficients.
+///
+/// `x` is the source window (its span defines the `n` ticks summed over);
+/// `y` is the target signal the raw products were computed against.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{DenseSeries, Tick};
+/// use e2eprof_xcorr::{rle, normalize};
+/// // y is exactly x shifted by 2: Pearson coefficient 1 at lag 2.
+/// let x = DenseSeries::new(Tick::new(0), vec![1.0, 3.0, 0.0, 2.0, 0.0, 0.0]);
+/// let y = DenseSeries::new(Tick::new(0), vec![0.0, 0.0, 1.0, 3.0, 0.0, 2.0, 0.0, 0.0]);
+/// let xr = x.to_sparse().to_rle();
+/// let yr = y.to_sparse().to_rle();
+/// let raw = rle::correlate(&xr, &yr, 4);
+/// let rho = normalize::normalize(&raw, &xr, &yr);
+/// assert!((rho.value_at(2) - 1.0).abs() < 1e-9);
+/// assert!(rho.value_at(1) < 0.9);
+/// ```
+pub fn normalize(raw: &CorrSeries, x: &RleSeries, y: &RleSeries) -> CorrSeries {
+    let n = x.len() as f64;
+    if n == 0.0 {
+        return CorrSeries::zeros(raw.max_lag());
+    }
+    let xs = x.stats();
+    let x_mean = xs.mean();
+    let ex = xs.centered_energy();
+    let prefix = RlePrefix::new(y);
+    let mut out = Vec::with_capacity(raw.max_lag() as usize);
+    for d in 0..raw.max_lag() {
+        let lo = x.start() + d;
+        let hi = x.end() + d;
+        let (s_lo, q_lo) = prefix.eval(lo);
+        let (s_hi, q_hi) = prefix.eval(hi);
+        let s = s_hi - s_lo;
+        let q = q_hi - q_lo;
+        let ey = (q - s * s / n).max(0.0);
+        let num = raw.value_at(d) - x_mean * s;
+        let den = (ex * ey).sqrt();
+        out.push(if den > EPS_ENERGY {
+            (num / den).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        });
+    }
+    CorrSeries::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rle;
+    use e2eprof_timeseries::DenseSeries;
+
+    fn rles(start: u64, v: Vec<f64>) -> RleSeries {
+        DenseSeries::new(Tick::new(start), v).to_sparse().to_rle()
+    }
+
+    /// Direct reference: Pearson coefficient at lag d computed densely.
+    fn reference_rho(x: &RleSeries, y: &RleSeries, d: u64) -> f64 {
+        let n = x.len();
+        let xv: Vec<f64> = (0..n).map(|i| x.value_at(x.start() + i)).collect();
+        let yv: Vec<f64> = (0..n).map(|i| y.value_at(x.start() + i + d)).collect();
+        let xm = xv.iter().sum::<f64>() / n as f64;
+        let ym = yv.iter().sum::<f64>() / n as f64;
+        let num: f64 = xv.iter().zip(&yv).map(|(a, b)| (a - xm) * (b - ym)).sum();
+        let ex: f64 = xv.iter().map(|a| (a - xm) * (a - xm)).sum();
+        let ey: f64 = yv.iter().map(|b| (b - ym) * (b - ym)).sum();
+        if ex * ey < 1e-12 {
+            0.0
+        } else {
+            num / (ex * ey).sqrt()
+        }
+    }
+
+    #[test]
+    fn matches_dense_pearson_reference() {
+        let x = rles(0, vec![1.0, 0.0, 0.0, 2.0, 2.0, 0.0, 5.0, 0.0]);
+        let y = rles(0, vec![0.0, 1.0, 0.0, 0.0, 2.0, 2.0, 0.0, 5.0, 0.0, 3.0, 3.0, 0.0]);
+        let raw = rle::correlate(&x, &y, 4);
+        let rho = normalize(&raw, &x, &y);
+        for d in 0..4 {
+            let expect = reference_rho(&x, &y, d);
+            assert!(
+                (rho.value_at(d) - expect).abs() < 1e-9,
+                "lag {d}: got {} expect {expect}",
+                rho.value_at(d)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_shift_gives_unit_coefficient() {
+        let x = rles(0, vec![4.0, 0.0, 1.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0]);
+        let y = rles(0, vec![0.0, 0.0, 0.0, 4.0, 0.0, 1.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0]);
+        let raw = rle::correlate(&x, &y, 6);
+        let rho = normalize(&raw, &x, &y);
+        assert!((rho.value_at(3) - 1.0).abs() < 1e-9);
+        assert_eq!(rho.peak().unwrap().0, 3);
+    }
+
+    #[test]
+    fn constant_window_normalizes_to_zero() {
+        let x = rles(0, vec![0.0; 8]);
+        let y = rles(0, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let raw = rle::correlate(&x, &y, 4);
+        let rho = normalize(&raw, &x, &y);
+        assert!(rho.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn coefficients_bounded() {
+        let x = rles(0, vec![9.0, 0.0, 0.0, 1.0, 4.0, 4.0, 0.0, 2.0]);
+        let y = rles(0, vec![1.0, 9.0, 0.0, 0.0, 1.0, 4.0, 4.0, 0.0, 2.0, 7.0]);
+        let raw = rle::correlate(&x, &y, 8);
+        let rho = normalize(&raw, &x, &y);
+        assert!(rho.values().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_window_yields_zeros() {
+        let x = RleSeries::empty(Tick::new(0), 0);
+        let y = rles(0, vec![1.0, 2.0]);
+        let raw = CorrSeries::zeros(3);
+        let rho = normalize(&raw, &x, &y);
+        assert_eq!(rho.values(), &[0.0, 0.0, 0.0]);
+    }
+}

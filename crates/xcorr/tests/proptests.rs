@@ -1,0 +1,208 @@
+//! Property-based tests: every engine computes the same function, the
+//! incremental correlator never drifts from a from-scratch computation,
+//! normalization stays within Pearson bounds, and spike detection honours
+//! its contract.
+
+use e2eprof_timeseries::{DenseSeries, RleSeries, Tick};
+use e2eprof_xcorr::engine::{all_engines, Correlator, DenseCorrelator};
+use e2eprof_xcorr::incremental::IncrementalCorrelator;
+use e2eprof_xcorr::{normalize, rle, SpikeDetector};
+use proptest::prelude::*;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = (u64, Vec<f64>)> {
+    (
+        0u64..50,
+        prop::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f64),
+                2 => (1u32..6).prop_map(|c| (c as f64).sqrt()),
+            ],
+            0..max_len,
+        ),
+    )
+}
+
+fn to_rle(start: u64, values: Vec<f64>) -> RleSeries {
+    DenseSeries::new(Tick::new(start), values)
+        .to_sparse()
+        .to_rle()
+}
+
+proptest! {
+    #[test]
+    fn engines_agree_on_arbitrary_signals(
+        (xs, xv) in signal_strategy(120),
+        (ys, yv) in signal_strategy(160),
+        max_lag in 0u64..80,
+    ) {
+        let x = to_rle(xs, xv);
+        let y = to_rle(ys, yv);
+        let reference = DenseCorrelator.correlate(&x, &y, max_lag);
+        for engine in all_engines() {
+            let got = engine.correlate(&x, &y, max_lag);
+            prop_assert_eq!(got.max_lag(), max_lag);
+            prop_assert!(
+                reference.max_abs_diff(&got) < 1e-6,
+                "{} diverged: {:?} vs {:?}", engine.name(), reference.values(), got.values()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct_after_slides(
+        (_, xv) in signal_strategy(150),
+        (_, yv) in signal_strategy(180),
+        max_lag in 1u64..30,
+        chunk_len in 5u64..40,
+        window_len in 20u64..80,
+    ) {
+        let x = to_rle(0, xv);
+        let y = to_rle(0, yv);
+        let total = x.len();
+        let mut inc = IncrementalCorrelator::new(max_lag);
+        let mut end = 0u64;
+        while end < total {
+            let next = (end + chunk_len).min(total);
+            inc.append(&x.slice(Tick::new(end), Tick::new(next)), &y);
+            end = next;
+            let start = end.saturating_sub(window_len);
+            inc.evict_to(Tick::new(start), &x, &y);
+            let direct = rle::correlate(&x.slice(Tick::new(start), Tick::new(end)), &y, max_lag);
+            prop_assert!(
+                inc.corr().max_abs_diff(&direct) < 1e-6,
+                "window [{start},{end}) drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_values_are_pearson_bounded(
+        (xs, xv) in signal_strategy(100),
+        (ys, yv) in signal_strategy(140),
+        max_lag in 1u64..40,
+    ) {
+        let x = to_rle(xs, xv);
+        let y = to_rle(ys, yv);
+        let raw = rle::correlate(&x, &y, max_lag);
+        let rho = normalize::normalize(&raw, &x, &y);
+        prop_assert!(rho.values().iter().all(|v| v.is_finite() && (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn exact_shift_detected_at_correct_lag(
+        (_, xv) in signal_strategy(400),
+        shift in 0u64..40,
+    ) {
+        // Require enough activity for a meaningful test.
+        let support = xv.iter().filter(|&&v| v != 0.0).count();
+        prop_assume!(support >= 20);
+        let x = to_rle(0, xv.clone());
+        let mut yv = vec![0.0; shift as usize];
+        yv.extend(&xv);
+        let y = to_rle(0, yv);
+        let raw = rle::correlate(&x, &y, shift + 41);
+        let rho = normalize::normalize(&raw, &x, &y);
+        // The exact alignment must produce coefficient 1 and be the peak.
+        prop_assert!((rho.value_at(shift) - 1.0).abs() < 1e-9);
+        let (peak_lag, _) = rho.peak().expect("nonempty");
+        prop_assert_eq!(peak_lag, shift);
+    }
+
+    #[test]
+    fn spikes_are_local_maxima_above_threshold(
+        corr in prop::collection::vec(0.0f64..10.0, 1..300),
+        sigma in 0.5f64..4.0,
+        resolution in 1u64..20,
+    ) {
+        let det = SpikeDetector::new(sigma, resolution);
+        let spikes = det.detect(&corr);
+        let n = corr.len() as f64;
+        let mean = corr.iter().sum::<f64>() / n;
+        let var = (corr.iter().map(|v| v * v).sum::<f64>() / n - mean * mean).max(0.0);
+        let threshold = mean + sigma * var.sqrt();
+        for s in &spikes {
+            let i = s.lag as usize;
+            prop_assert!(corr[i] > threshold);
+            if i > 0 { prop_assert!(corr[i - 1] <= corr[i]); }
+            if i + 1 < corr.len() { prop_assert!(corr[i + 1] <= corr[i]); }
+        }
+        // Pairwise separation respects the resolution window.
+        for w in spikes.windows(2) {
+            prop_assert!(w[1].lag - w[0].lag >= resolution);
+        }
+    }
+
+    #[test]
+    fn correlation_is_bilinear_in_x(
+        (_, av) in signal_strategy(80),
+        (_, bv) in signal_strategy(80),
+        (_, yv) in signal_strategy(120),
+        max_lag in 1u64..30,
+    ) {
+        // r(a + b, y) = r(a, y) + r(b, y): split a signal into its two
+        // halves and check additivity (the property the incremental engine
+        // relies on).
+        let n = av.len().max(bv.len());
+        let mut sum = vec![0.0; n];
+        for (i, &v) in av.iter().enumerate() { sum[i] += v; }
+        for (i, &v) in bv.iter().enumerate() { sum[i] += v; }
+        // Values may now be non-canonical (e.g. 2·√2) — fine for dense math.
+        let dense_a = DenseSeries::new(Tick::new(0), {
+            let mut v = av.clone(); v.resize(n, 0.0); v
+        });
+        let dense_b = DenseSeries::new(Tick::new(0), {
+            let mut v = bv.clone(); v.resize(n, 0.0); v
+        });
+        let dense_sum = DenseSeries::new(Tick::new(0), sum);
+        let y = DenseSeries::new(Tick::new(0), yv);
+        let ra = e2eprof_xcorr::dense::correlate(&dense_a, &y, max_lag);
+        let rb = e2eprof_xcorr::dense::correlate(&dense_b, &y, max_lag);
+        let rs = e2eprof_xcorr::dense::correlate(&dense_sum, &y, max_lag);
+        for d in 0..max_lag {
+            prop_assert!((rs.value_at(d) - ra.value_at(d) - rb.value_at(d)).abs() < 1e-9);
+        }
+    }
+}
+
+/// Dense brute-force Pearson at one lag, straight from Eq. 1.
+fn brute_force_rho(x: &RleSeries, y: &RleSeries, d: u64) -> f64 {
+    let n = x.len();
+    let xv: Vec<f64> = (0..n).map(|i| x.value_at(x.start() + i)).collect();
+    let yv: Vec<f64> = (0..n).map(|i| y.value_at(x.start() + i + d)).collect();
+    let xm = xv.iter().sum::<f64>() / n as f64;
+    let ym = yv.iter().sum::<f64>() / n as f64;
+    let num: f64 = xv.iter().zip(&yv).map(|(a, b)| (a - xm) * (b - ym)).sum();
+    let ex: f64 = xv.iter().map(|a| (a - xm) * (a - xm)).sum();
+    let ey: f64 = yv.iter().map(|b| (b - ym) * (b - ym)).sum();
+    if ex * ey < 1e-12 {
+        0.0
+    } else {
+        num / (ex * ey).sqrt()
+    }
+}
+
+proptest! {
+    /// The O(runs + L) prefix-sum normalization must equal the dense
+    /// Eq. 1 computation at every lag, for arbitrary signals and spans.
+    #[test]
+    fn normalization_matches_dense_eq1(
+        (xs, xv) in signal_strategy(80),
+        (ys, yv) in signal_strategy(120),
+        max_lag in 1u64..25,
+    ) {
+        prop_assume!(!xv.is_empty());
+        let x = to_rle(xs, xv);
+        let y = to_rle(ys, yv);
+        let raw = rle::correlate(&x, &y, max_lag);
+        let rho = normalize::normalize(&raw, &x, &y);
+        for d in 0..max_lag {
+            let expect = brute_force_rho(&x, &y, d);
+            let got = rho.value_at(d);
+            // Near-zero energies sit inside both implementations' guard
+            // bands; tiny disagreements there are rounding, not error.
+            let agree = (got - expect).abs() < 1e-9
+                || (got.abs() < 1e-4 && expect.abs() < 1e-4);
+            prop_assert!(agree, "lag {}: got {} expect {}", d, got, expect);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Analyzing an external application-level transaction log — the way the
+//! paper's Delta study consumed access logs instead of packet captures.
+//!
+//! Generates a synthetic CSV log (`timestamp_ns,src,dst`), then runs the
+//! full pathmap pipeline on it: ingestion, root inference, discovery.
+//!
+//! ```sh
+//! cargo run --release --example analyze_log
+//! ```
+
+use e2eprof::core::ingest::TraceIngest;
+use e2eprof::core::prelude::*;
+use e2eprof::timeseries::Nanos;
+use std::fmt::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A log some other system produced: a ticketing front end fanning
+    //    out to an inventory service and a payment service, which shares
+    //    a settlement backend. Irregular inter-arrival times (hashed),
+    //    fixed processing delays.
+    let mut log = String::from("# timestamp_ns,src,dst\n");
+    let ms = |x: u64| x * 1_000_000;
+    // Two *independent* arrival streams (separate hash chains).
+    let mut t1: u64 = 0;
+    let mut h1: u64 = 99;
+    for _ in 0..2000 {
+        h1 = h1.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        t1 += 15_000_000 + h1 % 60_000_000; // 15–75 ms gaps
+        writeln!(log, "{t1},booking-app,ticketing")?;
+        writeln!(log, "{},ticketing,inventory", t1 + ms(4))?;
+        writeln!(log, "{},inventory,ticketing", t1 + ms(12))?;
+    }
+    let mut t2: u64 = 0;
+    let mut h2: u64 = 7_777;
+    for _ in 0..2000 {
+        h2 = h2.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        t2 += 15_000_000 + h2 % 60_000_000;
+        writeln!(log, "{t2},payments-app,ticketing")?;
+        writeln!(log, "{},ticketing,payment", t2 + ms(5))?;
+        writeln!(log, "{},payment,settlement", t2 + ms(15))?;
+        writeln!(log, "{},settlement,payment", t2 + ms(40))?;
+        writeln!(log, "{},payment,ticketing", t2 + ms(45))?;
+    }
+
+    // 2. Ingest and analyze.
+    let mut ingest = TraceIngest::new();
+    let records = ingest.read_csv(log.as_bytes())?;
+    println!(
+        "ingested {records} records, {} components, horizon {:.1}s",
+        ingest.num_components(),
+        ingest.horizon().as_secs_f64()
+    );
+    let roots = ingest.infer_roots();
+    let labels = ingest.labels();
+    println!(
+        "inferred clients: {:?}\n",
+        roots
+            .iter()
+            .map(|&(c, _)| labels.label(c))
+            .collect::<Vec<_>>()
+    );
+
+    let cfg = PathmapConfig::builder()
+        .window(Nanos::from_secs(30))
+        .refresh(Nanos::from_secs(10))
+        .max_delay(Nanos::from_secs(1))
+        .build();
+    let signals = ingest.build_signals(&cfg, ingest.horizon());
+    let graphs = Pathmap::new(cfg).discover(&signals, &roots, &labels);
+    for g in &graphs {
+        println!("{g}");
+    }
+    println!("(the two request classes take disjoint branches below the");
+    println!(" shared ticketing front end; delays match the log's timing)");
+    Ok(())
+}

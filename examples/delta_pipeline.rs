@@ -1,0 +1,90 @@
+//! Section 4.3: the Delta Air Lines Revenue Pipeline. ~40 K events/hour
+//! arrive in 25 front-end queues and flow through hub → parser →
+//! validator → revenue DB. Demonstrates:
+//!
+//! * service-path discovery from application-level event logs at τ = 1 s
+//!   (paths correct, sub-second delays invisible — the paper's documented
+//!   accuracy limitation at this resolution);
+//! * the 4 AM paper-ticket batch flooding the hub queue (steady-state
+//!   violation);
+//! * diagnosing the slow-database connection by service-path delay
+//!   decomposition.
+//!
+//! ```sh
+//! cargo run --release --example delta_pipeline
+//! ```
+
+use e2eprof::apps::delta::DeltaConfig;
+use e2eprof::apps::experiments::{delta_analysis, delta_paper_config, diagnose_delta};
+use e2eprof::timeseries::Nanos;
+
+fn main() {
+    // A scaled run (8 queues, same total event rate) keeps this example
+    // under a minute; pass --full for the 25-queue configuration.
+    let full = std::env::args().any(|a| a == "--full");
+    let queues = if full { 25 } else { 8 };
+    let run_for = Nanos::from_minutes(135); // W = 2 h plus margin
+
+    println!("=== path discovery ({queues} queues, {} min) ===\n", 135);
+    let (delta, graphs) = delta_analysis(
+        DeltaConfig {
+            queues,
+            ..DeltaConfig::default()
+        },
+        &delta_paper_config(),
+        run_for,
+    );
+    let complete = graphs
+        .iter()
+        .filter(|g| {
+            g.has_edge_between("hub", "parser")
+                && g.has_edge_between("parser", "validator")
+                && g.has_edge_between("validator", "revenue_db")
+        })
+        .count();
+    println!("full pipeline path recovered for {complete}/{} bursty feeds", queues - 1);
+    if let Some(g) = graphs.iter().find(|g| g.client_label == "feed_01") {
+        println!("\n{g}");
+    }
+    println!("(per-hop delays read 0 ms: at τ = 1 s, sub-second processing is");
+    println!(" invisible — exactly the accuracy limitation the paper reports)\n");
+    drop(delta);
+
+    println!("=== the 4 AM batch surge ===\n");
+    let mut surged = e2eprof::apps::delta::Delta::build(DeltaConfig {
+        queues,
+        batch_at: Some(Nanos::from_minutes(10)),
+        batch_size: 4_000,
+        ..DeltaConfig::default()
+    });
+    surged.sim_mut().run_until(Nanos::from_minutes(20));
+    let hub = surged.nodes().hub;
+    println!(
+        "hub queue high-water mark after the batch: {} (paper: ~4000)\n",
+        surged.sim().max_queue_len(hub)
+    );
+
+    println!("=== slow-database diagnosis ===\n");
+    for slow in [false, true] {
+        let (_, graphs) = delta_analysis(
+            DeltaConfig {
+                queues,
+                slow_db: slow,
+                ..DeltaConfig::default()
+            },
+            &delta_paper_config(),
+            run_for,
+        );
+        let d = diagnose_delta(&graphs);
+        println!(
+            "slow_db={slow}: e2e {:.1}s, deepest forward arrival {:.1}s, tail gap {:.1}s -> suspect {:?}",
+            d.e2e.as_secs_f64(),
+            d.last_forward.as_secs_f64(),
+            d.tail_gap.as_secs_f64(),
+            d.suspect
+        );
+    }
+    println!("\n(the tail gap localizes the multi-second slowdown at the");
+    println!(" revenue database, despite per-hop delays being unreliable");
+    println!(" under deep queueing — the paper's production diagnosis)");
+}

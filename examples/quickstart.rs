@@ -1,0 +1,61 @@
+//! Quickstart: simulate a small three-tier system, then recover its
+//! service path — structure, per-hop delays, and the bottleneck — from
+//! packet timestamps alone.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use e2eprof::core::prelude::*;
+use e2eprof::netsim::prelude::*;
+use e2eprof::netsim::Route;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a topology: client -> web -> app -> db, 1 ms links.
+    let mut t = TopologyBuilder::new();
+    let class = t.service_class("browse");
+    let web = t.service("web", ServiceConfig::new(DelayDist::normal_millis(3, 1)));
+    let app = t.service("app", ServiceConfig::new(DelayDist::normal_millis(15, 3)));
+    let db = t.service("db", ServiceConfig::new(DelayDist::normal_millis(6, 1)));
+    let client = t.client("client", class, web, Workload::poisson(25.0));
+    t.connect(client, web, DelayDist::constant_millis(1));
+    t.connect(web, app, DelayDist::constant_millis(1));
+    t.connect(app, db, DelayDist::constant_millis(1));
+    t.route(web, class, Route::fixed(app));
+    t.route(app, class, Route::fixed(db));
+    t.route(db, class, Route::terminal());
+
+    // 2. Run it. Every message crossing a link is recorded by the passive
+    //    capture taps at the sending and receiving service nodes — that
+    //    trace is ALL the analysis gets to see.
+    let mut sim = Simulation::new(t.build()?, 7);
+    sim.run_until(Nanos::from_minutes(2));
+    println!(
+        "simulated 2 minutes: {} requests completed, {} packets captured\n",
+        sim.truth().completed_count(),
+        sim.captures().total_packets()
+    );
+
+    // 3. Run pathmap over the trailing one-minute window.
+    let cfg = PathmapConfig::builder()
+        .window(Nanos::from_minutes(1))
+        .refresh(Nanos::from_secs(30))
+        .max_delay(Nanos::from_secs(2))
+        .build();
+    let pm = Pathmap::new(cfg.clone());
+    let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
+    let graphs = pm.discover(
+        &signals,
+        &roots_from_topology(sim.topology()),
+        &NodeLabels::from_topology(sim.topology()),
+    );
+
+    // 4. Inspect the result: the request path, the return path, per-hop
+    //    delays, and the inferred bottleneck (app, by construction).
+    for g in &graphs {
+        println!("{g}");
+        println!("end-to-end estimate: {:?}", g.end_to_end_delay());
+        println!("\nGraphviz DOT:\n{}", g.to_dot());
+    }
+    Ok(())
+}

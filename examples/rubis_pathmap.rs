@@ -1,0 +1,28 @@
+//! Figures 5 and 6: service-path detection in the RUBiS multi-tier
+//! auction deployment, under affinity-based and round-robin dispatch.
+//!
+//! ```sh
+//! cargo run --release --example rubis_pathmap
+//! ```
+
+use e2eprof::apps::experiments::{fig5_affinity, fig6_round_robin};
+use e2eprof::timeseries::Nanos;
+
+fn main() {
+    let run_for = Nanos::from_minutes(2);
+
+    println!("=== Fig. 5: affinity-based server selection ===\n");
+    let (_, graphs) = fig5_affinity(42, run_for);
+    for g in &graphs {
+        println!("{g}");
+    }
+    println!("(bidding stays on TS1/EJB1; comment on TS2/EJB2; the EJB");
+    println!(" servers are automatically marked as the major delay source)\n");
+
+    println!("=== Fig. 6: round-robin server selection ===\n");
+    let (_, graphs) = fig6_round_robin(42, run_for);
+    for g in &graphs {
+        println!("{g}");
+    }
+    println!("(each class now takes both paths: two branches per graph)");
+}

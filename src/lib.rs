@@ -1,0 +1,63 @@
+//! # E2EProf — automated end-to-end performance management
+//!
+//! A Rust reproduction of *E2EProf: Automated End-to-End Performance
+//! Management for Enterprise Systems* (Agarwala, Alegre, Schwan,
+//! Mehalingham — DSN 2007): black-box discovery of the causal paths client
+//! requests take through a distributed system, and of the delays incurred
+//! along them, from nothing but passively captured message timestamps.
+//!
+//! The facade re-exports the five subsystem crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`timeseries`] | `e2eprof-timeseries` | density time series; sparse and RLE signal representations; sliding windows; wire format |
+//! | [`xcorr`] | `e2eprof-xcorr` | cross-correlation engines (direct, bounded, sparse, RLE, FFT, incremental); Eq. 1 normalization; spike detection |
+//! | [`netsim`] | `e2eprof-netsim` | discrete-event multi-tier system simulator: the evaluation substrate (queueing stations, links, routing, workloads, capture taps, clocks, ground truth) |
+//! | [`core`] | `e2eprof-core` | the pathmap algorithm, service graphs, online tracer/analyzer pipeline, change detection, clock-skew estimation, convolution baseline, accuracy validation |
+//! | [`apps`] | `e2eprof-apps` | the paper's evaluation applications: RUBiS, the Delta Revenue Pipeline, the SLA scheduler, and every experiment driver |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use e2eprof::netsim::prelude::*;
+//! use e2eprof::core::prelude::*;
+//!
+//! // Simulate a three-tier system for two minutes...
+//! let mut t = TopologyBuilder::new();
+//! let class = t.service_class("browse");
+//! let web = t.service("web", ServiceConfig::new(DelayDist::normal_millis(3, 1)));
+//! let db = t.service("db", ServiceConfig::new(DelayDist::normal_millis(9, 2)));
+//! let client = t.client("client", class, web, Workload::poisson(50.0));
+//! t.connect(client, web, DelayDist::constant_millis(1));
+//! t.connect(web, db, DelayDist::constant_millis(1));
+//! t.route(web, class, Route::fixed(db));
+//! t.route(db, class, Route::terminal());
+//! let mut sim = Simulation::new(t.build()?, 1);
+//! sim.run_until(Nanos::from_minutes(2));
+//!
+//! // ...and recover its service path from packet timestamps alone.
+//! let cfg = PathmapConfig::builder()
+//!     .window(Nanos::from_minutes(1))
+//!     .max_delay(Nanos::from_secs(2))
+//!     .build();
+//! let graphs = Pathmap::new(cfg.clone()).discover(
+//!     &EdgeSignals::from_capture(sim.captures(), &cfg, sim.now()),
+//!     &roots_from_topology(sim.topology()),
+//!     &NodeLabels::from_topology(sim.topology()),
+//! );
+//! assert!(graphs[0].has_edge_between("web", "db"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable reproductions of every figure and table in
+//! the paper's evaluation, and `DESIGN.md` / `EXPERIMENTS.md` in the
+//! repository for the experiment index and measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use e2eprof_apps as apps;
+pub use e2eprof_core as core;
+pub use e2eprof_netsim as netsim;
+pub use e2eprof_timeseries as timeseries;
+pub use e2eprof_xcorr as xcorr;

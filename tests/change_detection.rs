@@ -1,0 +1,91 @@
+//! Integration: Figure 7 — the injected delay staircase at EJB2 is
+//! tracked by pathmap's per-edge delay, offset by the server's real
+//! processing time, while the front-end average moves by roughly half.
+
+use e2eprof::apps::experiments::fig7_change_detection;
+use e2eprof::timeseries::Nanos;
+
+#[test]
+fn staircase_is_tracked_with_constant_offset() {
+    let (points, _) = fig7_change_detection(7, 15);
+    // Skip the first refresh (warm-up window partially empty).
+    let tracked: Vec<_> = points
+        .iter()
+        .skip(1)
+        .filter(|p| p.detected.is_some())
+        .collect();
+    assert!(tracked.len() >= 10, "too few refreshes with detections");
+
+    // detected − injected ≈ EJB2's actual processing time, stable across
+    // the staircase (paper: "the difference ... is the actual time spent
+    // by EJB2 processing the requests").
+    let offsets: Vec<f64> = tracked
+        .iter()
+        .map(|p| p.detected.unwrap().as_millis_f64() - p.injected.as_millis_f64())
+        .collect();
+    let mean = offsets.iter().sum::<f64>() / offsets.len() as f64;
+    assert!(
+        (10.0..35.0).contains(&mean),
+        "offset should be EJB2's ~19ms processing: {mean} ({offsets:?})"
+    );
+    for o in &offsets {
+        assert!(
+            (o - mean).abs() < 8.0,
+            "offset drifted: {o} vs mean {mean} ({offsets:?})"
+        );
+    }
+}
+
+#[test]
+fn every_step_raises_the_detected_delay() {
+    let (points, _) = fig7_change_detection(8, 15);
+    // Group refreshes by injected level; detected means must be strictly
+    // increasing across levels.
+    let mut by_level: Vec<(u64, Vec<f64>)> = Vec::new();
+    for p in points.iter().skip(1) {
+        let (Some(d), inj) = (p.detected, p.injected.as_millis()) else {
+            continue;
+        };
+        match by_level.last_mut() {
+            Some((level, samples)) if *level == inj => samples.push(d.as_millis_f64()),
+            _ => by_level.push((inj, vec![d.as_millis_f64()])),
+        }
+    }
+    assert!(by_level.len() >= 4, "staircase levels seen: {by_level:?}");
+    let means: Vec<f64> = by_level
+        .iter()
+        .map(|(_, s)| s.iter().sum::<f64>() / s.len() as f64)
+        .collect();
+    for w in means.windows(2) {
+        assert!(w[1] > w[0] + 5.0, "step not detected: {means:?}");
+    }
+}
+
+#[test]
+fn frontend_average_moves_less_than_the_edge_signal() {
+    let (points, _) = fig7_change_detection(9, 15);
+    let first = points.iter().skip(1).find(|p| p.detected.is_some()).unwrap();
+    let last = points.iter().rev().find(|p| p.detected.is_some()).unwrap();
+    let edge_rise =
+        last.detected.unwrap().as_millis_f64() - first.detected.unwrap().as_millis_f64();
+    let frontend_rise = last.frontend_avg.unwrap().as_millis_f64()
+        - first.frontend_avg.unwrap().as_millis_f64();
+    assert!(edge_rise > 25.0, "edge rise {edge_rise}");
+    assert!(
+        frontend_rise < 0.8 * edge_rise,
+        "frontend ({frontend_rise}) should move less than the edge ({edge_rise})"
+    );
+}
+
+#[test]
+fn change_tracker_flags_the_steps() {
+    let (_, tracker) = fig7_change_detection(10, 15);
+    // Find the EJB2 -> DB edge history and count flagged jumps ≥ 10 ms.
+    let mut flagged = 0;
+    for (c, f, t) in tracker.keys().collect::<Vec<_>>() {
+        flagged += tracker.changes(c, f, t, Nanos::from_millis(12)).len();
+    }
+    // Staircase steps at minutes 2, 5, 8, 11, 14 → at least 3 jumps seen
+    // on the bid path's EJB2 edge (other edges stay flat).
+    assert!(flagged >= 3, "only {flagged} changes flagged");
+}

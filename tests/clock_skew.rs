@@ -1,0 +1,27 @@
+//! Integration: Section 3.8 — clock-skew estimation between the two ends
+//! of an edge, against injected ground truth.
+
+use e2eprof::apps::experiments::skew_estimation;
+use e2eprof::timeseries::Nanos;
+
+#[test]
+fn skew_recovered_within_one_quantum() {
+    // offset = skew + 1 ms link; τ = 1 ms, so tolerance is one tick.
+    for skew_ms in [-10i64, -2, 0, 3, 7, 15] {
+        let r = skew_estimation(3, skew_ms, Nanos::from_secs(60));
+        let expected = skew_ms * 1_000_000 + 1_000_000;
+        assert!(
+            (r.estimated_offset_ns - expected).abs() <= 1_000_000,
+            "skew {skew_ms}ms: estimated {} expected {expected}",
+            r.estimated_offset_ns
+        );
+        assert!(r.strength > 0.8, "weak estimate: {}", r.strength);
+    }
+}
+
+#[test]
+fn estimates_are_deterministic() {
+    let a = skew_estimation(4, 5, Nanos::from_secs(30));
+    let b = skew_estimation(4, 5, Nanos::from_secs(30));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,93 @@
+//! Integration: the Aguilera et al. convolution baseline (offline,
+//! FFT-based, full lag range) discovers the same causal structure as
+//! pathmap on the strongly-supported edges — and illustrates a second
+//! reason (besides cost) the paper bounds the lag range by `T_u`: over the
+//! full window-length lag range, weak spurious correlations occasionally
+//! cross the detection threshold at implausible multi-second lags.
+
+use e2eprof::apps::experiments::rubis_config;
+use e2eprof::apps::rubis::{Dispatch, Rubis, RubisConfig};
+use e2eprof::core::convolution;
+use e2eprof::core::prelude::*;
+use e2eprof::netsim::NodeId;
+use e2eprof::timeseries::Nanos;
+use std::collections::BTreeSet;
+
+#[test]
+fn convolution_baseline_agrees_on_strong_edges() {
+    let mut rubis = Rubis::build(RubisConfig {
+        dispatch: Dispatch::Affinity,
+        seed: 21,
+        ..RubisConfig::default()
+    });
+    rubis.sim_mut().run_until(Nanos::from_secs(80));
+    let cfg = rubis_config(Nanos::from_secs(30), Nanos::from_secs(10));
+    let labels = NodeLabels::from_topology(rubis.sim().topology());
+    let roots = roots_from_topology(rubis.sim().topology());
+
+    let pathmap_graphs = {
+        let pm = Pathmap::new(cfg.clone());
+        let signals = EdgeSignals::from_capture(rubis.sim().captures(), &cfg, rubis.sim().now());
+        pm.discover(&signals, &roots, &labels)
+    };
+    let baseline_graphs = {
+        let base = convolution::baseline(&cfg);
+        let signals = EdgeSignals::from_capture(
+            rubis.sim().captures(),
+            base.config(),
+            rubis.sim().now(),
+        );
+        base.discover(&signals, &roots, &labels)
+    };
+
+    assert_eq!(pathmap_graphs.len(), baseline_graphs.len());
+    for (pm_g, bl_g) in pathmap_graphs.iter().zip(&baseline_graphs) {
+        let edge_set = |g: &ServiceGraph, min_strength: f64| -> BTreeSet<(NodeId, NodeId)> {
+            g.edges()
+                .iter()
+                .filter(|e| e.strength() >= min_strength)
+                .map(|e| (e.from, e.to))
+                .collect()
+        };
+        // Every edge pathmap found, the baseline finds too.
+        let pm_edges = edge_set(pm_g, 0.0);
+        let bl_all = edge_set(bl_g, 0.0);
+        assert!(
+            pm_edges.is_subset(&bl_all),
+            "baseline missed edges for {}:\n{pm_g}\n{bl_g}",
+            pm_g.client_label
+        );
+        // Restricted to well-supported correlations, the structures are
+        // identical: the baseline's extras are weak full-lag-range noise.
+        let bl_strong = edge_set(bl_g, 0.2);
+        assert_eq!(
+            pm_edges, bl_strong,
+            "strong-edge structures differ for {}",
+            pm_g.client_label
+        );
+        for &(f, t) in bl_all.difference(&pm_edges) {
+            let extra = bl_g.edge(f, t).unwrap();
+            assert!(
+                extra.strength() < 0.2,
+                "baseline extra {}->{} is not weak: {}",
+                bl_g.label_of(f),
+                bl_g.label_of(t),
+                extra.strength()
+            );
+        }
+        // Delay estimates agree within the sampling window ω on the
+        // genuine edges.
+        for &(f, t) in &pm_edges {
+            let (pe, be) = (pm_g.edge(f, t).unwrap(), bl_g.edge(f, t).unwrap());
+            let (Some(pm_min), Some(bl_min)) = (pe.min_delay(), be.min_delay()) else {
+                continue;
+            };
+            assert!(
+                (pm_min.as_millis_f64() - bl_min.as_millis_f64()).abs() <= 50.0,
+                "delay mismatch on {}->{}: {pm_min} vs {bl_min}",
+                pm_g.label_of(f),
+                pm_g.label_of(t)
+            );
+        }
+    }
+}

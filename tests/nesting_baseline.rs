@@ -1,0 +1,130 @@
+//! Integration: the nesting baseline (Aguilera et al.) against pathmap.
+//!
+//! On RPC-style traffic (RUBiS) both find the same forward call chain
+//! with comparable delays. On a *unidirectional* pipeline (streaming
+//! media, paper Section 3.1) nesting finds nothing — there are no
+//! responses to pair — while pathmap's correlation spikes are unaffected.
+
+use e2eprof::apps::experiments::rubis_config;
+use e2eprof::apps::rubis::{Dispatch, Rubis, RubisConfig};
+use e2eprof::core::nesting::Nesting;
+use e2eprof::core::prelude::*;
+use e2eprof::netsim::prelude::*;
+use e2eprof::netsim::Route;
+
+#[test]
+fn nesting_agrees_with_pathmap_on_rpc_traffic() {
+    let mut rubis = Rubis::build(RubisConfig {
+        dispatch: Dispatch::Affinity,
+        seed: 5,
+        ..RubisConfig::default()
+    });
+    rubis.sim_mut().run_until(Nanos::from_secs(90));
+    let labels = NodeLabels::from_topology(rubis.sim().topology());
+    let roots = roots_from_topology(rubis.sim().topology());
+
+    let nesting_graphs = Nesting::default().discover(rubis.sim().captures(), &roots, &labels);
+    let cfg = rubis_config(Nanos::from_secs(60), Nanos::from_secs(15));
+    let pathmap_graphs = Pathmap::new(cfg.clone()).discover(
+        &EdgeSignals::from_capture(rubis.sim().captures(), &cfg, rubis.sim().now()),
+        &roots,
+        &labels,
+    );
+
+    let n = rubis.nodes();
+    let nest_bid = nesting_graphs.iter().find(|g| g.client == n.c1).unwrap();
+    let path_bid = pathmap_graphs.iter().find(|g| g.client == n.c1).unwrap();
+    // The forward chain, from both techniques.
+    for (a, b) in [("WS", "TS1"), ("TS1", "EJB1"), ("EJB1", "DB")] {
+        assert!(nest_bid.has_edge_between(a, b), "nesting missing {a}->{b}:\n{nest_bid}");
+        assert!(path_bid.has_edge_between(a, b), "pathmap missing {a}->{b}");
+    }
+    // Nesting must not leak onto the comment branch.
+    assert!(!nest_bid.has_edge_between("WS", "TS2"), "{nest_bid}");
+    // Per-hop cumulative delays agree within the sampling window.
+    for (a, b) in [(n.ws, n.ts1), (n.ts1, n.ejb1), (n.ejb1, n.db)] {
+        let nd = nest_bid.edge(a, b).unwrap().min_delay().unwrap().as_millis_f64();
+        let pd = path_bid
+            .edge(a, b)
+            .unwrap()
+            .min_delay()
+            .unwrap()
+            .as_millis_f64();
+        assert!(
+            (nd - pd).abs() <= 50.0,
+            "{}->{}: nesting {nd}ms vs pathmap {pd}ms",
+            nest_bid.label_of(a),
+            nest_bid.label_of(b)
+        );
+    }
+    // Both attribute the bottleneck to EJB1.
+    assert!(nest_bid.vertices().iter().any(|v| v.label == "EJB1" && v.bottleneck));
+}
+
+/// A unidirectional (streaming) pipeline: source -> ingest -> transcode
+/// -> archive, no responses ever.
+fn streaming_sim(seed: u64) -> Simulation {
+    let mut t = TopologyBuilder::new();
+    let class = t.service_class("stream");
+    let ingest = t.service(
+        "ingest",
+        ServiceConfig::new(DelayDist::normal_millis(4, 1)).with_servers(4),
+    );
+    let transcode = t.service(
+        "transcode",
+        ServiceConfig::new(DelayDist::normal_millis(18, 4)).with_servers(4),
+    );
+    let archive = t.service(
+        "archive",
+        ServiceConfig::new(DelayDist::normal_millis(6, 1)).with_servers(4),
+    );
+    let src = t.client("source", class, ingest, Workload::poisson(25.0));
+    t.connect(src, ingest, DelayDist::constant_millis(1));
+    t.connect(ingest, transcode, DelayDist::constant_millis(1));
+    t.connect(transcode, archive, DelayDist::constant_millis(1));
+    t.route(ingest, class, Route::fixed(transcode));
+    t.route(transcode, class, Route::fixed(archive));
+    t.route(archive, class, Route::sink());
+    Simulation::new(t.build().expect("valid"), seed)
+}
+
+#[test]
+fn unidirectional_paths_pathmap_works_nesting_does_not() {
+    let mut sim = streaming_sim(8);
+    sim.run_until(Nanos::from_secs(60));
+    // Sanity: truly unidirectional — nothing ever returns to the client.
+    assert_eq!(sim.truth().completed_count(), 0);
+    assert!(sim.truth().started_count() > 800);
+
+    let labels = NodeLabels::from_topology(sim.topology());
+    let roots = roots_from_topology(sim.topology());
+    let cfg = PathmapConfig::builder()
+        .window(Nanos::from_secs(30))
+        .refresh(Nanos::from_secs(10))
+        .max_delay(Nanos::from_secs(2))
+        .build();
+
+    // Pathmap: the full forward pipeline, delays and all.
+    let graphs = Pathmap::new(cfg.clone()).discover(
+        &EdgeSignals::from_capture(sim.captures(), &cfg, sim.now()),
+        &roots,
+        &labels,
+    );
+    let g = &graphs[0];
+    assert!(g.has_edge_between("ingest", "transcode"), "{g}");
+    assert!(g.has_edge_between("transcode", "archive"), "{g}");
+    let hop = g
+        .edge(labels.id_of("ingest").unwrap(), labels.id_of("transcode").unwrap())
+        .unwrap();
+    let cum = hop.min_delay().unwrap().as_millis_f64();
+    assert!((2.0..12.0).contains(&cum), "ingest->transcode at {cum}ms");
+
+    // Nesting: no responses, no call intervals, no paths.
+    let nesting = Nesting::default().discover(sim.captures(), &roots, &labels);
+    assert_eq!(
+        nesting[0].edges().len(),
+        1, // just the anchoring client edge
+        "nesting should find nothing on a one-way pipeline:\n{}",
+        nesting[0]
+    );
+}

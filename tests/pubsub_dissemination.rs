@@ -1,0 +1,60 @@
+//! Integration: pathmap on a publish-subscribe system (the paper's
+//! future-work domain). The dissemination is strictly one-way multicast,
+//! so call-return techniques are blind; pathmap recovers the whole
+//! dissemination tree per topic, with per-subscriber delivery delays.
+
+use e2eprof::apps::pubsub::{PubSub, PubSubConfig};
+use e2eprof::core::nesting::Nesting;
+use e2eprof::core::prelude::*;
+use e2eprof::timeseries::Nanos;
+
+#[test]
+fn dissemination_tree_recovered_per_topic() {
+    let mut p = PubSub::build(PubSubConfig::default());
+    p.sim_mut().run_until(Nanos::from_secs(60));
+    let n = p.nodes().clone();
+
+    let cfg = PathmapConfig::builder()
+        .window(Nanos::from_secs(30))
+        .refresh(Nanos::from_secs(10))
+        .max_delay(Nanos::from_secs(2))
+        .build();
+    let labels = NodeLabels::from_topology(p.sim().topology());
+    let roots = roots_from_topology(p.sim().topology());
+    let graphs = Pathmap::new(cfg.clone()).discover(
+        &EdgeSignals::from_capture(p.sim().captures(), &cfg, p.sim().now()),
+        &roots,
+        &labels,
+    );
+    assert_eq!(graphs.len(), 2, "one graph per topic");
+
+    for g in &graphs {
+        // The broker fans out to every subscriber: a star below the root.
+        for (i, &s) in n.subscribers.iter().enumerate() {
+            let edge = g
+                .edge(n.broker, s)
+                .unwrap_or_else(|| panic!("{}: missing broker->sub_{i}\n{g}", g.client_label));
+            let delay = edge.min_delay().expect("measured delay").as_millis_f64();
+            // Broker ~4ms + 1ms link, all subscribers fed from the same
+            // multicast instant.
+            assert!(
+                (2.0..15.0).contains(&delay),
+                "broker->sub_{i} delivery at {delay}ms"
+            );
+        }
+        // No fabricated inter-subscriber edges.
+        for &a in &n.subscribers {
+            for &b in &n.subscribers {
+                if a != b {
+                    assert!(g.edge(a, b).is_none(), "spurious sub->sub edge");
+                }
+            }
+        }
+    }
+
+    // Call-return analysis is blind here.
+    let nesting = Nesting::default().discover(p.sim().captures(), &roots, &labels);
+    for g in &nesting {
+        assert_eq!(g.edges().len(), 1, "nesting found structure in one-way traffic:\n{g}");
+    }
+}

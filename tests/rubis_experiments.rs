@@ -1,0 +1,156 @@
+//! Integration: Figures 5 and 6 plus the Section 4.1.1 accuracy check,
+//! end-to-end through the facade crate.
+
+use e2eprof::apps::experiments::{accuracy, fig5_affinity, fig6_round_robin};
+use e2eprof::timeseries::Nanos;
+
+#[test]
+fn fig5_affinity_paths_exact() {
+    let (rubis, graphs) = fig5_affinity(1, Nanos::from_minutes(2));
+    assert_eq!(graphs.len(), 2);
+    let n = rubis.nodes();
+    let bid = graphs.iter().find(|g| g.client == n.c1).expect("bid graph");
+    // Forward path, return path, and the response to the client.
+    for (a, b) in [
+        ("WS", "TS1"),
+        ("TS1", "EJB1"),
+        ("EJB1", "DB"),
+        ("DB", "EJB1"),
+        ("EJB1", "TS1"),
+        ("TS1", "WS"),
+        ("WS", "C1"),
+    ] {
+        assert!(bid.has_edge_between(a, b), "bid missing {a}->{b}:\n{bid}");
+    }
+    // No leakage into the comment branch.
+    for (a, b) in [("WS", "TS2"), ("TS2", "EJB2"), ("WS", "C2")] {
+        assert!(!bid.has_edge_between(a, b), "bid leaked {a}->{b}:\n{bid}");
+    }
+    // The EJB server is the bottleneck (grey in the paper's figure).
+    let ejb1 = bid.vertices().iter().find(|v| v.label == "EJB1").unwrap();
+    assert!(ejb1.bottleneck, "EJB1 not marked bottleneck:\n{bid}");
+}
+
+#[test]
+fn fig5_cumulative_delays_are_monotone_along_the_request_path() {
+    let (rubis, graphs) = fig5_affinity(2, Nanos::from_minutes(2));
+    let n = rubis.nodes();
+    let bid = graphs.iter().find(|g| g.client == n.c1).expect("bid graph");
+    let cum = |a: e2eprof::netsim::NodeId, b: e2eprof::netsim::NodeId| {
+        bid.edge(a, b)
+            .and_then(|e| e.min_delay())
+            .unwrap_or_else(|| panic!("edge {a}->{b} missing"))
+    };
+    let up1 = cum(n.ws, n.ts1);
+    let up2 = cum(n.ts1, n.ejb1);
+    let up3 = cum(n.ejb1, n.db);
+    let back = cum(n.ws, n.c1);
+    assert!(up1 < up2 && up2 < up3 && up3 < back, "{up1} {up2} {up3} {back}");
+}
+
+#[test]
+fn fig6_round_robin_has_two_branches_per_class() {
+    let (rubis, graphs) = fig6_round_robin(3, Nanos::from_minutes(2));
+    let n = rubis.nodes();
+    for g in &graphs {
+        for (a, b) in [
+            ("WS", "TS1"),
+            ("WS", "TS2"),
+            ("TS1", "EJB1"),
+            ("TS2", "EJB2"),
+            ("EJB1", "DB"),
+            ("EJB2", "DB"),
+        ] {
+            assert!(
+                g.has_edge_between(a, b),
+                "{} missing {a}->{b}:\n{g}",
+                g.client_label
+            );
+        }
+    }
+    let _ = n;
+}
+
+#[test]
+fn accuracy_matches_paper_bands() {
+    // Paper: per-server processing delays within ~10%; client-observed
+    // latency ~16% above the estimate. We allow wider bands for the
+    // shorter window.
+    let reports = accuracy(4, Nanos::from_minutes(2));
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        assert!(r.hops.len() >= 3, "hops: {:#?}", r.hops);
+        assert!(
+            r.max_hop_error() < 0.30,
+            "per-hop error too large: {:#?}",
+            r.hops
+        );
+        let gap = r.e2e_gap.expect("e2e estimate present");
+        assert!(
+            (0.0..0.6).contains(&gap),
+            "client-observed gap out of band: {gap}"
+        );
+    }
+}
+
+#[test]
+fn dot_export_is_well_formed() {
+    let (_, graphs) = fig5_affinity(5, Nanos::from_minutes(2));
+    for g in &graphs {
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches("->").count(), g.edges().len());
+    }
+}
+
+#[test]
+fn fanout_rate_change_across_nodes_is_accommodated() {
+    // Paper Sec. 3.1: "Pathmap can, however, accommodate changes in rate
+    // across nodes (e.g., an EJB server issuing multiple data base
+    // queries for a single client request)." Each EJB now issues three
+    // back-to-back DB queries per request; the path must still be fully
+    // discovered with sane delays.
+    use e2eprof::apps::experiments::{discover, rubis_config};
+    use e2eprof::apps::rubis::{Dispatch, Rubis, RubisConfig};
+    use e2eprof::netsim::capture::TraceKey;
+
+    let mut rubis = Rubis::build(RubisConfig {
+        dispatch: Dispatch::Affinity,
+        seed: 6,
+        db_queries_per_request: 3,
+        ..RubisConfig::default()
+    });
+    rubis.sim_mut().run_until(Nanos::from_minutes(2));
+    let n = rubis.nodes();
+
+    // The rate change is real: ~3x more packets on EJB1->DB than TS1->EJB1.
+    let to_db = rubis
+        .sim()
+        .captures()
+        .timestamps(TraceKey::at_receiver(n.ejb1, n.db))
+        .len();
+    let to_ejb = rubis
+        .sim()
+        .captures()
+        .timestamps(TraceKey::at_receiver(n.ts1, n.ejb1))
+        .len();
+    assert!(to_db > 2 * to_ejb, "fanout not in effect: {to_db} vs {to_ejb}");
+
+    let cfg = rubis_config(Nanos::from_minutes(1), Nanos::from_secs(30));
+    let graphs = discover(&rubis, &cfg);
+    let bid = graphs.iter().find(|g| g.client == n.c1).expect("bid graph");
+    for (a, b) in [
+        ("WS", "TS1"),
+        ("TS1", "EJB1"),
+        ("EJB1", "DB"),
+        ("DB", "EJB1"),
+        ("WS", "C1"),
+    ] {
+        assert!(bid.has_edge_between(a, b), "missing {a}->{b}:\n{bid}");
+    }
+    // Requests still complete exactly once despite the join.
+    let truth = rubis.sim().truth();
+    assert!(truth.completed_count() > 400);
+    assert!(truth.completed_count() <= truth.started_count());
+}

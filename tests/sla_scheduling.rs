@@ -1,0 +1,51 @@
+//! Integration: Table 1 — automated path selection with E2EProf vs.
+//! round-robin under random EJB perturbations.
+
+use e2eprof::apps::experiments::{table1, Table1Policy};
+use e2eprof::timeseries::Nanos;
+
+#[test]
+fn table1_reproduces_the_papers_ordering() {
+    let duration = Nanos::from_minutes(10);
+    let seed = 42;
+    let base = table1(Table1Policy::RoundRobinBaseline, seed, duration);
+    let rr = table1(Table1Policy::RoundRobinPerturbed, seed, duration);
+    let e2e = table1(Table1Policy::E2EProfPerturbed, seed, duration);
+
+    // Perturbation inflates both classes under round-robin.
+    assert!(
+        rr.bidding.as_millis_f64() > base.bidding.as_millis_f64() + 30.0,
+        "rr {rr:?} vs base {base:?}"
+    );
+    assert!(rr.comment.as_millis_f64() > base.comment.as_millis_f64() + 30.0);
+
+    // E2EProf-based selection reduces bidding latency...
+    assert!(
+        e2e.bidding.as_millis_f64() < rr.bidding.as_millis_f64() - 3.0,
+        "bidding not improved: e2e {:?} vs rr {:?}",
+        e2e.bidding,
+        rr.bidding
+    );
+    // ...and penalizes comment requests (they get the slower path).
+    assert!(
+        e2e.comment.as_millis_f64() > rr.comment.as_millis_f64() + 3.0,
+        "comment not penalized: e2e {:?} vs rr {:?}",
+        e2e.comment,
+        rr.comment
+    );
+    // But never below the unperturbed baseline.
+    assert!(e2e.bidding > base.bidding);
+}
+
+#[test]
+fn perturbed_policies_face_identical_delay_sequences() {
+    // The perturbation is a pure function of (seed, time): two runs of the
+    // same policy are bit-identical, and changing the seed changes the
+    // outcome.
+    let duration = Nanos::from_minutes(3);
+    let a = table1(Table1Policy::RoundRobinPerturbed, 5, duration);
+    let b = table1(Table1Policy::RoundRobinPerturbed, 5, duration);
+    assert_eq!(a, b);
+    let c = table1(Table1Policy::RoundRobinPerturbed, 6, duration);
+    assert_ne!(a.bidding, c.bidding);
+}
