@@ -109,11 +109,8 @@ pub struct Fig7Point {
 /// per-edge delay.
 pub fn fig7_change_detection(seed: u64, minutes: u64) -> (Vec<Fig7Point>, ChangeTracker) {
     let step_every = Nanos::from_minutes(3);
-    let staircase = DelaySchedule::staircase(
-        Nanos::from_minutes(2),
-        step_every,
-        Nanos::from_millis(20),
-    );
+    let staircase =
+        DelaySchedule::staircase(Nanos::from_minutes(2), step_every, Nanos::from_millis(20));
     let mut rubis = Rubis::build(RubisConfig {
         dispatch: Dispatch::RoundRobin,
         seed,
@@ -134,12 +131,13 @@ pub fn fig7_change_detection(seed: u64, minutes: u64) -> (Vec<Fig7Point>, Change
             .and_then(|g| g.edge(n.ejb2, n.db))
             .map(|e| e.hop_delay);
         let window_start = now.saturating_sub(cfg.window());
-        let frontend = rubis
-            .sim()
-            .truth()
-            .class_latency_between(rubis.bidding(), window_start, now);
-        let frontend_avg = (frontend.count() > 0)
-            .then(|| Nanos::from_nanos(frontend.mean().round() as u64));
+        let frontend =
+            rubis
+                .sim()
+                .truth()
+                .class_latency_between(rubis.bidding(), window_start, now);
+        let frontend_avg =
+            (frontend.count() > 0).then(|| Nanos::from_nanos(frontend.mean().round() as u64));
         // The analysis window trails `now` by T_u + W; report the
         // injection level in force at the window's midpoint.
         let observed_at = now.saturating_sub(cfg.max_delay() + Nanos::from_secs(30));
@@ -407,14 +405,8 @@ pub fn skew_estimation(seed: u64, skew_ms: i64, run_for: Nanos) -> SkewResult {
 
     let sender = sim.captures().timestamps(TraceKey::at_sender(a, b));
     let receiver = sim.captures().timestamps(TraceKey::at_receiver(a, b));
-    let est = e2eprof_core::skew::estimate_skew(
-        sender,
-        receiver,
-        Quanta::from_millis(1),
-        3,
-        200,
-    )
-    .expect("skew estimate");
+    let est = e2eprof_core::skew::estimate_skew(sender, receiver, Quanta::from_millis(1), 3, 200)
+        .expect("skew estimate");
     SkewResult {
         configured_ns: skew_ms * 1_000_000,
         estimated_offset_ns: est.offset_ns,
@@ -451,16 +443,26 @@ pub fn diagnose_delta(graphs: &[ServiceGraph]) -> DeltaDiagnosis {
     let mut best_gap = None;
     let mut suspect = None;
     for g in graphs {
-        let Some(e2e) = g.end_to_end_delay() else {
+        // A graph with no measured return to the client carries no
+        // end-to-end estimate to decompose.
+        let Some(e2e) = g
+            .strong_edges()
+            .filter(|e| e.to == g.client)
+            .filter_map(|e| e.max_delay())
+            .max()
+        else {
             continue;
         };
-        // Deepest forward hop: the largest cumulative delay on an edge
-        // that is not headed back to the client.
+        // Deepest forward hop: the largest cumulative delay on a strong
+        // edge that is not headed back to the client. Forward arrivals
+        // are bounded by the round trip, so spikes beyond `e2e` are
+        // noise-floor correlations at implausible lags (e.g. another
+        // client's traffic), not hops on this request's service path.
         let forward = g
-            .edges()
-            .iter()
+            .strong_edges()
             .filter(|e| e.to != g.client)
             .filter_map(|e| e.min_delay().map(|c| (c, e.to)))
+            .filter(|&(c, _)| c <= e2e)
             .max_by_key(|&(c, _)| c);
         let Some((fwd, deepest)) = forward else {
             continue;

@@ -116,7 +116,11 @@ impl DynamicRouter for SlaRouter {
             }
             // No estimates yet: behave like round-robin.
             _ => {
-                if self.fallback.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                if self
+                    .fallback
+                    .fetch_add(1, Ordering::Relaxed)
+                    .is_multiple_of(2)
+                {
                     self.branch_a
                 } else {
                     self.branch_b
@@ -196,7 +200,9 @@ mod tests {
     #[test]
     fn fallback_round_robins_without_estimates() {
         let r = SlaRouter::new(ClassId::new(0), n(1), n(2), PathLatencyMap::new());
-        let picks: Vec<NodeId> = (0..4).map(|_| r.choose(ClassId::new(0), Nanos::ZERO)).collect();
+        let picks: Vec<NodeId> = (0..4)
+            .map(|_| r.choose(ClassId::new(0), Nanos::ZERO))
+            .collect();
         assert_eq!(picks, vec![n(1), n(2), n(1), n(2)]);
     }
 }

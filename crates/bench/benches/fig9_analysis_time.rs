@@ -21,13 +21,9 @@ fn bench_fig9(c: &mut Criterion) {
         for engine in all_engines() {
             let name = engine.name();
             let pm = Pathmap::with_correlator(scenario.config.clone(), engine);
-            group.bench_with_input(
-                BenchmarkId::new(name, w_secs),
-                &scenario,
-                |b, s| {
-                    b.iter(|| pm.discover(&s.signals, &s.roots, &s.labels));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, w_secs), &scenario, |b, s| {
+                b.iter(|| pm.discover(&s.signals, &s.roots, &s.labels));
+            });
         }
     }
     group.finish();

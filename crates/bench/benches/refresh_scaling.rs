@@ -1,0 +1,112 @@
+//! Scaling of the online analyzer's sharded correlation refresh.
+//!
+//! Replays the same captured Delta Revenue Pipeline trace through one
+//! analyzer per worker count, timing only the `refresh` calls. Every
+//! analyzer sees byte-identical tracer frames, and the outputs are
+//! asserted equal across worker counts — the speedup must come purely
+//! from sharding the per-(client, edge) incremental-correlation work.
+
+use crossbeam::channel::unbounded;
+use e2eprof_apps::delta::{Delta, DeltaConfig};
+use e2eprof_core::analyzer::OnlineAnalyzer;
+use e2eprof_core::graph::{NodeLabels, ServiceGraph};
+use e2eprof_core::pathmap::roots_from_topology;
+use e2eprof_core::tracer::TracerAgent;
+use e2eprof_core::PathmapConfig;
+use e2eprof_netsim::NodeId;
+use e2eprof_timeseries::{Nanos, Quanta, Tick};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+const QUEUES: usize = 12;
+const STEP_SECS: u64 = 60;
+const STEPS: u64 = 8;
+const TICK_MS: u64 = 20;
+
+fn config(num_workers: usize) -> PathmapConfig {
+    PathmapConfig::builder()
+        .quanta(Quanta::from_millis(TICK_MS))
+        .omega_ticks(20)
+        .window(Nanos::from_minutes(6))
+        .refresh(Nanos::from_secs(STEP_SECS))
+        .max_delay(Nanos::from_secs(30))
+        .num_workers(num_workers)
+        .build()
+}
+
+/// Replays the finished run's captures through a fresh analyzer, returning
+/// the summed refresh time and the last non-empty graph set.
+fn replay(delta: &Delta, num_workers: usize) -> (Duration, Vec<ServiceGraph>) {
+    let config = config(num_workers);
+    let (tx, rx) = unbounded();
+    let clients: HashSet<NodeId> = delta.sim().topology().clients().into_iter().collect();
+    let mut agents: Vec<TracerAgent> = delta
+        .sim()
+        .topology()
+        .services()
+        .into_iter()
+        .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+        .collect();
+    let mut analyzer = OnlineAnalyzer::new(
+        config,
+        roots_from_topology(delta.sim().topology()),
+        NodeLabels::from_topology(delta.sim().topology()),
+        rx,
+    );
+
+    let mut in_refresh = Duration::ZERO;
+    let mut last = Vec::new();
+    for step in 1..=STEPS {
+        let drain = Tick::new((step * STEP_SECS - 1) * (1000 / TICK_MS));
+        for a in &mut agents {
+            a.poll(delta.sim().captures(), drain);
+        }
+        analyzer.ingest();
+        let t0 = Instant::now();
+        let graphs = analyzer.refresh(Nanos::from_secs(step * STEP_SECS));
+        in_refresh += t0.elapsed();
+        if !graphs.is_empty() {
+            last = graphs;
+        }
+    }
+    (in_refresh, last)
+}
+
+fn main() {
+    let mut delta = Delta::build(DeltaConfig {
+        queues: QUEUES,
+        events_per_hour: 240_000.0,
+        ..DeltaConfig::default()
+    });
+    delta
+        .sim_mut()
+        .run_until(Nanos::from_secs(STEPS * STEP_SECS));
+    println!(
+        "refresh_scaling: {QUEUES} feeds, {STEPS} refreshes, \
+         {} packets captured, host parallelism {}",
+        delta.sim().captures().total_packets(),
+        e2eprof_core::parallel::available_workers(),
+    );
+
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut baseline = None;
+    let mut reference: Option<Vec<ServiceGraph>> = None;
+    for &workers in &worker_counts {
+        let (elapsed, graphs) = replay(&delta, workers);
+        match &reference {
+            None => reference = Some(graphs),
+            Some(r) => assert_eq!(
+                r, &graphs,
+                "num_workers={workers} diverged from serial output"
+            ),
+        }
+        let total = elapsed.as_secs_f64();
+        let speedup = *baseline.get_or_insert(total) / total;
+        println!(
+            "  num_workers={workers:>2}  refresh total {:>8.1} ms  \
+             ({:>6.1} ms/refresh, speedup {speedup:.2}x)",
+            total * 1e3,
+            total * 1e3 / STEPS as f64,
+        );
+    }
+}

@@ -12,8 +12,8 @@
 
 use e2eprof_apps::delta::DeltaConfig;
 use e2eprof_apps::experiments::{
-    accuracy, delta_analysis, delta_paper_config, diagnose_delta, fig5_affinity,
-    fig6_round_robin, fig7_change_detection, skew_estimation, table1, Table1Policy,
+    accuracy, delta_analysis, delta_paper_config, diagnose_delta, fig5_affinity, fig6_round_robin,
+    fig7_change_detection, skew_estimation, table1, Table1Policy,
 };
 use e2eprof_bench::{fmt_duration, rubis_scenario};
 use e2eprof_core::pathmap::Pathmap;
@@ -124,7 +124,9 @@ fn fig7() {
             p.at.as_secs_f64(),
             p.injected.as_millis_f64(),
             p.detected.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN),
-            p.frontend_avg.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN),
+            p.frontend_avg
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(f64::NAN),
         );
     }
     println!("\n(detected = injected + EJB2's actual processing time; the");
@@ -136,9 +138,18 @@ fn run_table1() {
     header("Table 1 — average latency with different path-selection methods");
     println!("{:<36} {:>9} {:>9}", "", "Bidding", "Comment");
     for (policy, label) in [
-        (Table1Policy::RoundRobinBaseline, "Round-Robin (no perturbation)"),
-        (Table1Policy::RoundRobinPerturbed, "Round-Robin (with perturbation)"),
-        (Table1Policy::E2EProfPerturbed, "E2EProf (with perturbation)"),
+        (
+            Table1Policy::RoundRobinBaseline,
+            "Round-Robin (no perturbation)",
+        ),
+        (
+            Table1Policy::RoundRobinPerturbed,
+            "Round-Robin (with perturbation)",
+        ),
+        (
+            Table1Policy::E2EProfPerturbed,
+            "E2EProf (with perturbation)",
+        ),
     ] {
         let row = table1(policy, 42, Nanos::from_minutes(10));
         println!(
@@ -269,7 +280,10 @@ fn delta(full: bool) {
     header("Sec. 4.3 — Delta Air Lines Revenue Pipeline");
     let queues = if full { 25 } else { 8 };
     let run_for = Nanos::from_minutes(135);
-    println!("({queues} queues, {} minutes simulated, τ = 1s, W = 2h)\n", 135);
+    println!(
+        "({queues} queues, {} minutes simulated, τ = 1s, W = 2h)\n",
+        135
+    );
 
     let (delta, graphs) = delta_analysis(
         DeltaConfig {
@@ -333,7 +347,10 @@ fn delta(full: bool) {
 
 fn skew() {
     header("Sec. 3.8 — clock-skew estimation");
-    println!("{:>12} {:>14} {:>12} {:>8}", "configured", "estimated", "minus link", "corr");
+    println!(
+        "{:>12} {:>14} {:>12} {:>8}",
+        "configured", "estimated", "minus link", "corr"
+    );
     for skew_ms in [-8i64, -3, 0, 2, 5, 12] {
         let r = skew_estimation(9, skew_ms, Nanos::from_secs(60));
         println!(
@@ -409,10 +426,7 @@ fn baselines() {
     let sim = rubis.sim();
     let labels = NodeLabels::from_topology(sim.topology());
     let roots = roots_from_topology(sim.topology());
-    let cfg = e2eprof_apps::experiments::rubis_config(
-        Nanos::from_secs(60),
-        Nanos::from_secs(15),
-    );
+    let cfg = e2eprof_apps::experiments::rubis_config(Nanos::from_secs(60), Nanos::from_secs(15));
 
     let timed = |name: &str, graphs: Vec<e2eprof_core::ServiceGraph>, dt: std::time::Duration| {
         let bid = graphs.iter().find(|g| g.client_label == "C1");

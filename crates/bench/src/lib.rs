@@ -42,7 +42,9 @@ pub fn rubis_scenario(window: Nanos, max_delay: Nanos, seed: u64) -> Scenario {
         .quanta(Quanta::from_millis(1))
         .omega_ticks(50)
         .window(window)
-        .refresh(Nanos::from_nanos((window.as_nanos() / 4).max(1_000_000_000)))
+        .refresh(Nanos::from_nanos(
+            (window.as_nanos() / 4).max(1_000_000_000),
+        ))
         .max_delay(max_delay)
         .build();
     let mut rubis = Rubis::build(RubisConfig {

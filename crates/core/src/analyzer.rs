@@ -7,11 +7,20 @@
 //! refresh (the optimization that keeps pathmap's per-refresh cost flat as
 //! `W` grows — Fig. 9).
 //!
+//! Refreshes are *sharded*: the `(client, candidate-edge)` correlator map
+//! is partitioned into contiguous shards of its stable key order and the
+//! append/evict corrections run on a scoped worker pool
+//! ([`PathmapConfig::num_workers`]); path discovery (normalization + spike
+//! detection) then runs one root per worker against the precomputed
+//! series. Every worker count produces bitwise identical graphs — see
+//! [`parallel`](crate::parallel) for the determinism contract.
+//!
 //! [`TracerAgent`]: crate::tracer::TracerAgent
 
 use crate::change::ChangeTracker;
 use crate::config::PathmapConfig;
 use crate::graph::{NodeLabels, ServiceGraph};
+use crate::parallel;
 use crate::pathmap::{CorrelationProvider, Pathmap};
 use crate::signals::EdgeSignals;
 use crate::tracer::TracerFrame;
@@ -22,6 +31,10 @@ use e2eprof_timeseries::{wire, Nanos, RleSeries, Tick};
 use e2eprof_xcorr::incremental::IncrementalCorrelator;
 use e2eprof_xcorr::CorrSeries;
 use std::collections::HashMap;
+
+/// Key of one maintained correlator: the client whose arrival signal is
+/// the correlation source, and the candidate edge under test.
+type PairKey = (NodeId, (NodeId, NodeId));
 
 /// The online pathmap analyzer.
 #[derive(Debug)]
@@ -157,15 +170,89 @@ impl OnlineAnalyzer {
             EdgeSignals::from_parts(self.config.quanta(), (start, end), max_lag, signals_map);
 
         let fronts: HashMap<NodeId, NodeId> = self.roots.iter().copied().collect();
-        let mut provider = IncrementalProvider {
-            windows: &self.windows,
-            incs: &mut self.incs,
-            window: (start, end),
-            fronts,
-        };
-        let graphs = self
-            .pathmap
-            .discover_with(&signals, &self.roots, &self.labels, &mut provider);
+        let num_workers = self.config.num_workers();
+
+        // Phase 1 — advance every tracked correlator by the window delta,
+        // sharded over the worker pool in stable key order. Each pair owns
+        // its accumulator and only *reads* the shared windows, so its
+        // arithmetic is identical no matter which shard (or thread) runs
+        // it; the merge below reassembles the map in the same sorted key
+        // order for every worker count.
+        let mut entries: Vec<(PairKey, IncrementalCorrelator)> = self.incs.drain().collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        let mut sources: HashMap<NodeId, Option<RleSeries>> = HashMap::new();
+        for &((client, _), _) in &entries {
+            sources.entry(client).or_insert_with(|| {
+                fronts
+                    .get(&client)
+                    .and_then(|&front| signals.source_signal(client, front))
+            });
+        }
+        struct AdvanceItem<'a> {
+            key: PairKey,
+            inc: IncrementalCorrelator,
+            x: Option<&'a RleSeries>,
+            y: Option<&'a RleSeries>,
+            corr: Option<CorrSeries>,
+        }
+        let mut items: Vec<AdvanceItem<'_>> = entries
+            .into_iter()
+            .map(|(key, inc)| AdvanceItem {
+                key,
+                inc,
+                x: sources.get(&key.0).and_then(Option::as_ref),
+                y: signals.target_signal(key.1 .0, key.1 .1),
+                corr: None,
+            })
+            .collect();
+        let windows = &self.windows;
+        let fronts_ref = &fronts;
+        parallel::for_each_sharded_mut(&mut items, num_workers, |item| {
+            // Pairs whose signals vanished this window are carried over
+            // untouched — discovery cannot visit them either.
+            if let (Some(x), Some(y)) = (item.x, item.y) {
+                item.corr = Some(advance_pair(
+                    &mut item.inc,
+                    item.key.0,
+                    item.key.1,
+                    x,
+                    y,
+                    max_lag,
+                    (start, end),
+                    windows,
+                    fronts_ref,
+                ));
+            }
+        });
+        let mut cache: HashMap<PairKey, CorrSeries> = HashMap::with_capacity(items.len());
+        for item in items {
+            if let Some(corr) = item.corr {
+                cache.insert(item.key, corr);
+            }
+            self.incs.insert(item.key, item.inc);
+        }
+
+        // Phase 2 — path discovery (normalization + spike detection), one
+        // root per worker, served from the precomputed series. Each pair
+        // first reached this refresh belongs to exactly one client (hence
+        // one worker), so its correlator is created in the worker's local
+        // map — no lock — and merged back in stable root order.
+        let (graphs, providers) = self.pathmap.discover_pooled_with_providers(
+            &signals,
+            &self.roots,
+            &self.labels,
+            num_workers,
+            || CachedProvider {
+                cache: &cache,
+                windows: &self.windows,
+                fronts: &fronts,
+                window: (start, end),
+                fresh: HashMap::new(),
+            },
+        );
+        for provider in providers {
+            self.incs.extend(provider.fresh);
+        }
         self.change.record(at, &graphs);
         if !graphs.is_empty() && !self.subscribers.is_empty() {
             let update = GraphUpdate {
@@ -184,21 +271,86 @@ impl OnlineAnalyzer {
     }
 }
 
-/// Correlation provider that maintains one incremental correlator per
-/// `(client, edge)` pair, advancing it by the window delta instead of
-/// recomputing — with a from-scratch fallback whenever the retained
-/// history cannot support an exact advance.
-struct IncrementalProvider<'a> {
-    windows: &'a HashMap<(NodeId, NodeId), SlidingWindow>,
-    incs: &'a mut HashMap<(NodeId, (NodeId, NodeId)), IncrementalCorrelator>,
-    /// Current source window.
+/// Advances one `(client, edge)` correlator to the source window `window`
+/// and returns its lagged products.
+///
+/// This is the single code path for correlator maintenance: the sharded
+/// pre-advance and the serial fallback both call it with the same
+/// arguments, which is what makes parallel refreshes bitwise identical to
+/// serial ones.
+#[allow(clippy::too_many_arguments)]
+fn advance_pair(
+    inc: &mut IncrementalCorrelator,
+    client: NodeId,
+    edge: (NodeId, NodeId),
+    x: &RleSeries,
+    y: &RleSeries,
+    max_lag: u64,
     window: (Tick, Tick),
-    /// Each client's front-end node: the client's source signal lives on
-    /// the `(client, front)` edge.
-    fronts: HashMap<NodeId, NodeId>,
+    windows: &HashMap<(NodeId, NodeId), SlidingWindow>,
+    fronts: &HashMap<NodeId, NodeId>,
+) -> CorrSeries {
+    let (ws, we) = window;
+    if inc.max_lag() != max_lag {
+        *inc = IncrementalCorrelator::new(max_lag);
+    }
+    // The x signal is always the client's root signal, retained on the
+    // (client, front) window — needed for eviction corrections that
+    // reach before the current view.
+    let x_window = fronts
+        .get(&client)
+        .and_then(|front| windows.get(&(client, *front)));
+    // Determine whether an exact incremental advance is possible.
+    let advance_ok = match (inc.window(), x_window) {
+        (Some((s, e)), Some(xw)) => {
+            s <= ws && e >= ws && e <= we && xw.start() <= s && {
+                // y history for the eviction span [s, ws + L).
+                windows
+                    .get(&edge)
+                    .map(|yw| yw.start() <= s)
+                    .unwrap_or(false)
+            }
+        }
+        _ => false,
+    };
+    if advance_ok {
+        let (s, e) = inc.window().expect("checked");
+        let xw = x_window.expect("checked");
+        let yw = windows.get(&edge).expect("checked");
+        let y_horizon = yw.end();
+        if e < we {
+            inc.append(&xw.view(e, we), &yw.view(e, y_horizon));
+        }
+        inc.evict_to(
+            ws,
+            &xw.view(s, ws),
+            &yw.view(s, (ws + max_lag).min(y_horizon)),
+        );
+    } else {
+        inc.reset();
+        inc.append(x, y);
+    }
+    inc.corr().clone()
 }
 
-impl CorrelationProvider for IncrementalProvider<'_> {
+/// One discovery worker's view of the refresh's correlation evidence:
+/// series precomputed by the sharded advance phase, plus a worker-local
+/// map of correlators created for pairs first reached during this
+/// discovery pass (harvested and merged by the analyzer afterwards — a
+/// pair's client belongs to exactly one root, so local maps never
+/// conflict).
+struct CachedProvider<'a> {
+    cache: &'a HashMap<PairKey, CorrSeries>,
+    windows: &'a HashMap<(NodeId, NodeId), SlidingWindow>,
+    /// Each client's front-end node: the client's source signal lives on
+    /// the `(client, front)` edge.
+    fronts: &'a HashMap<NodeId, NodeId>,
+    /// Current source window.
+    window: (Tick, Tick),
+    fresh: HashMap<PairKey, IncrementalCorrelator>,
+}
+
+impl CorrelationProvider for CachedProvider<'_> {
     fn correlate(
         &mut self,
         client: NodeId,
@@ -207,48 +359,24 @@ impl CorrelationProvider for IncrementalProvider<'_> {
         y: &RleSeries,
         max_lag: u64,
     ) -> CorrSeries {
-        let (ws, we) = self.window;
+        if let Some(corr) = self.cache.get(&(client, edge)) {
+            return corr.clone();
+        }
         let inc = self
-            .incs
+            .fresh
             .entry((client, edge))
             .or_insert_with(|| IncrementalCorrelator::new(max_lag));
-        if inc.max_lag() != max_lag {
-            *inc = IncrementalCorrelator::new(max_lag);
-        }
-        // The x signal is always the client's root signal, retained on the
-        // (client, front) window — needed for eviction corrections that
-        // reach before the current view.
-        let x_window = self
-            .fronts
-            .get(&client)
-            .and_then(|front| self.windows.get(&(client, *front)));
-        // Determine whether an exact incremental advance is possible.
-        let advance_ok = match (inc.window(), x_window) {
-            (Some((s, e)), Some(xw)) => {
-                s <= ws && e >= ws && e <= we && xw.start() <= s && {
-                    // y history for the eviction span [s, ws + L).
-                    self.windows
-                        .get(&edge)
-                        .map(|yw| yw.start() <= s)
-                        .unwrap_or(false)
-                }
-            }
-            _ => false,
-        };
-        if advance_ok {
-            let (s, e) = inc.window().expect("checked");
-            let xw = x_window.expect("checked");
-            let yw = self.windows.get(&edge).expect("checked");
-            let y_horizon = yw.end();
-            if e < we {
-                inc.append(&xw.view(e, we), &yw.view(e, y_horizon));
-            }
-            inc.evict_to(ws, &xw.view(s, ws), &yw.view(s, (ws + max_lag).min(y_horizon)));
-        } else {
-            inc.reset();
-            inc.append(x, y);
-        }
-        inc.corr().clone()
+        advance_pair(
+            inc,
+            client,
+            edge,
+            x,
+            y,
+            max_lag,
+            self.window,
+            self.windows,
+            self.fronts,
+        )
     }
 }
 
@@ -333,12 +461,7 @@ mod tests {
     #[test]
     fn refresh_before_enough_data_is_empty() {
         let (_tx, rx) = unbounded::<TracerFrame>();
-        let mut analyzer = OnlineAnalyzer::new(
-            cfg(),
-            vec![],
-            NodeLabels::default(),
-            rx,
-        );
+        let mut analyzer = OnlineAnalyzer::new(cfg(), vec![], NodeLabels::default(), rx);
         assert!(analyzer.refresh(Nanos::from_secs(1)).is_empty());
     }
 
@@ -397,7 +520,10 @@ mod tests {
             let now = Nanos::from_secs(step * 2);
             sim.run_until(now);
             for a in &mut agents {
-                a.poll(sim.captures(), e2eprof_timeseries::Tick::new(step * 2_000 - 1_000));
+                a.poll(
+                    sim.captures(),
+                    e2eprof_timeseries::Tick::new(step * 2_000 - 1_000),
+                );
             }
             analyzer.ingest();
             let _ = analyzer.refresh(now);

@@ -165,7 +165,9 @@ mod tests {
     fn untracked_edges_are_empty() {
         let t = ChangeTracker::new();
         assert!(t.history(n(0), n(1), n(2)).is_empty());
-        assert!(t.changes(n(0), n(1), n(2), Nanos::from_millis(1)).is_empty());
+        assert!(t
+            .changes(n(0), n(1), n(2), Nanos::from_millis(1))
+            .is_empty());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct PathmapConfig {
     spike_sigma: f64,
     spike_resolution_ticks: u64,
     min_spike_value: f64,
+    num_workers: usize,
 }
 
 impl Default for PathmapConfig {
@@ -102,6 +103,15 @@ impl PathmapConfig {
     pub fn spike_detector(&self) -> SpikeDetector {
         SpikeDetector::new(self.spike_sigma, self.spike_resolution_ticks)
     }
+
+    /// The number of worker threads the online analyzer uses to refresh
+    /// correlations (default: the platform's available parallelism).
+    ///
+    /// Results are bitwise identical for every worker count; `1` runs the
+    /// whole refresh on the calling thread without spawning.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
 }
 
 /// Builder for [`PathmapConfig`].
@@ -115,6 +125,7 @@ pub struct PathmapConfigBuilder {
     spike_sigma: f64,
     spike_resolution_ticks: u64,
     min_spike_value: f64,
+    num_workers: usize,
 }
 
 impl Default for PathmapConfigBuilder {
@@ -128,6 +139,7 @@ impl Default for PathmapConfigBuilder {
             spike_sigma: 3.0,
             spike_resolution_ticks: 50,
             min_spike_value: 0.1,
+            num_workers: crate::parallel::available_workers(),
         }
     }
 }
@@ -181,6 +193,14 @@ impl PathmapConfigBuilder {
         self
     }
 
+    /// Sets the refresh worker-pool size (clamped to at least 1; default
+    /// is the platform's available parallelism). Output is bitwise
+    /// identical for every setting; `1` never spawns threads.
+    pub fn num_workers(mut self, workers: usize) -> Self {
+        self.num_workers = workers.max(1);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -198,9 +218,13 @@ impl PathmapConfigBuilder {
             spike_sigma: self.spike_sigma,
             spike_resolution_ticks: self.spike_resolution_ticks,
             min_spike_value: self.min_spike_value,
+            num_workers: self.num_workers.max(1),
         };
         assert!(cfg.window_ticks() > 0, "window must span at least one tick");
-        assert!(cfg.refresh_ticks() > 0, "refresh must span at least one tick");
+        assert!(
+            cfg.refresh_ticks() > 0,
+            "refresh must span at least one tick"
+        );
         assert!(cfg.max_lag() > 0, "max delay must span at least one tick");
         assert!(
             cfg.refresh_ticks() <= cfg.window_ticks(),
@@ -242,6 +266,25 @@ mod tests {
         assert_eq!(cfg.max_lag(), 120);
         assert_eq!(cfg.min_spike_value(), 0.1);
         assert_eq!(cfg.spike_detector().resolution(), 10);
+    }
+
+    #[test]
+    fn num_workers_defaults_and_clamps() {
+        assert!(PathmapConfig::default().num_workers() >= 1);
+        assert_eq!(
+            PathmapConfig::builder()
+                .num_workers(0)
+                .build()
+                .num_workers(),
+            1
+        );
+        assert_eq!(
+            PathmapConfig::builder()
+                .num_workers(4)
+                .build()
+                .num_workers(),
+            4
+        );
     }
 
     #[test]

@@ -122,7 +122,11 @@ impl GraphEdge {
             .iter()
             .map(|s| s.strength)
             .fold(f64::NEG_INFINITY, f64::max)
-            .max(if self.spikes.is_empty() { 1.0 } else { f64::NEG_INFINITY })
+            .max(if self.spikes.is_empty() {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            })
     }
 
     /// Cumulative delays of spikes with at least half the peak strength.
@@ -208,9 +212,9 @@ impl ServiceGraph {
 
     /// Whether an edge exists between the two labelled nodes.
     pub fn has_edge_between(&self, from_label: &str, to_label: &str) -> bool {
-        self.edges.iter().any(|e| {
-            self.label_of(e.from) == from_label && self.label_of(e.to) == to_label
-        })
+        self.edges
+            .iter()
+            .any(|e| self.label_of(e.from) == from_label && self.label_of(e.to) == to_label)
     }
 
     /// The label of a vertex (falls back to the numeric id).
@@ -320,8 +324,8 @@ impl ServiceGraph {
         for v in &mut self.vertices {
             if let Some(&c) = contributions.get(&v.node) {
                 v.contribution = Some(c);
-                v.bottleneck = max > Nanos::ZERO
-                    && c.as_nanos() as f64 >= fraction * max.as_nanos() as f64;
+                v.bottleneck =
+                    max > Nanos::ZERO && c.as_nanos() as f64 >= fraction * max.as_nanos() as f64;
             }
         }
     }
@@ -365,14 +369,14 @@ impl ServiceGraph {
             let Some(cum) = e.min_delay() else {
                 continue;
             };
-            let start_col =
-                ((cum.saturating_sub(e.hop_delay).as_nanos() as u128 * width as u128)
-                    / max_cum as u128) as usize;
-            let end_col =
-                ((cum.as_nanos() as u128 * width as u128) / max_cum as u128) as usize;
+            let start_col = ((cum.saturating_sub(e.hop_delay).as_nanos() as u128 * width as u128)
+                / max_cum as u128) as usize;
+            let end_col = ((cum.as_nanos() as u128 * width as u128) / max_cum as u128) as usize;
             let end_col = end_col.min(width);
             let start_col = start_col.min(end_col);
-            let bar_len = (end_col - start_col).max(1).min(width - start_col.min(width - 1));
+            let bar_len = (end_col - start_col)
+                .max(1)
+                .min(width - start_col.min(width - 1));
             let label = format!("{} -> {}", self.label_of(e.from), self.label_of(e.to));
             out.push_str(&format!(
                 "{label:<name_width$}|{:start_col$}{:#<bar_len$}{:pad$}| {:>7.1}ms\n",
@@ -393,10 +397,7 @@ impl ServiceGraph {
             "digraph \"{}\" {{\n  rankdir=LR;\n",
             self.client_label
         ));
-        s.push_str(&format!(
-            "  \"{}\" [shape=ellipse];\n",
-            self.client_label
-        ));
+        s.push_str(&format!("  \"{}\" [shape=ellipse];\n", self.client_label));
         for v in &self.vertices {
             let style = if v.bottleneck {
                 " style=filled fillcolor=grey"
@@ -531,8 +532,7 @@ mod tests {
     #[test]
     fn linearized_is_cumulative_order() {
         let g = sample();
-        let order: Vec<(NodeId, NodeId)> =
-            g.linearized().iter().map(|e| (e.from, e.to)).collect();
+        let order: Vec<(NodeId, NodeId)> = g.linearized().iter().map(|e| (e.from, e.to)).collect();
         assert_eq!(order, vec![(n(1), n(2)), (n(2), n(1)), (n(1), n(0))]);
     }
 

@@ -141,8 +141,7 @@ impl TraceIngest {
                 continue;
             }
             let mut fields = line.splitn(3, ',');
-            let (Some(ts), Some(src), Some(dst)) =
-                (fields.next(), fields.next(), fields.next())
+            let (Some(ts), Some(src), Some(dst)) = (fields.next(), fields.next(), fields.next())
             else {
                 return Err(ParseError::BadFieldCount { line: i + 1 });
             };
@@ -234,10 +233,7 @@ impl TraceIngest {
             stamps.sort_unstable();
             let series = DensityEstimator::from_timestamps(quanta, cfg.omega_ticks(), &stamps);
             let clipped = series
-                .slice(
-                    start.min(series.end()),
-                    y_end.min(series.end()).max(start),
-                )
+                .slice(start.min(series.end()), y_end.min(series.end()).max(start))
                 .to_rle();
             signals.insert(edge, clipped);
         }

@@ -80,6 +80,7 @@ pub mod diff;
 pub mod graph;
 pub mod ingest;
 pub mod nesting;
+pub mod parallel;
 pub mod pathmap;
 pub mod signals;
 pub mod skew;

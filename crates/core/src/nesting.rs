@@ -234,9 +234,18 @@ mod tests {
         assert_eq!(
             calls,
             vec![
-                RpcCall { start: ms(1), end: ms(3) },
-                RpcCall { start: ms(5), end: ms(8) },
-                RpcCall { start: ms(9), end: ms(12) },
+                RpcCall {
+                    start: ms(1),
+                    end: ms(3)
+                },
+                RpcCall {
+                    start: ms(5),
+                    end: ms(8)
+                },
+                RpcCall {
+                    start: ms(9),
+                    end: ms(12)
+                },
             ]
         );
     }
@@ -248,7 +257,13 @@ mod tests {
         let req = [ms(5), ms(20)];
         let resp = [ms(2), ms(9)];
         let calls = pair_calls(&req, &resp);
-        assert_eq!(calls, vec![RpcCall { start: ms(5), end: ms(9) }]);
+        assert_eq!(
+            calls,
+            vec![RpcCall {
+                start: ms(5),
+                end: ms(9)
+            }]
+        );
     }
 
     #[test]
@@ -260,14 +275,32 @@ mod tests {
     #[test]
     fn nesting_counts_contained_children() {
         let parents = vec![
-            RpcCall { start: ms(0), end: ms(10) },
-            RpcCall { start: ms(20), end: ms(30) },
+            RpcCall {
+                start: ms(0),
+                end: ms(10),
+            },
+            RpcCall {
+                start: ms(20),
+                end: ms(30),
+            },
         ];
         let children = vec![
-            RpcCall { start: ms(2), end: ms(8) },   // inside parent 0
-            RpcCall { start: ms(22), end: ms(28) }, // inside parent 1
-            RpcCall { start: ms(12), end: ms(18) }, // inside none
-            RpcCall { start: ms(25), end: ms(40) }, // overlaps but not nested
+            RpcCall {
+                start: ms(2),
+                end: ms(8),
+            }, // inside parent 0
+            RpcCall {
+                start: ms(22),
+                end: ms(28),
+            }, // inside parent 1
+            RpcCall {
+                start: ms(12),
+                end: ms(18),
+            }, // inside none
+            RpcCall {
+                start: ms(25),
+                end: ms(40),
+            }, // overlaps but not nested
         ];
         let (nested, offsets) = nest(&parents, &children);
         assert_eq!(nested, 2);
@@ -279,10 +312,19 @@ mod tests {
         // Two overlapping parents; the child nests in the earlier one
         // only (the later parent ends too soon).
         let parents = vec![
-            RpcCall { start: ms(0), end: ms(50) },
-            RpcCall { start: ms(4), end: ms(6) },
+            RpcCall {
+                start: ms(0),
+                end: ms(50),
+            },
+            RpcCall {
+                start: ms(4),
+                end: ms(6),
+            },
         ];
-        let children = vec![RpcCall { start: ms(5), end: ms(20) }];
+        let children = vec![RpcCall {
+            start: ms(5),
+            end: ms(20),
+        }];
         let (nested, offsets) = nest(&parents, &children);
         assert_eq!(nested, 1);
         assert_eq!(offsets, vec![ms(5)]);

@@ -1,0 +1,169 @@
+//! Deterministic sharded execution for the analyzer's refresh path.
+//!
+//! The online analyzer's dominant per-refresh cost is advancing one
+//! incremental correlator per `(client, candidate-edge)` pair. The pairs
+//! are independent — each owns its accumulator and only *reads* the shared
+//! sliding windows — so the map can be partitioned into contiguous shards
+//! of its stable key order and processed by a small scoped worker pool.
+//!
+//! Determinism contract: every function here yields results **bitwise
+//! identical** for any worker count, including 1. This holds because
+//! (a) shards are contiguous slices of the caller-ordered input, so each
+//! item's computation touches exactly the same data in the same order
+//! regardless of which worker runs it, and (b) outputs are merged back in
+//! input order, never in completion order. Nothing in this module
+//! introduces cross-item reductions.
+
+/// The number of workers to use when a configuration asks for "all cores".
+///
+/// Falls back to 1 when the platform cannot report its parallelism.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `num_workers` contiguous shard lengths
+/// whose sizes differ by at most one (earlier shards get the remainder).
+fn shard_lengths(len: usize, num_workers: usize) -> Vec<usize> {
+    let shards = num_workers.max(1).min(len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    (0..shards)
+        .map(|i| base + usize::from(i < extra))
+        .filter(|&n| n > 0)
+        .collect()
+}
+
+/// Applies `f` to every item, mutating in place, using up to
+/// `num_workers` scoped threads over contiguous shards.
+///
+/// With `num_workers <= 1` (or a single item) everything runs on the
+/// calling thread — no threads are spawned. Results are bitwise identical
+/// for any worker count: items are independent and each is processed by
+/// exactly one worker.
+pub fn for_each_sharded_mut<T, F>(items: &mut [T], num_workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if num_workers <= 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let lengths = shard_lengths(items.len(), num_workers);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(lengths.len());
+        for (i, &n) in lengths.iter().enumerate() {
+            // The final shard runs on the calling thread.
+            if i + 1 == lengths.len() {
+                for item in rest.iter_mut() {
+                    f(item);
+                }
+                rest = &mut [];
+            } else {
+                let (shard, tail) = rest.split_at_mut(n);
+                rest = tail;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    for item in shard {
+                        f(item);
+                    }
+                }));
+            }
+        }
+        for h in handles {
+            h.join().expect("shard worker panicked");
+        }
+    });
+}
+
+/// Maps every item to an output, preserving input order, using up to
+/// `num_workers` scoped threads over contiguous shards.
+pub fn map_sharded<T, R, F>(items: &[T], num_workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if num_workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let lengths = shard_lengths(items.len(), num_workers);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(lengths.len());
+        let mut last = Vec::new();
+        for (i, &n) in lengths.iter().enumerate() {
+            let (shard, tail) = rest.split_at(n);
+            rest = tail;
+            if i + 1 == lengths.len() {
+                last = shard.iter().map(&f).collect();
+            } else {
+                let f = &f;
+                handles.push(scope.spawn(move || shard.iter().map(f).collect::<Vec<R>>()));
+            }
+        }
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("shard worker panicked"));
+        }
+        out.extend(last);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_lengths_cover_and_balance() {
+        assert_eq!(shard_lengths(10, 3), vec![4, 3, 3]);
+        assert_eq!(shard_lengths(2, 8), vec![1, 1]);
+        assert_eq!(shard_lengths(0, 4), Vec::<usize>::new());
+        assert_eq!(shard_lengths(7, 1), vec![7]);
+        for (len, w) in [(1, 1), (5, 2), (16, 4), (17, 4), (3, 100)] {
+            let lens = shard_lengths(len, w);
+            assert_eq!(lens.iter().sum::<usize>(), len, "len={len} w={w}");
+            assert!(lens.len() <= w.max(1));
+        }
+    }
+
+    #[test]
+    fn for_each_mutates_every_item_identically_for_any_worker_count() {
+        let baseline: Vec<u64> = (0..37).map(|i| i * i + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..37).collect();
+            for_each_sharded_mut(&mut items, workers, |v| *v = *v * *v + 1);
+            assert_eq!(items, baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..23).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * 3).collect();
+        for workers in [1, 2, 5, 23, 99] {
+            assert_eq!(map_sharded(&items, workers, |i| i * 3), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        for_each_sharded_mut(&mut empty, 4, |_| unreachable!());
+        assert!(map_sharded(&empty, 4, |v: &u8| *v).is_empty());
+        let mut one = vec![5u8];
+        for_each_sharded_mut(&mut one, 4, |v| *v += 1);
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(available_workers() >= 1);
+    }
+}

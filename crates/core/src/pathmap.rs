@@ -140,26 +140,71 @@ impl Pathmap {
         roots: &[(NodeId, NodeId)],
         labels: &NodeLabels,
     ) -> Vec<ServiceGraph> {
-        // The full client set must be shared across threads: a thread
+        self.discover_pooled(signals, roots, labels, roots.len(), || {
+            StatelessProvider::new(self.engine.as_ref())
+        })
+    }
+
+    /// Runs `ServiceRoot` over a worker pool, each worker exploring a
+    /// contiguous shard of the roots with its own provider from
+    /// `make_provider`.
+    ///
+    /// Graphs are returned in root order regardless of worker count and
+    /// `num_workers <= 1` runs entirely on the calling thread, so results
+    /// are bitwise identical to the serial
+    /// [`discover_with`](Pathmap::discover_with) whenever the providers
+    /// are (the online analyzer's cached providers satisfy this by
+    /// construction: each `(client, edge)` pair's correlation is
+    /// precomputed once, in stable key order, before discovery starts).
+    pub fn discover_pooled<P, F>(
+        &self,
+        signals: &EdgeSignals,
+        roots: &[(NodeId, NodeId)],
+        labels: &NodeLabels,
+        num_workers: usize,
+        make_provider: F,
+    ) -> Vec<ServiceGraph>
+    where
+        P: CorrelationProvider + Send,
+        F: Fn() -> P + Sync,
+    {
+        self.discover_pooled_with_providers(signals, roots, labels, num_workers, make_provider)
+            .0
+    }
+
+    /// Like [`discover_pooled`](Pathmap::discover_pooled), but also hands
+    /// back each root's provider after its exploration (in root order), so
+    /// callers can harvest per-worker provider state — the online analyzer
+    /// collects the incremental correlators created for pairs first
+    /// reached during discovery this way, without a shared lock.
+    pub fn discover_pooled_with_providers<P, F>(
+        &self,
+        signals: &EdgeSignals,
+        roots: &[(NodeId, NodeId)],
+        labels: &NodeLabels,
+        num_workers: usize,
+        make_provider: F,
+    ) -> (Vec<ServiceGraph>, Vec<P>)
+    where
+        P: CorrelationProvider + Send,
+        F: Fn() -> P + Sync,
+    {
+        // The full client set must be shared across workers: a worker
         // exploring one client's graph must still know that the *other*
         // clients are untraced endpoints it cannot recurse into.
         let clients: HashSet<NodeId> = roots.iter().map(|&(c, _)| c).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = roots
-                .iter()
-                .map(|&(client, front)| {
-                    let clients = &clients;
-                    scope.spawn(move || {
-                        let mut provider = StatelessProvider::new(self.engine.as_ref());
-                        self.discover_one(signals, client, front, clients, labels, &mut provider)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .filter_map(|h| h.join().expect("discovery thread panicked"))
-                .collect()
-        })
+        let results = crate::parallel::map_sharded(roots, num_workers, |&(client, front)| {
+            let mut provider = make_provider();
+            let graph = self.discover_one(signals, client, front, &clients, labels, &mut provider);
+            (graph, provider)
+        });
+        let mut graphs = Vec::with_capacity(results.len());
+        let mut providers = Vec::with_capacity(results.len());
+        for (graph, provider) in results {
+            graphs.extend(graph);
+            providers.push(provider);
+        }
+        (graphs, providers)
     }
 
     /// Runs `ServiceRoot` with an explicit correlation provider.
@@ -200,7 +245,16 @@ impl Pathmap {
         graph.add_edge(GraphEdge::anchor(client, front));
         let mut visited = HashSet::new();
         self.compute_path(
-            &mut graph, client, &x, front, 0, &mut visited, clients, signals, labels, provider,
+            &mut graph,
+            client,
+            &x,
+            front,
+            0,
+            &mut visited,
+            clients,
+            signals,
+            labels,
+            provider,
         );
         graph.recompute_hop_delays();
         graph.annotate_bottlenecks(self.bottleneck_fraction);
@@ -387,7 +441,10 @@ mod tests {
             "c1's graph leaked into s2:\n{g1}"
         );
         assert!(g2.has_edge_between("web", "s2"));
-        assert!(!g2.has_edge_between("web", "s1"), "c2's graph leaked into s1");
+        assert!(
+            !g2.has_edge_between("web", "s1"),
+            "c2's graph leaked into s1"
+        );
         // Cross-client response edges must not appear either.
         assert!(!g1.has_edge_between("web", "c2"));
         assert!(!g2.has_edge_between("web", "c1"));
@@ -430,11 +487,8 @@ mod tests {
         for engine in all_engines() {
             let pm = Pathmap::with_correlator(cfg.clone(), engine);
             let graphs = pm.discover(&signals, &roots, &labels);
-            let mut edges: Vec<(NodeId, NodeId)> = graphs[0]
-                .edges()
-                .iter()
-                .map(|e| (e.from, e.to))
-                .collect();
+            let mut edges: Vec<(NodeId, NodeId)> =
+                graphs[0].edges().iter().map(|e| (e.from, e.to)).collect();
             edges.sort_unstable();
             edge_sets.push(edges);
         }

@@ -58,9 +58,7 @@ impl EdgeSignals {
     pub fn from_capture(capture: &CaptureStore, cfg: &PathmapConfig, now: Nanos) -> Self {
         let quanta = cfg.quanta();
         let max_lag = cfg.max_lag();
-        let end = quanta
-            .tick_of(now)
-            .saturating_sub(max_lag);
+        let end = quanta.tick_of(now).saturating_sub(max_lag);
         let start = end.saturating_sub(cfg.window_ticks());
         let y_end = end + max_lag;
         // Timestamps influencing ticks >= start begin at start·τ − ω/2.
@@ -73,8 +71,7 @@ impl EdgeSignals {
             let all = capture.edge_signal(src, dst);
             let lo = all.partition_point(|&t| t < ts_lo);
             let hi = all.partition_point(|&t| t < ts_hi);
-            let series =
-                DensityEstimator::from_timestamps(quanta, cfg.omega_ticks(), &all[lo..hi]);
+            let series = DensityEstimator::from_timestamps(quanta, cfg.omega_ticks(), &all[lo..hi]);
             let clipped = series
                 .slice(start.min(series.end()), y_end.min(series.end()).max(start))
                 .to_rle();
@@ -100,10 +97,7 @@ impl EdgeSignals {
 
     /// The nodes `node` sent messages to within the window's horizon.
     pub fn edges_from(&self, node: NodeId) -> &[NodeId] {
-        self.adjacency
-            .get(&node)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.adjacency.get(&node).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All edges with signals.
@@ -114,9 +108,12 @@ impl EdgeSignals {
     /// The *source* signal of `src → dst`: the series sliced to the
     /// analysis window (requests whose causality is being traced).
     pub fn source_signal(&self, src: NodeId, dst: NodeId) -> Option<RleSeries> {
-        self.signals
-            .get(&(src, dst))
-            .map(|s| s.slice(self.window.0.max(s.start()), self.window.1.min(s.end()).max(self.window.0)))
+        self.signals.get(&(src, dst)).map(|s| {
+            s.slice(
+                self.window.0.max(s.start()),
+                self.window.1.min(s.end()).max(self.window.0),
+            )
+        })
     }
 
     /// The *target* signal of `src → dst`: the full retained span
@@ -177,11 +174,15 @@ mod tests {
         // end = now − T_u = 28s; start = end − W = 8s (in ms ticks).
         assert_eq!(end, Tick::new(28_000));
         assert_eq!(start, Tick::new(8_000));
-        let x = signals.source_signal(NodeId::new(2), NodeId::new(0)).unwrap();
+        let x = signals
+            .source_signal(NodeId::new(2), NodeId::new(0))
+            .unwrap();
         assert_eq!(x.start(), start);
         assert_eq!(x.end(), end);
         // Target extends past the source window for lag coverage.
-        let y = signals.target_signal(NodeId::new(0), NodeId::new(1)).unwrap();
+        let y = signals
+            .target_signal(NodeId::new(0), NodeId::new(1))
+            .unwrap();
         assert!(y.end() > end);
     }
 
@@ -191,7 +192,9 @@ mod tests {
         sim.run_until(Nanos::from_secs(30));
         let cfg = small_cfg();
         let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
-        let x = signals.source_signal(NodeId::new(2), NodeId::new(0)).unwrap();
+        let x = signals
+            .source_signal(NodeId::new(2), NodeId::new(0))
+            .unwrap();
         // ~40 req/s over a 20 s window, each smeared over ω=50 ticks.
         assert!(x.stats().sum() > 100.0);
     }

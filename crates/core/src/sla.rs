@@ -223,7 +223,10 @@ mod tests {
             },
         ]);
         m.check(Nanos::from_secs(1), &[graph(n(8), 100, "a")]);
-        m.check(Nanos::from_secs(2), &[graph(n(8), 100, "a"), graph(n(9), 100, "b")]);
+        m.check(
+            Nanos::from_secs(2),
+            &[graph(n(8), 100, "a"), graph(n(9), 100, "b")],
+        );
         assert_eq!(m.history().len(), 3);
         assert_eq!(m.violations_of(n(8)).len(), 2);
         assert_eq!(m.violations_of(n(9)).len(), 1);

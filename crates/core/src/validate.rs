@@ -98,9 +98,8 @@ pub fn compare(
     let e2e_inferred = graph.end_to_end_delay();
     let e2e_actual = Nanos::from_nanos(truth.class_latency(class).mean().round() as u64);
     let e2e_gap = e2e_inferred.and_then(|inf| {
-        (inf > Nanos::ZERO).then(|| {
-            (e2e_actual.as_nanos() as f64 - inf.as_nanos() as f64) / inf.as_nanos() as f64
-        })
+        (inf > Nanos::ZERO)
+            .then(|| (e2e_actual.as_nanos() as f64 - inf.as_nanos() as f64) / inf.as_nanos() as f64)
     });
     AccuracyReport {
         hops,
@@ -156,7 +155,10 @@ mod tests {
         // The client observes more latency than server-side tracing can
         // see (its own access link), as in the paper's 16% observation.
         let gap = report.e2e_gap.expect("e2e estimate available");
-        assert!(gap > 0.0, "client-observed latency should exceed estimate, gap={gap}");
+        assert!(
+            gap > 0.0,
+            "client-observed latency should exceed estimate, gap={gap}"
+        );
         assert!(gap < 1.0, "gap implausibly large: {gap}");
     }
 }

@@ -26,8 +26,7 @@ fn chain_sim(service_ms: &[u64], rate: f64, seed: u64) -> Simulation {
         .map(|(i, &ms)| {
             t.service(
                 &format!("s{i}"),
-                ServiceConfig::new(DelayDist::normal_millis(ms, (ms / 4).max(1)))
-                    .with_servers(4),
+                ServiceConfig::new(DelayDist::normal_millis(ms, (ms / 4).max(1))).with_servers(4),
             )
         })
         .collect();

@@ -70,11 +70,7 @@ impl CaptureStore {
         local_ts: Nanos,
         packets: u32,
     ) {
-        let key = TraceKey {
-            observer,
-            src,
-            dst,
-        };
+        let key = TraceKey { observer, src, dst };
         let v = self.traces.entry(key).or_default();
         for _ in 0..packets {
             v.push(local_ts);

@@ -113,7 +113,10 @@ mod tests {
     fn drift_accumulates_linearly() {
         // 100 ppm over 10 seconds = 1 ms.
         let c = NodeClock::synchronized().with_drift_ppm(100.0);
-        assert_eq!(c.local(Nanos::from_secs(10)), Nanos::from_nanos(10_001_000_000));
+        assert_eq!(
+            c.local(Nanos::from_secs(10)),
+            Nanos::from_nanos(10_001_000_000)
+        );
     }
 
     #[test]

@@ -74,9 +74,7 @@ impl DelayDist {
     pub fn mean(&self) -> Nanos {
         match *self {
             DelayDist::Constant(d) => d,
-            DelayDist::Uniform { lo, hi } => {
-                Nanos::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2)
-            }
+            DelayDist::Uniform { lo, hi } => Nanos::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2),
             DelayDist::Exponential { mean } => mean,
             // Clamping at zero biases the mean upward slightly; ignored —
             // configuration keeps std well under mean.
@@ -121,7 +119,10 @@ mod tests {
 
     fn empirical_mean(dist: &DelayDist, n: usize) -> f64 {
         let mut r = rng();
-        (0..n).map(|_| dist.sample(&mut r).as_nanos() as f64).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| dist.sample(&mut r).as_nanos() as f64)
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -184,7 +185,13 @@ mod tests {
     #[test]
     fn means_reported() {
         assert_eq!(DelayDist::constant_millis(4).mean(), Nanos::from_millis(4));
-        assert_eq!(DelayDist::uniform_millis(2, 8).mean(), Nanos::from_millis(5));
-        assert_eq!(DelayDist::exponential_millis(7).mean(), Nanos::from_millis(7));
+        assert_eq!(
+            DelayDist::uniform_millis(2, 8).mean(),
+            Nanos::from_millis(5)
+        );
+        assert_eq!(
+            DelayDist::exponential_millis(7).mean(),
+            Nanos::from_millis(7)
+        );
     }
 }

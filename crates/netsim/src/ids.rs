@@ -9,9 +9,7 @@ use std::fmt;
 /// creation order; the topology maps them back to human-readable labels.
 ///
 /// [`TopologyBuilder`]: crate::topology::TopologyBuilder
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -37,9 +35,7 @@ impl fmt::Display for NodeId {
 /// Requests issued by one client node all belong to one class; a physical
 /// client issuing several classes is modelled as several client nodes,
 /// exactly as in the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ClassId(u16);
 
 impl ClassId {
@@ -64,9 +60,7 @@ impl fmt::Display for ClassId {
 ///
 /// Only the simulator's ground-truth recorder sees request ids — pathmap,
 /// by design, never does (it is a black-box technique).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RequestId(u64);
 
 impl RequestId {

@@ -49,7 +49,6 @@ pub enum DelaySchedule {
     },
 }
 
-
 /// SplitMix64 finalizer — a well-distributed 64-bit hash.
 fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e3779b97f4a7c15);
@@ -143,10 +142,22 @@ mod tests {
             Nanos::from_millis(20),
         );
         assert_eq!(s.extra_delay(Nanos::from_secs(30)), Nanos::ZERO);
-        assert_eq!(s.extra_delay(Nanos::from_minutes(1)), Nanos::from_millis(20));
-        assert_eq!(s.extra_delay(Nanos::from_minutes(3)), Nanos::from_millis(20));
-        assert_eq!(s.extra_delay(Nanos::from_minutes(4)), Nanos::from_millis(40));
-        assert_eq!(s.extra_delay(Nanos::from_minutes(7)), Nanos::from_millis(60));
+        assert_eq!(
+            s.extra_delay(Nanos::from_minutes(1)),
+            Nanos::from_millis(20)
+        );
+        assert_eq!(
+            s.extra_delay(Nanos::from_minutes(3)),
+            Nanos::from_millis(20)
+        );
+        assert_eq!(
+            s.extra_delay(Nanos::from_minutes(4)),
+            Nanos::from_millis(40)
+        );
+        assert_eq!(
+            s.extra_delay(Nanos::from_minutes(7)),
+            Nanos::from_millis(60)
+        );
     }
 
     #[test]
@@ -163,11 +174,8 @@ mod tests {
 
     #[test]
     fn random_piecewise_is_constant_within_period() {
-        let s = DelaySchedule::random_piecewise(
-            Nanos::from_minutes(1),
-            Nanos::from_millis(100),
-            42,
-        );
+        let s =
+            DelaySchedule::random_piecewise(Nanos::from_minutes(1), Nanos::from_millis(100), 42);
         let a = s.extra_delay(Nanos::from_secs(61));
         let b = s.extra_delay(Nanos::from_secs(119));
         assert_eq!(a, b);
@@ -176,16 +184,17 @@ mod tests {
 
     #[test]
     fn random_piecewise_varies_across_periods() {
-        let s = DelaySchedule::random_piecewise(
-            Nanos::from_minutes(1),
-            Nanos::from_millis(100),
-            42,
-        );
+        let s =
+            DelaySchedule::random_piecewise(Nanos::from_minutes(1), Nanos::from_millis(100), 42);
         let values: Vec<Nanos> = (0..20)
             .map(|m| s.extra_delay(Nanos::from_minutes(m)))
             .collect();
         let distinct: std::collections::HashSet<_> = values.iter().collect();
-        assert!(distinct.len() > 10, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl Simulation {
     /// Creates a simulation over `topo`, seeding every stochastic choice
     /// from `seed`.
     pub fn new(topo: Topology, seed: u64) -> Self {
-        let mut nodes: Vec<NodeState> = (0..topo.num_nodes()).map(|_| NodeState::default()).collect();
+        let mut nodes: Vec<NodeState> = (0..topo.num_nodes())
+            .map(|_| NodeState::default())
+            .collect();
         let mut queue = EventQueue::new();
         let mut rng = StdRng::seed_from_u64(seed);
         for client in topo.clients() {
@@ -189,8 +191,7 @@ impl Simulation {
             })
             .clone();
         let latency = link.sample(&mut self.rng);
-        self.queue
-            .schedule(self.now + latency, Event::Deliver(msg));
+        self.queue.schedule(self.now + latency, Event::Deliver(msg));
     }
 
     fn handle_deliver(&mut self, msg: Message) {
@@ -304,10 +305,7 @@ impl Simulation {
                             .service_config(node)
                             .expect("service node")
                             .fanout();
-                        let join = self.nodes[node.index()]
-                            .joins
-                            .entry(msg.req)
-                            .or_default();
+                        let join = self.nodes[node.index()].joins.entry(msg.req).or_default();
                         join.remaining += fanout;
                         join.owed += 1;
                         for _ in 0..fanout {
@@ -367,10 +365,7 @@ mod tests {
         // response hops: 0.1ms each at app and ws + 3 link crossings
         // = 23.2ms plus queueing.
         let mean_ms = stats.mean() / 1e6;
-        assert!(
-            (23.0..30.0).contains(&mean_ms),
-            "mean latency {mean_ms} ms"
-        );
+        assert!((23.0..30.0).contains(&mean_ms), "mean latency {mean_ms} ms");
     }
 
     #[test]
@@ -409,12 +404,25 @@ mod tests {
         sim.run_until(Nanos::from_secs(2));
         let cli = NodeId::new(3);
         for (src, dst) in sim.captures().edges().collect::<Vec<_>>() {
-            assert!(sim.captures().timestamps(TraceKey { observer: cli, src, dst }).is_empty());
+            assert!(sim
+                .captures()
+                .timestamps(TraceKey {
+                    observer: cli,
+                    src,
+                    dst
+                })
+                .is_empty());
         }
         // But the client edge is visible from the ws side.
         let ws = NodeId::new(0);
-        assert!(!sim.captures().timestamps(TraceKey::at_receiver(cli, ws)).is_empty());
-        assert!(!sim.captures().timestamps(TraceKey::at_sender(ws, cli)).is_empty());
+        assert!(!sim
+            .captures()
+            .timestamps(TraceKey::at_receiver(cli, ws))
+            .is_empty());
+        assert!(!sim
+            .captures()
+            .timestamps(TraceKey::at_sender(ws, cli))
+            .is_empty());
     }
 
     #[test]
@@ -456,8 +464,14 @@ mod tests {
         let mut sim = Simulation::new(t.build().unwrap(), 5);
         sim.run_until(Nanos::from_secs(10));
         let (app, db, cli) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
-        let down = sim.captures().timestamps(TraceKey::at_receiver(app, db)).len();
-        let up = sim.captures().timestamps(TraceKey::at_receiver(cli, app)).len();
+        let down = sim
+            .captures()
+            .timestamps(TraceKey::at_receiver(app, db))
+            .len();
+        let up = sim
+            .captures()
+            .timestamps(TraceKey::at_receiver(cli, app))
+            .len();
         assert!(down >= 3 * (up - 5), "down {down}, up {up}");
         // Each client request still completes exactly once.
         assert!(sim.truth().completed_count() > 50);
@@ -481,8 +495,14 @@ mod tests {
         let mut sim = Simulation::new(t.build().unwrap(), 6);
         sim.run_until(Nanos::from_secs(10));
         let (ws, a, b) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
-        let to_a = sim.captures().timestamps(TraceKey::at_receiver(ws, a)).len();
-        let to_b = sim.captures().timestamps(TraceKey::at_receiver(ws, b)).len();
+        let to_a = sim
+            .captures()
+            .timestamps(TraceKey::at_receiver(ws, a))
+            .len();
+        let to_b = sim
+            .captures()
+            .timestamps(TraceKey::at_receiver(ws, b))
+            .len();
         assert!((to_a as i64 - to_b as i64).abs() <= 1, "{to_a} vs {to_b}");
     }
 

@@ -229,8 +229,8 @@ impl ArrivalGen {
                 let mut t = now;
                 loop {
                     t += exp_gap(*peak_rate, rng);
-                    let phase = (t.as_nanos() % period.as_nanos()) as f64
-                        / period.as_nanos() as f64;
+                    let phase =
+                        (t.as_nanos() % period.as_nanos()) as f64 / period.as_nanos() as f64;
                     let swing = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
                     let fraction = trough_fraction + (1.0 - trough_fraction) * swing;
                     if rng.gen::<f64>() < fraction {
@@ -325,11 +325,7 @@ mod tests {
 
     #[test]
     fn on_off_has_quiet_zones() {
-        let w = Workload::on_off(
-            1000.0,
-            Nanos::from_millis(50),
-            Nanos::from_millis(200),
-        );
+        let w = Workload::on_off(1000.0, Nanos::from_millis(50), Nanos::from_millis(200));
         let arrivals = collect(w, Nanos::from_secs(20), 5);
         assert!(arrivals.len() > 100);
         // A Poisson stream at this average rate would rarely show 150 ms
@@ -348,14 +344,20 @@ mod tests {
         let arrivals = collect(w, Nanos::from_secs(400), 6);
         // Count arrivals near troughs (phase ~0) vs peaks (phase ~0.5).
         let phase_of = |t: Nanos| (t.as_nanos() % period.as_nanos()) as f64 / 1e11;
-        let near_trough = arrivals.iter().filter(|&&t| {
-            let p = phase_of(t);
-            !(0.15..0.85).contains(&p)
-        }).count();
-        let near_peak = arrivals.iter().filter(|&&t| {
-            let p = phase_of(t);
-            (0.35..0.65).contains(&p)
-        }).count();
+        let near_trough = arrivals
+            .iter()
+            .filter(|&&t| {
+                let p = phase_of(t);
+                !(0.15..0.85).contains(&p)
+            })
+            .count();
+        let near_peak = arrivals
+            .iter()
+            .filter(|&&t| {
+                let p = phase_of(t);
+                (0.35..0.65).contains(&p)
+            })
+            .count();
         assert!(
             near_peak as f64 > 2.0 * near_trough as f64,
             "peak {near_peak} vs trough {near_trough}"

@@ -97,7 +97,10 @@ impl DenseSeries {
 
     /// Moments over the full span (zeros included).
     pub fn stats(&self) -> SeriesStats {
-        SeriesStats::from_entries(self.values.iter().copied().filter(|&v| v != 0.0), self.len())
+        SeriesStats::from_entries(
+            self.values.iter().copied().filter(|&v| v != 0.0),
+            self.len(),
+        )
     }
 
     /// Converts to the zero-suppressed sparse representation, preserving the

@@ -264,11 +264,8 @@ mod tests {
     #[test]
     fn append_chunk_extends_span() {
         let mut s = sample();
-        let chunk = SparseSeries::from_parts(
-            Tick::new(30),
-            5,
-            vec![SparseEntry::new(Tick::new(31), 2.0)],
-        );
+        let chunk =
+            SparseSeries::from_parts(Tick::new(30), 5, vec![SparseEntry::new(Tick::new(31), 2.0)]);
         s.append_chunk(&chunk);
         assert_eq!(s.end(), Tick::new(35));
         assert_eq!(s.value_at(Tick::new(31)), 2.0);

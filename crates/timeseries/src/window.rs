@@ -58,7 +58,10 @@ impl SlidingWindow {
 
     /// First retained tick (the window start). Tick zero before any data.
     pub fn start(&self) -> Tick {
-        self.series.as_ref().map(|s| s.start()).unwrap_or(Tick::ZERO)
+        self.series
+            .as_ref()
+            .map(|s| s.start())
+            .unwrap_or(Tick::ZERO)
     }
 
     /// One past the last retained tick. Tick zero before any data.
@@ -225,7 +228,10 @@ mod tests {
         let healed = w.append_or_reset(&chunk(
             0,
             15,
-            vec![Run::new(Tick::new(3), 1, 1.0), Run::new(Tick::new(12), 1, 2.0)],
+            vec![
+                Run::new(Tick::new(3), 1, 1.0),
+                Run::new(Tick::new(12), 1, 2.0),
+            ],
         ));
         assert!(!healed);
         assert_eq!(w.end(), Tick::new(15));

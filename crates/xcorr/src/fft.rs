@@ -28,7 +28,6 @@ impl Complex {
     pub fn conj(self) -> Self {
         Complex::new(self.re, -self.im)
     }
-
 }
 
 impl std::ops::Mul for Complex {

@@ -123,6 +123,13 @@ impl IncrementalCorrelator {
     }
 }
 
+// Shards of `(client, edge) -> IncrementalCorrelator` maps are moved onto
+// scoped worker threads by the online analyzer; keep the type thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IncrementalCorrelator>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

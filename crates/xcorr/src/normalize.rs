@@ -140,7 +140,10 @@ mod tests {
     #[test]
     fn matches_dense_pearson_reference() {
         let x = rles(0, vec![1.0, 0.0, 0.0, 2.0, 2.0, 0.0, 5.0, 0.0]);
-        let y = rles(0, vec![0.0, 1.0, 0.0, 0.0, 2.0, 2.0, 0.0, 5.0, 0.0, 3.0, 3.0, 0.0]);
+        let y = rles(
+            0,
+            vec![0.0, 1.0, 0.0, 0.0, 2.0, 2.0, 0.0, 5.0, 0.0, 3.0, 3.0, 0.0],
+        );
         let raw = rle::correlate(&x, &y, 4);
         let rho = normalize(&raw, &x, &y);
         for d in 0..4 {
@@ -156,7 +159,12 @@ mod tests {
     #[test]
     fn exact_shift_gives_unit_coefficient() {
         let x = rles(0, vec![4.0, 0.0, 1.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0]);
-        let y = rles(0, vec![0.0, 0.0, 0.0, 4.0, 0.0, 1.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0]);
+        let y = rles(
+            0,
+            vec![
+                0.0, 0.0, 0.0, 4.0, 0.0, 1.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0,
+            ],
+        );
         let raw = rle::correlate(&x, &y, 6);
         let rho = normalize(&raw, &x, &y);
         assert!((rho.value_at(3) - 1.0).abs() < 1e-9);

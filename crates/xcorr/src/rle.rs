@@ -67,12 +67,7 @@ pub fn correlate(x: &RleSeries, y: &RleSeries, max_lag: u64) -> CorrSeries {
             // where p1 = (sy − sx) − (lx − 1) is the smallest lag with
             // non-zero overlap.
             let p1 = sy - sx - (lx - 1);
-            for (p, e) in [
-                (p1, w),
-                (p1 + lx, -w),
-                (p1 + ly, -w),
-                (p1 + lx + ly, w),
-            ] {
+            for (p, e) in [(p1, w), (p1 + lx, -w), (p1 + ly, -w), (p1 + lx + ly, w)] {
                 if p >= l {
                     continue;
                 }
@@ -110,11 +105,7 @@ mod tests {
 
     fn check_against_dense(x: &DenseSeries, y: &DenseSeries, max_lag: u64) {
         let expect = dense::correlate(x, y, max_lag);
-        let got = correlate(
-            &x.to_sparse().to_rle(),
-            &y.to_sparse().to_rle(),
-            max_lag,
-        );
+        let got = correlate(&x.to_sparse().to_rle(), &y.to_sparse().to_rle(), max_lag);
         assert!(
             expect.max_abs_diff(&got) < 1e-9,
             "expect {:?} got {:?}",

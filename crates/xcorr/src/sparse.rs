@@ -78,7 +78,10 @@ mod tests {
     fn y_entries_before_x_are_skipped() {
         // y has activity before x's first entry: only non-negative lags count.
         let x = ds(10, vec![1.0]);
-        let y = ds(0, vec![9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0]);
+        let y = ds(
+            0,
+            vec![9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0],
+        );
         let r = correlate(&x.to_sparse(), &y.to_sparse(), 3);
         assert_eq!(r.values(), &[4.0, 0.0, 0.0]);
     }

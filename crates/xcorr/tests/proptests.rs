@@ -76,6 +76,72 @@ proptest! {
     }
 
     #[test]
+    fn batch_is_bitwise_identical_to_serial_for_random_inputs(
+        raw in prop::collection::vec(
+            (signal_strategy(60), signal_strategy(90)),
+            0..12,
+        ),
+        max_lag in 0u64..40,
+        num_workers in 1usize..9,
+    ) {
+        let owned: Vec<(RleSeries, RleSeries)> = raw
+            .into_iter()
+            .map(|((xs, xv), (ys, yv))| (to_rle(xs, xv), to_rle(ys, yv)))
+            .collect();
+        let pairs: Vec<(&RleSeries, &RleSeries)> =
+            owned.iter().map(|(x, y)| (x, y)).collect();
+        for engine in all_engines() {
+            let serial: Vec<_> = pairs
+                .iter()
+                .map(|&(x, y)| engine.correlate(x, y, max_lag))
+                .collect();
+            let batched = engine.correlate_batch(&pairs, max_lag, num_workers);
+            prop_assert_eq!(batched.len(), serial.len());
+            for (b, s) in batched.iter().zip(&serial) {
+                // Bitwise identity, not tolerance: each pair's arithmetic
+                // is untouched by how the batch was sharded.
+                prop_assert_eq!(b.values(), s.values(), "{} diverged", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct_under_random_splits(
+        (_, xv) in signal_strategy(160),
+        (ys, yv) in signal_strategy(200),
+        max_lag in 1u64..30,
+        cuts in prop::collection::vec(1u64..160, 0..8),
+        evict_frac in 0.0f64..1.0,
+    ) {
+        // Append the source in arbitrarily-sized contiguous chunks, then
+        // evict an arbitrary prefix: the accumulated products must match a
+        // from-scratch correlation of the surviving window.
+        let x = to_rle(0, xv);
+        let y = to_rle(ys, yv);
+        let total = x.len();
+        prop_assume!(total > 0);
+        let mut bounds: Vec<u64> = cuts.into_iter().filter(|&c| c < total).collect();
+        bounds.push(total);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut inc = IncrementalCorrelator::new(max_lag);
+        let mut prev = 0u64;
+        for &b in &bounds {
+            inc.append(&x.slice(Tick::new(prev), Tick::new(b)), &y);
+            prev = b;
+        }
+        let new_start = ((total as f64) * evict_frac).floor() as u64;
+        inc.evict_to(Tick::new(new_start), &x, &y);
+
+        let direct = rle::correlate(&x.slice(Tick::new(new_start), Tick::new(total)), &y, max_lag);
+        prop_assert!(
+            inc.corr().max_abs_diff(&direct) < 1e-6,
+            "window [{},{}) after {} appends drifted", new_start, total, bounds.len()
+        );
+    }
+
+    #[test]
     fn normalized_values_are_pearson_bounded(
         (xs, xv) in signal_strategy(100),
         (ys, yv) in signal_strategy(140),

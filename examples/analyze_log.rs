@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t1: u64 = 0;
     let mut h1: u64 = 99;
     for _ in 0..2000 {
-        h1 = h1.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        h1 = h1
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         t1 += 15_000_000 + h1 % 60_000_000; // 15–75 ms gaps
         writeln!(log, "{t1},booking-app,ticketing")?;
         writeln!(log, "{},ticketing,inventory", t1 + ms(4))?;
@@ -33,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t2: u64 = 0;
     let mut h2: u64 = 7_777;
     for _ in 0..2000 {
-        h2 = h2.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        h2 = h2
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         t2 += 15_000_000 + h2 % 60_000_000;
         writeln!(log, "{t2},payments-app,ticketing")?;
         writeln!(log, "{},ticketing,payment", t2 + ms(5))?;

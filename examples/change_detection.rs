@@ -17,14 +17,19 @@ fn main() {
     println!("staircase at EJB2 (W = 1 min, refresh every minute)...\n");
     let (points, tracker) = fig7_change_detection(42, minutes);
 
-    println!("{:>6}  {:>10}  {:>16}  {:>14}", "time", "injected", "E2EProf @ EJB2", "frontend avg");
+    println!(
+        "{:>6}  {:>10}  {:>16}  {:>14}",
+        "time", "injected", "E2EProf @ EJB2", "frontend avg"
+    );
     for p in &points {
         println!(
             "{:>5.0}s  {:>8.1}ms  {:>14.1}ms  {:>12.1}ms",
             p.at.as_secs_f64(),
             p.injected.as_millis_f64(),
             p.detected.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN),
-            p.frontend_avg.map(|d| d.as_millis_f64()).unwrap_or(f64::NAN),
+            p.frontend_avg
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(f64::NAN),
         );
     }
 

@@ -12,7 +12,10 @@ use e2eprof::timeseries::Nanos;
 fn main() {
     println!("estimating clock skew between the two ends of an edge");
     println!("(1 ms link; offset = skew + network delay)\n");
-    println!("{:>12} {:>14} {:>14} {:>10}", "configured", "estimated", "minus link", "corr");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "configured", "estimated", "minus link", "corr"
+    );
     for skew_ms in [-8i64, -3, 0, 2, 5, 12] {
         let r = skew_estimation(9, skew_ms, Nanos::from_secs(60));
         println!(

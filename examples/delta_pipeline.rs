@@ -42,7 +42,10 @@ fn main() {
                 && g.has_edge_between("validator", "revenue_db")
         })
         .count();
-    println!("full pipeline path recovered for {complete}/{} bursty feeds", queues - 1);
+    println!(
+        "full pipeline path recovered for {complete}/{} bursty feeds",
+        queues - 1
+    );
     if let Some(g) = graphs.iter().find(|g| g.client_label == "feed_01") {
         println!("\n{g}");
     }

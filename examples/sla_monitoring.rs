@@ -87,13 +87,17 @@ fn main() {
             .map(|d| format!("{:.0}ms", d.as_millis_f64()))
             .unwrap_or_else(|| "n/a".into());
         let violations = monitor.check(now, &graphs);
-        let status = if violations.is_empty() { "ok" } else { "SLA VIOLATION" };
-        print!("t={:>4.0}s  e2e={estimate:>6}  {status:<14}", now.as_secs_f64());
+        let status = if violations.is_empty() {
+            "ok"
+        } else {
+            "SLA VIOLATION"
+        };
+        print!(
+            "t={:>4.0}s  e2e={estimate:>6}  {status:<14}",
+            now.as_secs_f64()
+        );
         for v in &violations {
-            print!(
-                " suspect: {}",
-                v.suspect.as_deref().unwrap_or("(unknown)")
-            );
+            print!(" suspect: {}", v.suspect.as_deref().unwrap_or("(unknown)"));
         }
         // What changed since the previous refresh?
         if let Some(prev) = &previous {

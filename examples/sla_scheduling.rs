@@ -14,10 +14,7 @@ use e2eprof::timeseries::Nanos;
 fn main() {
     let duration = Nanos::from_minutes(10);
     println!("measuring 10 minutes per policy (1 minute warm-up)...\n");
-    println!(
-        "{:<34} {:>10} {:>10}",
-        "policy", "bidding", "comment"
-    );
+    println!("{:<34} {:>10} {:>10}", "policy", "bidding", "comment");
     for policy in [
         Table1Policy::RoundRobinBaseline,
         Table1Policy::RoundRobinPerturbed,

@@ -1,0 +1,341 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bench/iter API surface the bench crate uses and
+//! measures with plain `Instant` timing: per benchmark it warms up
+//! briefly, then takes `sample_size` samples (each a batch of iterations
+//! sized to ~5 ms) and reports the median, mean, and min per-iteration
+//! time. No statistical regression analysis — just honest wall-clock
+//! numbers suitable for comparing configurations in one run.
+//!
+//! Set `E2EPROF_BENCH_FAST=1` to shrink warmup and sample counts (used by
+//! CI smoke runs).
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, displayed per benchmark).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// How much setup output `iter_batched` keeps alive per batch. The shim
+/// times one routine call per setup call regardless, so the variants
+/// only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state; setup dominates memory.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    warm_up: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, collecting per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Size each sample batch to roughly 5 ms, at least one iteration.
+        let batch = ((0.005 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    /// Measures `routine` over fresh input from `setup`, timing only the
+    /// routine. Unlike upstream criterion the shim always pairs one setup
+    /// call with one measured call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            warm += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.005 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_count {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                elapsed += t0.elapsed();
+            }
+            self.samples.push(elapsed / batch as u32);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement time budget (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+            warm_up: self.criterion.warm_up,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &samples);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+            warm_up: self.criterion.warm_up,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{}: no samples", self.name, id);
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / median.as_secs_f64();
+                format!("  ({rate:.0} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / median.as_secs_f64() / 1e6;
+                format!("  ({rate:.1} MB/s)")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: median {}  mean {}  min {}  [{} samples]{}",
+            self.name,
+            id,
+            fmt_duration(median),
+            fmt_duration(mean),
+            fmt_duration(min),
+            sorted.len(),
+            tp,
+        );
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var_os("E2EPROF_BENCH_FAST").is_some();
+        Criterion {
+            warm_up: if fast {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(300)
+            },
+            default_sample_size: if fast { 5 } else { 30 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.to_string();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function calling each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 2), &2u64, |b, &k| {
+            b.iter(|| (0..64u64).map(|v| v * k).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_samples() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            default_sample_size: 3,
+        };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("rle").to_string(), "rle");
+    }
+}

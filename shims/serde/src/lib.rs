@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes at runtime, so the traits are inert markers and
+//! the derives (re-exported from the sibling `serde_derive` shim) expand
+//! to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

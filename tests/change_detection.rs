@@ -64,12 +64,16 @@ fn every_step_raises_the_detected_delay() {
 #[test]
 fn frontend_average_moves_less_than_the_edge_signal() {
     let (points, _) = fig7_change_detection(9, 15);
-    let first = points.iter().skip(1).find(|p| p.detected.is_some()).unwrap();
+    let first = points
+        .iter()
+        .skip(1)
+        .find(|p| p.detected.is_some())
+        .unwrap();
     let last = points.iter().rev().find(|p| p.detected.is_some()).unwrap();
     let edge_rise =
         last.detected.unwrap().as_millis_f64() - first.detected.unwrap().as_millis_f64();
-    let frontend_rise = last.frontend_avg.unwrap().as_millis_f64()
-        - first.frontend_avg.unwrap().as_millis_f64();
+    let frontend_rise =
+        last.frontend_avg.unwrap().as_millis_f64() - first.frontend_avg.unwrap().as_millis_f64();
     assert!(edge_rise > 25.0, "edge rise {edge_rise}");
     assert!(
         frontend_rise < 0.8 * edge_rise,

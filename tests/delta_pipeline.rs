@@ -54,8 +54,7 @@ fn batch_surge_floods_the_hub_queue() {
 
 #[test]
 fn slow_database_is_diagnosed_by_tail_gap() {
-    let (_, normal_graphs) =
-        delta_analysis(cfg(), &delta_paper_config(), Nanos::from_minutes(135));
+    let (_, normal_graphs) = delta_analysis(cfg(), &delta_paper_config(), Nanos::from_minutes(135));
     let normal = diagnose_delta(&normal_graphs);
 
     let (_, slow_graphs) = delta_analysis(

@@ -36,14 +36,22 @@ fn nesting_agrees_with_pathmap_on_rpc_traffic() {
     let path_bid = pathmap_graphs.iter().find(|g| g.client == n.c1).unwrap();
     // The forward chain, from both techniques.
     for (a, b) in [("WS", "TS1"), ("TS1", "EJB1"), ("EJB1", "DB")] {
-        assert!(nest_bid.has_edge_between(a, b), "nesting missing {a}->{b}:\n{nest_bid}");
+        assert!(
+            nest_bid.has_edge_between(a, b),
+            "nesting missing {a}->{b}:\n{nest_bid}"
+        );
         assert!(path_bid.has_edge_between(a, b), "pathmap missing {a}->{b}");
     }
     // Nesting must not leak onto the comment branch.
     assert!(!nest_bid.has_edge_between("WS", "TS2"), "{nest_bid}");
     // Per-hop cumulative delays agree within the sampling window.
     for (a, b) in [(n.ws, n.ts1), (n.ts1, n.ejb1), (n.ejb1, n.db)] {
-        let nd = nest_bid.edge(a, b).unwrap().min_delay().unwrap().as_millis_f64();
+        let nd = nest_bid
+            .edge(a, b)
+            .unwrap()
+            .min_delay()
+            .unwrap()
+            .as_millis_f64();
         let pd = path_bid
             .edge(a, b)
             .unwrap()
@@ -58,7 +66,10 @@ fn nesting_agrees_with_pathmap_on_rpc_traffic() {
         );
     }
     // Both attribute the bottleneck to EJB1.
-    assert!(nest_bid.vertices().iter().any(|v| v.label == "EJB1" && v.bottleneck));
+    assert!(nest_bid
+        .vertices()
+        .iter()
+        .any(|v| v.label == "EJB1" && v.bottleneck));
 }
 
 /// A unidirectional (streaming) pipeline: source -> ingest -> transcode
@@ -114,7 +125,10 @@ fn unidirectional_paths_pathmap_works_nesting_does_not() {
     assert!(g.has_edge_between("ingest", "transcode"), "{g}");
     assert!(g.has_edge_between("transcode", "archive"), "{g}");
     let hop = g
-        .edge(labels.id_of("ingest").unwrap(), labels.id_of("transcode").unwrap())
+        .edge(
+            labels.id_of("ingest").unwrap(),
+            labels.id_of("transcode").unwrap(),
+        )
         .unwrap();
     let cum = hop.min_delay().unwrap().as_millis_f64();
     assert!((2.0..12.0).contains(&cum), "ingest->transcode at {cum}ms");

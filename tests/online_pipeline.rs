@@ -147,6 +147,9 @@ fn analyzer_heals_tracer_gaps() {
         .find(|g| g.client_label == "C1")
         .expect("bidding graph after healing");
     for (a, b) in [("WS", "TS1"), ("TS1", "EJB1"), ("EJB1", "DB"), ("WS", "C1")] {
-        assert!(bid.has_edge_between(a, b), "missing {a}->{b} after gap:\n{bid}");
+        assert!(
+            bid.has_edge_between(a, b),
+            "missing {a}->{b} after gap:\n{bid}"
+        );
     }
 }

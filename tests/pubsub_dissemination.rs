@@ -55,6 +55,10 @@ fn dissemination_tree_recovered_per_topic() {
     // Call-return analysis is blind here.
     let nesting = Nesting::default().discover(p.sim().captures(), &roots, &labels);
     for g in &nesting {
-        assert_eq!(g.edges().len(), 1, "nesting found structure in one-way traffic:\n{g}");
+        assert_eq!(
+            g.edges().len(),
+            1,
+            "nesting found structure in one-way traffic:\n{g}"
+        );
     }
 }

@@ -45,7 +45,10 @@ fn fig5_cumulative_delays_are_monotone_along_the_request_path() {
     let up2 = cum(n.ts1, n.ejb1);
     let up3 = cum(n.ejb1, n.db);
     let back = cum(n.ws, n.c1);
-    assert!(up1 < up2 && up2 < up3 && up3 < back, "{up1} {up2} {up3} {back}");
+    assert!(
+        up1 < up2 && up2 < up3 && up3 < back,
+        "{up1} {up2} {up3} {back}"
+    );
 }
 
 #[test]
@@ -135,7 +138,10 @@ fn fanout_rate_change_across_nodes_is_accommodated() {
         .captures()
         .timestamps(TraceKey::at_receiver(n.ts1, n.ejb1))
         .len();
-    assert!(to_db > 2 * to_ejb, "fanout not in effect: {to_db} vs {to_ejb}");
+    assert!(
+        to_db > 2 * to_ejb,
+        "fanout not in effect: {to_db} vs {to_ejb}"
+    );
 
     let cfg = rubis_config(Nanos::from_minutes(1), Nanos::from_secs(30));
     let graphs = discover(&rubis, &cfg);
