@@ -8,6 +8,7 @@
 
 use crossbeam::channel::unbounded;
 use e2eprof_apps::delta::{Delta, DeltaConfig};
+use e2eprof_bench::{write_bench_json, JsonValue};
 use e2eprof_core::analyzer::OnlineAnalyzer;
 use e2eprof_core::graph::{NodeLabels, ServiceGraph};
 use e2eprof_core::pathmap::roots_from_topology;
@@ -91,6 +92,7 @@ fn main() {
     let worker_counts = [1usize, 2, 4, 8];
     let mut baseline = None;
     let mut reference: Option<Vec<ServiceGraph>> = None;
+    let mut rows = Vec::new();
     for &workers in &worker_counts {
         let (elapsed, graphs) = replay(&delta, workers);
         match &reference {
@@ -108,5 +110,26 @@ fn main() {
             total * 1e3,
             total * 1e3 / STEPS as f64,
         );
+        rows.push(JsonValue::Obj(vec![
+            ("num_workers".into(), JsonValue::Int(workers as u64)),
+            ("refresh_total_ms".into(), JsonValue::Num(total * 1e3)),
+            (
+                "ms_per_refresh".into(),
+                JsonValue::Num(total * 1e3 / STEPS as f64),
+            ),
+            ("speedup".into(), JsonValue::Num(speedup)),
+        ]));
     }
+    let report = JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("refresh_scaling".into())),
+        ("queues".into(), JsonValue::Int(QUEUES as u64)),
+        ("refreshes".into(), JsonValue::Int(STEPS)),
+        (
+            "host_parallelism".into(),
+            JsonValue::Int(e2eprof_core::parallel::available_workers() as u64),
+        ),
+        ("rows".into(), JsonValue::Arr(rows)),
+    ]);
+    let path = write_bench_json("refresh_scaling", &report).expect("write bench artifact");
+    println!("  wrote {}", path.display());
 }

@@ -1,0 +1,177 @@
+//! Cost of coarse-to-fine screening on a wide-fanout topology.
+//!
+//! A single front end fans out to `CLIENTS` clusters of `CLUSTER`
+//! backends each. Every client's traffic is bursty and the burst phases
+//! are pairwise disjoint within the lag horizon `T_u`, so each client's
+//! causal evidence only ever touches its own cluster: the other clusters'
+//! (client, edge) pairs are provably dead, and the screening tier prunes
+//! them from full-lag correlation.
+//!
+//! Replays the same captured trace through two analyzers — screening off
+//! and on — timing only the `refresh` calls, and asserts both publish the
+//! same edge sets. Results go to stdout and `BENCH_screening_fanout.json`.
+
+use crossbeam::channel::unbounded;
+use e2eprof_bench::{fanout_sim, write_bench_json, JsonValue};
+use e2eprof_core::analyzer::OnlineAnalyzer;
+use e2eprof_core::config::ScreeningConfig;
+use e2eprof_core::graph::{NodeLabels, ServiceGraph};
+use e2eprof_core::pathmap::{roots_from_topology, ScreeningStats};
+use e2eprof_core::tracer::TracerAgent;
+use e2eprof_core::PathmapConfig;
+use e2eprof_netsim::prelude::*;
+use e2eprof_netsim::NodeId;
+use e2eprof_timeseries::{Nanos, Quanta, Tick};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Burst phases: `CLIENTS` bursts of `BURST` seconds spread over `PERIOD`
+/// seconds leave a 2.2 s guard between consecutive bursts — wider than
+/// `T_u` (2 s) plus the ω smear, so no cross-cluster lag can align two
+/// clients' activity.
+const CLIENTS: usize = 6;
+const CLUSTER: usize = 8;
+const PERIOD: f64 = 18.0;
+const BURST: f64 = 0.8;
+const TOTAL_SECS: f64 = 60.0;
+const REFRESH_MS: u64 = 6_000;
+const STEPS: u64 = 9;
+
+fn config(screening: bool) -> PathmapConfig {
+    let mut b = PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(36))
+        .refresh(Nanos::from_millis(REFRESH_MS))
+        .max_delay(Nanos::from_secs(2));
+    if screening {
+        b = b.screening(ScreeningConfig {
+            decimation: 16,
+            hysteresis: 0.5,
+        });
+    }
+    b.build()
+}
+
+/// Replays the finished run's captures through a fresh analyzer, returning
+/// the summed refresh time, the last non-empty graph set, and the final
+/// screening statistics (when screening was enabled).
+fn replay(
+    sim: &Simulation,
+    screening: bool,
+) -> (Duration, Vec<ServiceGraph>, Option<ScreeningStats>) {
+    let config = config(screening);
+    let (tx, rx) = unbounded();
+    let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+    let mut agents: Vec<TracerAgent> = sim
+        .topology()
+        .services()
+        .into_iter()
+        .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+        .collect();
+    let mut analyzer = OnlineAnalyzer::new(
+        config,
+        roots_from_topology(sim.topology()),
+        NodeLabels::from_topology(sim.topology()),
+        rx,
+    );
+
+    let mut in_refresh = Duration::ZERO;
+    let mut last = Vec::new();
+    for step in 1..=STEPS {
+        let now = Nanos::from_millis(step * REFRESH_MS);
+        let drain = Tick::new(step * REFRESH_MS - 1_000);
+        for a in &mut agents {
+            a.poll(sim.captures(), drain);
+        }
+        analyzer.ingest();
+        let t0 = Instant::now();
+        let graphs = analyzer.refresh(now);
+        in_refresh += t0.elapsed();
+        if !graphs.is_empty() {
+            last = graphs;
+        }
+    }
+    (in_refresh, last, analyzer.screening_stats())
+}
+
+/// Sorted (client, edge set) for cross-run comparison.
+fn edge_sets(graphs: &[ServiceGraph]) -> Vec<(String, Vec<(NodeId, NodeId)>)> {
+    let mut v: Vec<_> = graphs
+        .iter()
+        .map(|g| {
+            let mut edges: Vec<_> = g.edges().iter().map(|e| (e.from, e.to)).collect();
+            edges.sort_unstable();
+            (g.client_label.clone(), edges)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn main() {
+    let mut sim = fanout_sim(CLIENTS, CLUSTER, PERIOD, BURST, TOTAL_SECS, 29);
+    sim.run_until(Nanos::from_secs(STEPS * REFRESH_MS / 1_000 + 2));
+    println!(
+        "screening_fanout: {CLIENTS} bursty clients x {CLUSTER}-backend clusters, \
+         {STEPS} refreshes, {} packets captured",
+        sim.captures().total_packets(),
+    );
+
+    let (off, plain, _) = replay(&sim, false);
+    let (on, screened, stats) = replay(&sim, true);
+    assert_eq!(
+        edge_sets(&plain),
+        edge_sets(&screened),
+        "screening changed the discovered edge sets"
+    );
+    let stats = stats.expect("screening stats present when enabled");
+    assert!(
+        stats.candidates >= 200,
+        "fanout too narrow to be meaningful: {stats:?}"
+    );
+
+    let off_ms = off.as_secs_f64() * 1e3;
+    let on_ms = on.as_secs_f64() * 1e3;
+    let speedup = off_ms / on_ms;
+    println!(
+        "  screening off  refresh total {off_ms:>8.1} ms  ({:>6.1} ms/refresh)",
+        off_ms / STEPS as f64
+    );
+    println!(
+        "  screening on   refresh total {on_ms:>8.1} ms  ({:>6.1} ms/refresh)  speedup {speedup:.2}x",
+        on_ms / STEPS as f64
+    );
+    println!(
+        "  last refresh: {} candidate pairs, {} pruned ({:.0}%)",
+        stats.candidates,
+        stats.pruned,
+        stats.pruned_fraction() * 100.0
+    );
+
+    let report = JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("screening_fanout".into())),
+        ("clients".into(), JsonValue::Int(CLIENTS as u64)),
+        ("cluster".into(), JsonValue::Int(CLUSTER as u64)),
+        ("refreshes".into(), JsonValue::Int(STEPS)),
+        ("candidate_pairs".into(), JsonValue::Int(stats.candidates)),
+        ("pruned_pairs".into(), JsonValue::Int(stats.pruned)),
+        (
+            "pruned_fraction".into(),
+            JsonValue::Num(stats.pruned_fraction()),
+        ),
+        ("refresh_total_ms_off".into(), JsonValue::Num(off_ms)),
+        ("refresh_total_ms_on".into(), JsonValue::Num(on_ms)),
+        (
+            "ms_per_refresh_off".into(),
+            JsonValue::Num(off_ms / STEPS as f64),
+        ),
+        (
+            "ms_per_refresh_on".into(),
+            JsonValue::Num(on_ms / STEPS as f64),
+        ),
+        ("speedup".into(), JsonValue::Num(speedup)),
+    ]);
+    let path = write_bench_json("screening_fanout", &report).expect("write bench artifact");
+    println!("  wrote {}", path.display());
+}

@@ -13,7 +13,7 @@
 //! ([`PathmapConfig::num_workers`]); path discovery (normalization + spike
 //! detection) then runs one root per worker against the precomputed
 //! series. Every worker count produces bitwise identical graphs — see
-//! [`parallel`](crate::parallel) for the determinism contract.
+//! [`parallel`] for the determinism contract.
 //!
 //! [`TracerAgent`]: crate::tracer::TracerAgent
 
@@ -21,20 +21,47 @@ use crate::change::ChangeTracker;
 use crate::config::PathmapConfig;
 use crate::graph::{NodeLabels, ServiceGraph};
 use crate::parallel;
-use crate::pathmap::{CorrelationProvider, Pathmap};
+use crate::pathmap::{CorrelationProvider, Pathmap, ScreeningStats};
 use crate::signals::EdgeSignals;
 use crate::tracer::TracerFrame;
 use crossbeam::channel::{Receiver, Sender};
 use e2eprof_netsim::NodeId;
+use e2eprof_timeseries::pyramid::DecimatedWindow;
 use e2eprof_timeseries::window::SlidingWindow;
 use e2eprof_timeseries::{wire, Nanos, RleSeries, Tick};
 use e2eprof_xcorr::incremental::IncrementalCorrelator;
+use e2eprof_xcorr::screen::{self, Screen};
 use e2eprof_xcorr::CorrSeries;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Key of one maintained correlator: the client whose arrival signal is
 /// the correlation source, and the candidate edge under test.
 type PairKey = (NodeId, (NodeId, NodeId));
+
+/// Online state of the coarse-to-fine screening tier
+/// ([`PathmapConfig::screening`]).
+///
+/// Every fine sliding window gets a `k`-decimated twin, and every tracked
+/// `(client, edge)` pair a cheap coarse incremental correlator — *pruned*
+/// pairs keep only this coarse state, their full-resolution correlators
+/// are dropped. Each refresh advances the coarse tier first, upper-bounds
+/// every pair's fine normalized correlation (see
+/// [`e2eprof_xcorr::screen`]), and applies the promote/demote hysteresis
+/// before the fine tier runs.
+#[derive(Debug)]
+struct ScreeningState {
+    screen: Screen,
+    /// Coarse-tier lag bound `⌊(L−1)/k⌋ + 2`.
+    coarse_lag: u64,
+    /// Decimated twin of each edge's sliding window.
+    decimated: HashMap<(NodeId, NodeId), DecimatedWindow>,
+    /// Coarse correlator per tracked pair (active *and* pruned).
+    coarse: HashMap<PairKey, IncrementalCorrelator>,
+    /// Whether each tracked pair currently runs at full resolution.
+    active: HashMap<PairKey, bool>,
+    /// Counters of the most recent refresh.
+    stats: ScreeningStats,
+}
 
 /// The online pathmap analyzer.
 #[derive(Debug)]
@@ -51,6 +78,8 @@ pub struct OnlineAnalyzer {
     capacity: u64,
     /// Subscribers receiving every refresh's graphs.
     subscribers: Vec<Sender<GraphUpdate>>,
+    /// Coarse screening tier, when configured.
+    screening: Option<ScreeningState>,
 }
 
 /// One published refresh: the paper's envisioned "pluggable" service
@@ -76,6 +105,14 @@ impl OnlineAnalyzer {
         // and one refresh interval of eviction corrections.
         let capacity = config.window_ticks() + config.max_lag() + 2 * config.refresh_ticks();
         let pathmap = Pathmap::new(config.clone());
+        let screening = config.screen().map(|screen| ScreeningState {
+            coarse_lag: screen::coarse_lag_bound(config.max_lag(), screen.factor()),
+            screen,
+            decimated: HashMap::new(),
+            coarse: HashMap::new(),
+            active: HashMap::new(),
+            stats: ScreeningStats::default(),
+        });
         OnlineAnalyzer {
             config,
             pathmap,
@@ -87,6 +124,7 @@ impl OnlineAnalyzer {
             change: ChangeTracker::new(),
             capacity,
             subscribers: Vec::new(),
+            screening,
         }
     }
 
@@ -127,10 +165,25 @@ impl OnlineAnalyzer {
                 .entry(frame.edge)
                 .or_insert_with(|| SlidingWindow::new(capacity))
                 .append_or_reset(&chunk);
+            if let Some(scr) = &mut self.screening {
+                // The decimated twin sees the same chunk stream, so its
+                // heal events coincide with the fine window's.
+                let factor = scr.screen.factor();
+                scr.decimated
+                    .entry(frame.edge)
+                    .or_insert_with(|| DecimatedWindow::new(capacity, factor))
+                    .append_or_reset(&chunk);
+            }
             if healed {
                 // Invalidate correlators involving the reset edge.
                 self.incs
                     .retain(|&(client, edge), _| edge != frame.edge && client != frame.edge.0);
+                if let Some(scr) = &mut self.screening {
+                    scr.coarse
+                        .retain(|&(client, edge), _| edge != frame.edge && client != frame.edge.0);
+                    scr.active
+                        .retain(|&(client, edge), _| edge != frame.edge && client != frame.edge.0);
+                }
             }
             count += 1;
         }
@@ -172,6 +225,173 @@ impl OnlineAnalyzer {
         let fronts: HashMap<NodeId, NodeId> = self.roots.iter().copied().collect();
         let num_workers = self.config.num_workers();
 
+        // Phase 0 — coarse screening tier (when configured): advance the
+        // cheap decimated correlator of *every* tracked pair, upper-bound
+        // each pair's fine normalized correlation, and promote/demote
+        // against the hysteresis thresholds. Demoted pairs lose their fine
+        // correlator here and are skipped by discovery below; promoted
+        // pairs get a fresh fine correlator that Phase 1 fills by a
+        // from-scratch recompute over the retained window.
+        let pruned: Option<HashSet<PairKey>> = self.screening.as_mut().map(|scr| {
+            let ScreeningState {
+                screen,
+                coarse_lag,
+                decimated,
+                coarse,
+                active,
+                stats,
+            } = scr;
+            let k = screen.factor();
+            let coarse_lag = *coarse_lag;
+            // Safety net: every fine-tracked pair must have coarse state.
+            for &key in self.incs.keys() {
+                coarse
+                    .entry(key)
+                    .or_insert_with(|| IncrementalCorrelator::new(coarse_lag));
+                active.entry(key).or_insert(true);
+            }
+            let decimated = &*decimated;
+            // Coarse source window covering the fine window's blocks.
+            let cs = Tick::new(start.index() / k);
+            let ce = Tick::new(end.index().div_ceil(k));
+
+            let mut centries: Vec<(PairKey, IncrementalCorrelator)> = coarse.drain().collect();
+            centries.sort_unstable_by_key(|&(key, _)| key);
+            // Per-client fine/coarse source views and per-edge coarse
+            // target views, built once and shared by every pair.
+            let mut fine_sources: HashMap<NodeId, Option<RleSeries>> = HashMap::new();
+            let mut coarse_sources: HashMap<NodeId, Option<RleSeries>> = HashMap::new();
+            for &((client, _), _) in &centries {
+                fine_sources.entry(client).or_insert_with(|| {
+                    fronts
+                        .get(&client)
+                        .and_then(|&front| signals.source_signal(client, front))
+                });
+                coarse_sources.entry(client).or_insert_with(|| {
+                    fronts.get(&client).and_then(|&front| {
+                        decimated
+                            .get(&(client, front))
+                            .map(|d| d.coarse().view(cs, ce))
+                    })
+                });
+            }
+            let mut coarse_targets: HashMap<(NodeId, NodeId), RleSeries> = HashMap::new();
+            for &((_, edge), _) in &centries {
+                if let Some(d) = decimated.get(&edge) {
+                    coarse_targets
+                        .entry(edge)
+                        .or_insert_with(|| d.coarse().view(cs, d.coarse().end()));
+                }
+            }
+
+            struct CoarseItem<'a> {
+                key: PairKey,
+                inc: IncrementalCorrelator,
+                xc: Option<&'a RleSeries>,
+                yc: Option<&'a RleSeries>,
+                x: Option<&'a RleSeries>,
+                y: Option<&'a RleSeries>,
+                bound: Option<f64>,
+            }
+            let mut items: Vec<CoarseItem<'_>> = centries
+                .into_iter()
+                .map(|(key, inc)| CoarseItem {
+                    key,
+                    inc,
+                    xc: coarse_sources.get(&key.0).and_then(Option::as_ref),
+                    yc: coarse_targets.get(&key.1),
+                    x: fine_sources.get(&key.0).and_then(Option::as_ref),
+                    y: signals.target_signal(key.1 .0, key.1 .1),
+                    bound: None,
+                })
+                .collect();
+            let coarse_lookup =
+                |e: (NodeId, NodeId)| decimated.get(&e).map(DecimatedWindow::coarse);
+            let fronts_ref = &fronts;
+            let screen = *screen;
+            let active_ref = &*active;
+            parallel::for_each_sharded_mut(&mut items, num_workers, |item| {
+                let (Some(xc), Some(yc), Some(x), Some(y)) = (item.xc, item.yc, item.x, item.y)
+                else {
+                    // A signal vanished this window: carry the coarse state
+                    // over untouched and keep the prior classification.
+                    return;
+                };
+                let corr = advance_pair(
+                    &mut item.inc,
+                    item.key.0,
+                    item.key.1,
+                    xc,
+                    yc,
+                    coarse_lag,
+                    (cs, ce),
+                    &coarse_lookup,
+                    fronts_ref,
+                );
+                // Slack covering fine products the folded coarse blocks
+                // cannot see yet: the decimated twins fold only complete
+                // k-blocks, so up to k−1 ticks at each stream's head are
+                // unfolded. For non-negative series, Σ x(t)·y(t+d) over
+                // any tick set is at most (Σx)·(Σy) over covering spans.
+                let x_fold = fronts_ref
+                    .get(&item.key.0)
+                    .and_then(|&front| decimated.get(&(item.key.0, front)))
+                    .map(|d| Tick::new(d.coarse().end().index() * k))
+                    .unwrap_or(Tick::ZERO);
+                let y_fold = decimated
+                    .get(&item.key.1)
+                    .map(|d| Tick::new(d.coarse().end().index() * k))
+                    .unwrap_or(Tick::ZERO);
+                let mut slack = 0.0;
+                if x_fold < end {
+                    let xs = x.slice(x_fold.max(start), end).stats().sum();
+                    let ys = y.slice(x_fold.max(y.start()), y.end()).stats().sum();
+                    slack += xs * ys;
+                }
+                if y_fold < data_end {
+                    let lo = Tick::new((y_fold.index() + 1).saturating_sub(max_lag));
+                    let xs = x.slice(lo.max(start), end).stats().sum();
+                    let ys = y.slice(y_fold.max(y.start()), y.end()).stats().sum();
+                    slack += xs * ys;
+                }
+                // Scan only far enough to decide: once the running bound
+                // clears this pair's hysteresis threshold it stays active
+                // regardless of the exact maximum, so live pairs exit
+                // after a handful of lags (see `max_rho_bound_until`).
+                let was = active_ref.get(&item.key).copied().unwrap_or(true);
+                let stop_at = screen.decision_threshold(was) - screen::BOUND_MARGIN;
+                item.bound = Some(screen::max_rho_bound_until(
+                    &corr, k, x, y, max_lag, slack, stop_at,
+                ));
+            });
+
+            // Serial decision pass in stable key order.
+            let mut pruned_set = HashSet::new();
+            let mut refresh_stats = ScreeningStats::default();
+            for item in items {
+                refresh_stats.candidates += 1;
+                if let Some(bound) = item.bound {
+                    let was = active.get(&item.key).copied().unwrap_or(true);
+                    let now = screen.next_active(bound, was);
+                    active.insert(item.key, now);
+                    if !now {
+                        self.incs.remove(&item.key);
+                    } else if !was {
+                        self.incs
+                            .entry(item.key)
+                            .or_insert_with(|| IncrementalCorrelator::new(max_lag));
+                    }
+                }
+                if !active.get(&item.key).copied().unwrap_or(true) {
+                    refresh_stats.pruned += 1;
+                    pruned_set.insert(item.key);
+                }
+                coarse.insert(item.key, item.inc);
+            }
+            *stats = refresh_stats;
+            pruned_set
+        });
+
         // Phase 1 — advance every tracked correlator by the window delta,
         // sharded over the worker pool in stable key order. Each pair owns
         // its accumulator and only *reads* the shared windows, so its
@@ -207,6 +427,7 @@ impl OnlineAnalyzer {
             .collect();
         let windows = &self.windows;
         let fronts_ref = &fronts;
+        let fine_lookup = |e: (NodeId, NodeId)| windows.get(&e);
         parallel::for_each_sharded_mut(&mut items, num_workers, |item| {
             // Pairs whose signals vanished this window are carried over
             // untouched — discovery cannot visit them either.
@@ -219,7 +440,7 @@ impl OnlineAnalyzer {
                     y,
                     max_lag,
                     (start, end),
-                    windows,
+                    &fine_lookup,
                     fronts_ref,
                 ));
             }
@@ -248,9 +469,22 @@ impl OnlineAnalyzer {
                 fronts: &fronts,
                 window: (start, end),
                 fresh: HashMap::new(),
+                screened: pruned.as_ref(),
             },
         );
         for provider in providers {
+            if let Some(scr) = &mut self.screening {
+                // Pairs first reached this refresh enter the coarse tier
+                // as active; their coarse correlator fills from scratch
+                // (cheaply) on the next refresh.
+                let coarse_lag = scr.coarse_lag;
+                for &key in provider.fresh.keys() {
+                    scr.coarse
+                        .entry(key)
+                        .or_insert_with(|| IncrementalCorrelator::new(coarse_lag));
+                    scr.active.insert(key, true);
+                }
+            }
             self.incs.extend(provider.fresh);
         }
         self.change.record(at, &graphs);
@@ -269,6 +503,13 @@ impl OnlineAnalyzer {
     pub fn change_tracker(&self) -> &ChangeTracker {
         &self.change
     }
+
+    /// Screening counters of the most recent refresh: how many tracked
+    /// pairs the coarse tier examined and how many it pruned. `None` when
+    /// screening is disabled.
+    pub fn screening_stats(&self) -> Option<ScreeningStats> {
+        self.screening.as_ref().map(|scr| scr.stats)
+    }
 }
 
 /// Advances one `(client, edge)` correlator to the source window `window`
@@ -277,9 +518,11 @@ impl OnlineAnalyzer {
 /// This is the single code path for correlator maintenance: the sharded
 /// pre-advance and the serial fallback both call it with the same
 /// arguments, which is what makes parallel refreshes bitwise identical to
-/// serial ones.
+/// serial ones. The retained history is reached through `lookup` so the
+/// same code advances both tiers: the fine tier passes the raw sliding
+/// windows, the coarse screening tier passes their decimated twins.
 #[allow(clippy::too_many_arguments)]
-fn advance_pair(
+fn advance_pair<'w>(
     inc: &mut IncrementalCorrelator,
     client: NodeId,
     edge: (NodeId, NodeId),
@@ -287,7 +530,7 @@ fn advance_pair(
     y: &RleSeries,
     max_lag: u64,
     window: (Tick, Tick),
-    windows: &HashMap<(NodeId, NodeId), SlidingWindow>,
+    lookup: &impl Fn((NodeId, NodeId)) -> Option<&'w SlidingWindow>,
     fronts: &HashMap<NodeId, NodeId>,
 ) -> CorrSeries {
     let (ws, we) = window;
@@ -299,16 +542,13 @@ fn advance_pair(
     // reach before the current view.
     let x_window = fronts
         .get(&client)
-        .and_then(|front| windows.get(&(client, *front)));
+        .and_then(|&front| lookup((client, front)));
     // Determine whether an exact incremental advance is possible.
     let advance_ok = match (inc.window(), x_window) {
         (Some((s, e)), Some(xw)) => {
             s <= ws && e >= ws && e <= we && xw.start() <= s && {
                 // y history for the eviction span [s, ws + L).
-                windows
-                    .get(&edge)
-                    .map(|yw| yw.start() <= s)
-                    .unwrap_or(false)
+                lookup(edge).map(|yw| yw.start() <= s).unwrap_or(false)
             }
         }
         _ => false,
@@ -316,7 +556,7 @@ fn advance_pair(
     if advance_ok {
         let (s, e) = inc.window().expect("checked");
         let xw = x_window.expect("checked");
-        let yw = windows.get(&edge).expect("checked");
+        let yw = lookup(edge).expect("checked");
         let y_horizon = yw.end();
         if e < we {
             inc.append(&xw.view(e, we), &yw.view(e, y_horizon));
@@ -348,6 +588,9 @@ struct CachedProvider<'a> {
     /// Current source window.
     window: (Tick, Tick),
     fresh: HashMap<PairKey, IncrementalCorrelator>,
+    /// Pairs the coarse screening tier pruned this refresh: discovery
+    /// skips them without touching (or creating) fine correlators.
+    screened: Option<&'a HashSet<PairKey>>,
 }
 
 impl CorrelationProvider for CachedProvider<'_> {
@@ -366,6 +609,7 @@ impl CorrelationProvider for CachedProvider<'_> {
             .fresh
             .entry((client, edge))
             .or_insert_with(|| IncrementalCorrelator::new(max_lag));
+        let windows = self.windows;
         advance_pair(
             inc,
             client,
@@ -374,9 +618,21 @@ impl CorrelationProvider for CachedProvider<'_> {
             y,
             max_lag,
             self.window,
-            self.windows,
+            &move |e| windows.get(&e),
             self.fronts,
         )
+    }
+
+    fn screened_out(
+        &mut self,
+        client: NodeId,
+        edge: (NodeId, NodeId),
+        _x: &RleSeries,
+        _y: &RleSeries,
+        _max_lag: u64,
+    ) -> bool {
+        self.screened
+            .is_some_and(|pruned| pruned.contains(&(client, edge)))
     }
 }
 
@@ -413,10 +669,12 @@ mod tests {
 
     /// Drives a sim with tracer agents on all services and an analyzer,
     /// returning the graphs of the last refresh.
-    fn run_online(seed: u64, total_secs: u64) -> (Vec<ServiceGraph>, OnlineAnalyzer) {
-        let mut sim = two_tier(seed);
+    fn drive_online(
+        mut sim: Simulation,
+        config: PathmapConfig,
+        total_secs: u64,
+    ) -> (Vec<ServiceGraph>, OnlineAnalyzer) {
         let (tx, rx) = unbounded();
-        let config = cfg();
         let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
         let mut agents: Vec<TracerAgent> = sim
             .topology()
@@ -446,6 +704,58 @@ mod tests {
             }
         }
         (last, analyzer)
+    }
+
+    fn run_online(seed: u64, total_secs: u64) -> (Vec<ServiceGraph>, OnlineAnalyzer) {
+        drive_online(two_tier(seed), cfg(), total_secs)
+    }
+
+    /// Asserts two graph sets are structurally identical (edge sets, spike
+    /// lags, hop delays, bottleneck flags) with spike strengths within
+    /// 1e-9 — the tolerance for promoted pairs whose full-resolution
+    /// recompute sums the same products in a different order.
+    fn assert_graphs_equivalent(plain: &[ServiceGraph], screened: &[ServiceGraph]) {
+        assert_eq!(plain.len(), screened.len(), "graph count differs");
+        for (ga, gb) in plain.iter().zip(screened) {
+            assert_eq!(ga.client_label, gb.client_label);
+            let key = |g: &ServiceGraph| {
+                let mut edges: Vec<_> = g
+                    .edges()
+                    .iter()
+                    .map(|e| {
+                        (
+                            (e.from, e.to),
+                            e.spikes.iter().map(|s| s.delay).collect::<Vec<_>>(),
+                            e.hop_delay,
+                        )
+                    })
+                    .collect();
+                edges.sort();
+                edges
+            };
+            assert_eq!(key(ga), key(gb), "edge structure differs:\n{ga}\nvs\n{gb}");
+            let bn = |g: &ServiceGraph| {
+                let mut v: Vec<_> = g
+                    .vertices()
+                    .iter()
+                    .map(|v| (v.label.clone(), v.bottleneck))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(bn(ga), bn(gb), "bottleneck flags differ");
+            for ea in ga.edges() {
+                let eb = gb.edge(ea.from, ea.to).expect("edge sets already equal");
+                for (sa, sb) in ea.spikes.iter().zip(&eb.spikes) {
+                    assert!(
+                        (sa.strength - sb.strength).abs() < 1e-9,
+                        "strength drift: {} vs {}",
+                        sa.strength,
+                        sb.strength
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -532,6 +842,56 @@ mod tests {
         assert!(updates.len() >= 3, "got {} updates", updates.len());
         assert!(updates.windows(2).all(|w| w[0].at < w[1].at));
         assert!(!updates.last().unwrap().graphs.is_empty());
+    }
+
+    #[test]
+    fn screened_online_matches_unscreened() {
+        for seed in [5, 9] {
+            let screened_cfg = PathmapConfig::builder()
+                .window(Nanos::from_secs(10))
+                .refresh(Nanos::from_secs(2))
+                .max_delay(Nanos::from_secs(1))
+                .screening(crate::config::ScreeningConfig {
+                    decimation: 8,
+                    hysteresis: 0.5,
+                })
+                .build();
+            let (plain, _) = run_online(seed, 30);
+            let (screened, analyzer) = drive_online(two_tier(seed), screened_cfg, 30);
+            assert_graphs_equivalent(&plain, &screened);
+            // Dense Poisson traffic keeps every pair live; the coarse tier
+            // still classified them all.
+            let stats = analyzer.screening_stats().expect("screening enabled");
+            assert!(stats.candidates > 0, "stats: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn online_screening_prunes_wide_fanout_and_matches() {
+        let base = PathmapConfig::builder()
+            .window(Nanos::from_secs(20))
+            .refresh(Nanos::from_secs(5))
+            .max_delay(Nanos::from_millis(500))
+            .build();
+        let screened_cfg = PathmapConfig::builder()
+            .window(Nanos::from_secs(20))
+            .refresh(Nanos::from_secs(5))
+            .max_delay(Nanos::from_millis(500))
+            .screening(crate::config::ScreeningConfig {
+                decimation: 8,
+                hysteresis: 0.5,
+            })
+            .build();
+        let (plain, _) = drive_online(crate::testutil::wide_fanout_sim(8, 17), base, 30);
+        let (screened, analyzer) =
+            drive_online(crate::testutil::wide_fanout_sim(8, 17), screened_cfg, 30);
+        assert_graphs_equivalent(&plain, &screened);
+        let stats = analyzer.screening_stats().expect("screening enabled");
+        assert!(
+            stats.pruned > 0,
+            "expected dead backends pruned online, stats: {stats:?}"
+        );
+        assert!(stats.candidates > stats.pruned, "stats: {stats:?}");
     }
 
     #[test]

@@ -1,8 +1,36 @@
 //! Pathmap analysis parameters.
 
 use e2eprof_timeseries::{Nanos, Quanta};
+use e2eprof_xcorr::screen::Screen;
 use e2eprof_xcorr::SpikeDetector;
 use serde::{Deserialize, Serialize};
+
+/// Coarse-to-fine screening parameters (see [`e2eprof_xcorr::screen`]).
+///
+/// With screening enabled, the analyzer maintains cheap correlators over
+/// `k`-decimated signals for *every* `(client, edge)` pair and pays
+/// full-resolution cost only for pairs whose coarse bound can reach the
+/// spike floor. Pruning is conservative (the bound provably dominates
+/// every fine coefficient), so discovered graphs are unchanged;
+/// `screening: None` keeps the single-tier pipeline bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreeningConfig {
+    /// Decimation factor `k`: one coarse tick sums `k` fine ticks.
+    pub decimation: u64,
+    /// Hysteresis margin `h ∈ [0, 1)`: pairs promote at `floor·(1−h)` and
+    /// demote below `floor·(1−h)²`, so bounds oscillating near the floor
+    /// don't thrash between full recomputes.
+    pub hysteresis: f64,
+}
+
+impl Default for ScreeningConfig {
+    fn default() -> Self {
+        ScreeningConfig {
+            decimation: 8,
+            hysteresis: 0.5,
+        }
+    }
+}
 
 /// The knobs of the pathmap algorithm (paper Sections 3.3–3.5).
 ///
@@ -34,6 +62,7 @@ pub struct PathmapConfig {
     spike_resolution_ticks: u64,
     min_spike_value: f64,
     num_workers: usize,
+    screening: Option<ScreeningConfig>,
 }
 
 impl Default for PathmapConfig {
@@ -112,6 +141,25 @@ impl PathmapConfig {
     pub fn num_workers(&self) -> usize {
         self.num_workers
     }
+
+    /// The coarse-to-fine screening configuration, if enabled.
+    ///
+    /// `None` (the default) runs the single-tier pipeline unchanged.
+    pub fn screening(&self) -> Option<&ScreeningConfig> {
+        self.screening.as_ref()
+    }
+
+    /// Builds the screening decision helper from this configuration, if
+    /// screening is enabled. The spike floor is
+    /// [`min_spike_value`](Self::min_spike_value): a pruned pair's bound
+    /// proves every fine
+    /// coefficient sits below the floor, so no spike it could produce
+    /// would survive the pathmap's strength filter.
+    pub fn screen(&self) -> Option<Screen> {
+        self.screening
+            .as_ref()
+            .map(|sc| Screen::new(sc.decimation, self.min_spike_value, sc.hysteresis))
+    }
 }
 
 /// Builder for [`PathmapConfig`].
@@ -126,6 +174,7 @@ pub struct PathmapConfigBuilder {
     spike_resolution_ticks: u64,
     min_spike_value: f64,
     num_workers: usize,
+    screening: Option<ScreeningConfig>,
 }
 
 impl Default for PathmapConfigBuilder {
@@ -140,6 +189,7 @@ impl Default for PathmapConfigBuilder {
             spike_resolution_ticks: 50,
             min_spike_value: 0.1,
             num_workers: crate::parallel::available_workers(),
+            screening: None,
         }
     }
 }
@@ -201,6 +251,13 @@ impl PathmapConfigBuilder {
         self
     }
 
+    /// Enables coarse-to-fine candidate screening with the given
+    /// parameters. The default (`None`) keeps the single-tier pipeline.
+    pub fn screening(mut self, screening: ScreeningConfig) -> Self {
+        self.screening = Some(screening);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -219,6 +276,7 @@ impl PathmapConfigBuilder {
             spike_resolution_ticks: self.spike_resolution_ticks,
             min_spike_value: self.min_spike_value,
             num_workers: self.num_workers.max(1),
+            screening: self.screening,
         };
         assert!(cfg.window_ticks() > 0, "window must span at least one tick");
         assert!(
@@ -230,6 +288,25 @@ impl PathmapConfigBuilder {
             cfg.refresh_ticks() <= cfg.window_ticks(),
             "refresh interval cannot exceed the window"
         );
+        if let Some(sc) = &cfg.screening {
+            assert!(
+                sc.decimation >= 2,
+                "screening decimation must be at least 2 (1 is the fine tier)"
+            );
+            assert!(
+                sc.decimation <= cfg.max_lag(),
+                "screening decimation cannot exceed the lag bound T_u/τ \
+                 (the online slack term assumes k <= max_lag)"
+            );
+            assert!(
+                (0.0..1.0).contains(&sc.hysteresis),
+                "screening hysteresis must lie in [0, 1)"
+            );
+            assert!(
+                cfg.min_spike_value > 0.0,
+                "screening needs a positive spike floor to prune against"
+            );
+        }
         cfg
     }
 }
@@ -293,6 +370,61 @@ mod tests {
         let _ = PathmapConfig::builder()
             .window(Nanos::from_secs(10))
             .refresh(Nanos::from_secs(20))
+            .build();
+    }
+
+    #[test]
+    fn screening_defaults_off_and_builds_a_screen_when_set() {
+        let plain = PathmapConfig::default();
+        assert!(plain.screening().is_none());
+        assert!(plain.screen().is_none());
+
+        let cfg = PathmapConfig::builder()
+            .screening(ScreeningConfig {
+                decimation: 16,
+                hysteresis: 0.25,
+            })
+            .build();
+        assert_eq!(cfg.screening().unwrap().decimation, 16);
+        let screen = cfg.screen().unwrap();
+        assert_eq!(screen.factor(), 16);
+        assert!((screen.promote_threshold() - 0.1 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation must be at least 2")]
+    fn unit_decimation_rejected() {
+        let _ = PathmapConfig::builder()
+            .screening(ScreeningConfig {
+                decimation: 1,
+                hysteresis: 0.0,
+            })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the lag bound")]
+    fn decimation_beyond_max_lag_rejected() {
+        let _ = PathmapConfig::builder()
+            .quanta(Quanta::from_secs(1))
+            .window(Nanos::from_minutes(10))
+            .refresh(Nanos::from_minutes(1))
+            .max_delay(Nanos::from_secs(4))
+            .screening(ScreeningConfig {
+                decimation: 8,
+                hysteresis: 0.0,
+            })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis must lie in")]
+    fn out_of_range_hysteresis_rejected() {
+        let _ = PathmapConfig::builder()
+            .screening(ScreeningConfig {
+                decimation: 8,
+                hysteresis: 1.0,
+            })
             .build();
     }
 

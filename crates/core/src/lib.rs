@@ -85,6 +85,8 @@ pub mod pathmap;
 pub mod signals;
 pub mod skew;
 pub mod sla;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod tracer;
 pub mod validate;
 
@@ -92,16 +94,16 @@ pub mod validate;
 pub mod prelude {
     pub use crate::analyzer::OnlineAnalyzer;
     pub use crate::change::ChangeTracker;
-    pub use crate::config::PathmapConfig;
+    pub use crate::config::{PathmapConfig, ScreeningConfig};
     pub use crate::graph::{NodeLabels, ServiceGraph};
-    pub use crate::pathmap::{roots_from_topology, Pathmap};
+    pub use crate::pathmap::{roots_from_topology, Pathmap, ScreeningStats};
     pub use crate::signals::EdgeSignals;
     pub use crate::tracer::TracerAgent;
 }
 
 pub use analyzer::OnlineAnalyzer;
-pub use config::PathmapConfig;
+pub use config::{PathmapConfig, ScreeningConfig};
 pub use graph::{NodeLabels, ServiceGraph};
-pub use pathmap::{roots_from_topology, Pathmap};
+pub use pathmap::{roots_from_topology, Pathmap, ScreeningStats};
 pub use signals::EdgeSignals;
 pub use tracer::TracerAgent;

@@ -14,8 +14,9 @@ use crate::signals::EdgeSignals;
 use e2eprof_netsim::{NodeId, Topology};
 use e2eprof_timeseries::RleSeries;
 use e2eprof_xcorr::engine::RleCorrelator;
+use e2eprof_xcorr::screen::{self, Screen};
 use e2eprof_xcorr::{normalize, CorrSeries, Correlator};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Supplies lagged-product series to the path search.
 ///
@@ -33,6 +34,54 @@ pub trait CorrelationProvider {
         y: &RleSeries,
         max_lag: u64,
     ) -> CorrSeries;
+
+    /// Whether the coarse screening tier has proven this pair cannot
+    /// produce a spike at or above the configured floor, letting the path
+    /// search skip the full-lag correlation entirely.
+    ///
+    /// The default never screens, so providers without a coarse tier are
+    /// unaffected. Implementations must stay *conservative*: returning
+    /// `true` asserts every fine normalized coefficient is below the spike
+    /// floor (see [`e2eprof_xcorr::screen`] for the bound that makes this
+    /// sound for non-negative density signals).
+    fn screened_out(
+        &mut self,
+        _client: NodeId,
+        _edge: (NodeId, NodeId),
+        _x: &RleSeries,
+        _y: &RleSeries,
+        _max_lag: u64,
+    ) -> bool {
+        false
+    }
+}
+
+/// Counters from a screening tier: how many `(client, edge)` candidates
+/// were examined and how many the coarse bound pruned before full-lag
+/// correlation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreeningStats {
+    /// Candidate pairs the screen examined.
+    pub candidates: u64,
+    /// Pairs pruned (no full-resolution correlation performed).
+    pub pruned: u64,
+}
+
+impl ScreeningStats {
+    /// The pruned fraction in `[0, 1]` (`0` when nothing was examined).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+
+    /// Accumulates another tier's counters into this one.
+    pub fn absorb(&mut self, other: ScreeningStats) {
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+    }
 }
 
 /// Stateless provider wrapping any [`Correlator`] engine.
@@ -58,6 +107,121 @@ impl CorrelationProvider for StatelessProvider<'_> {
         max_lag: u64,
     ) -> CorrSeries {
         self.engine.correlate(x, y, max_lag)
+    }
+}
+
+/// Stateless provider with a coarse screening tier in front of the engine.
+///
+/// Before paying full-lag cost for a candidate pair, it correlates the
+/// `k`-decimated signals (a `1/k²` amount of work), upper-bounds every
+/// fine normalized coefficient from the coarse products, and prunes the
+/// pair when the bound cannot reach the spike floor. Decisions are
+/// memoized per `(client, edge)` so revisits during the depth-first search
+/// are free.
+#[derive(Debug)]
+pub struct ScreenedStatelessProvider<'a> {
+    engine: &'a dyn Correlator,
+    screen: Screen,
+    /// Decimated view of the window's signals, shared across workers.
+    coarse: &'a EdgeSignals,
+    /// `client → front-end`, to locate each client's coarse source signal.
+    fronts: &'a HashMap<NodeId, NodeId>,
+    /// Per-client coarse source signal (`None` cached too: absent stays
+    /// absent for the whole window).
+    sources: HashMap<NodeId, Option<RleSeries>>,
+    decisions: HashMap<(NodeId, (NodeId, NodeId)), bool>,
+    stats: ScreeningStats,
+}
+
+impl<'a> ScreenedStatelessProvider<'a> {
+    /// Wraps an engine with a screening tier over `coarse` (which must be
+    /// `signals.decimate(screen.factor())` of the window under analysis).
+    pub fn new(
+        engine: &'a dyn Correlator,
+        screen: Screen,
+        coarse: &'a EdgeSignals,
+        fronts: &'a HashMap<NodeId, NodeId>,
+    ) -> Self {
+        ScreenedStatelessProvider {
+            engine,
+            screen,
+            coarse,
+            fronts,
+            sources: HashMap::new(),
+            decisions: HashMap::new(),
+            stats: ScreeningStats::default(),
+        }
+    }
+
+    /// The screening counters accumulated so far.
+    pub fn stats(&self) -> ScreeningStats {
+        self.stats
+    }
+
+    fn decide(
+        &mut self,
+        client: NodeId,
+        edge: (NodeId, NodeId),
+        x: &RleSeries,
+        y: &RleSeries,
+        max_lag: u64,
+    ) -> bool {
+        // Anything the coarse tier cannot see is passed through unpruned.
+        let Some(&front) = self.fronts.get(&client) else {
+            return false;
+        };
+        if !self.sources.contains_key(&client) {
+            let xc = self.coarse.source_signal(client, front);
+            self.sources.insert(client, xc);
+        }
+        let Some(xc) = self.sources.get(&client).and_then(Option::as_ref) else {
+            return false;
+        };
+        let Some(yc) = self.coarse.target_signal(edge.0, edge.1) else {
+            return false;
+        };
+        let rc = self.engine.correlate(xc, yc, self.coarse.max_lag());
+        // Offline windows decimate the full retained span, so there is no
+        // unfolded tail: slack is zero. Live pairs exit the bound scan as
+        // soon as the promote threshold is cleared — the decision is the
+        // same as with the exact bound.
+        let stop_at = self.screen.decision_threshold(false) - screen::BOUND_MARGIN;
+        let bound =
+            screen::max_rho_bound_until(&rc, self.screen.factor(), x, y, max_lag, 0.0, stop_at);
+        !self.screen.next_active(bound, false)
+    }
+}
+
+impl CorrelationProvider for ScreenedStatelessProvider<'_> {
+    fn correlate(
+        &mut self,
+        _client: NodeId,
+        _edge: (NodeId, NodeId),
+        x: &RleSeries,
+        y: &RleSeries,
+        max_lag: u64,
+    ) -> CorrSeries {
+        self.engine.correlate(x, y, max_lag)
+    }
+
+    fn screened_out(
+        &mut self,
+        client: NodeId,
+        edge: (NodeId, NodeId),
+        x: &RleSeries,
+        y: &RleSeries,
+        max_lag: u64,
+    ) -> bool {
+        if let Some(&d) = self.decisions.get(&(client, edge)) {
+            return d;
+        }
+        let pruned = self.decide(client, edge, x, y, max_lag);
+        self.stats.candidates += 1;
+        if pruned {
+            self.stats.pruned += 1;
+        }
+        self.decisions.insert((client, edge), pruned);
+        pruned
     }
 }
 
@@ -117,12 +281,24 @@ impl Pathmap {
 
     /// Runs `ServiceRoot`: discovers one service graph per
     /// `(client, front-end)` root using the configured stateless engine.
+    ///
+    /// With [`PathmapConfig::screening`] set, candidate edges are first
+    /// screened against the coarse (decimated) correlation bound and only
+    /// survivors get the full-lag treatment; the bound is conservative, so
+    /// the discovered graphs are unchanged.
     pub fn discover(
         &self,
         signals: &EdgeSignals,
         roots: &[(NodeId, NodeId)],
         labels: &NodeLabels,
     ) -> Vec<ServiceGraph> {
+        if let Some(screen) = self.config.screen() {
+            let coarse = signals.decimate(screen.factor());
+            let fronts: HashMap<NodeId, NodeId> = roots.iter().copied().collect();
+            let mut provider =
+                ScreenedStatelessProvider::new(self.engine.as_ref(), screen, &coarse, &fronts);
+            return self.discover_with(signals, roots, labels, &mut provider);
+        }
         let mut provider = StatelessProvider::new(self.engine.as_ref());
         self.discover_with(signals, roots, labels, &mut provider)
     }
@@ -140,6 +316,14 @@ impl Pathmap {
         roots: &[(NodeId, NodeId)],
         labels: &NodeLabels,
     ) -> Vec<ServiceGraph> {
+        if let Some(screen) = self.config.screen() {
+            // One decimation pass, shared read-only by every worker.
+            let coarse = signals.decimate(screen.factor());
+            let fronts: HashMap<NodeId, NodeId> = roots.iter().copied().collect();
+            return self.discover_pooled(signals, roots, labels, roots.len(), || {
+                ScreenedStatelessProvider::new(self.engine.as_ref(), screen, &coarse, &fronts)
+            });
+        }
         self.discover_pooled(signals, roots, labels, roots.len(), || {
             StatelessProvider::new(self.engine.as_ref())
         })
@@ -285,6 +469,9 @@ impl Pathmap {
             let Some(y) = signals.target_signal(node, next) else {
                 continue;
             };
+            if provider.screened_out(client, (node, next), x, y, max_lag) {
+                continue;
+            }
             let raw = provider.correlate(client, (node, next), x, y, max_lag);
             let rho = normalize::normalize(&raw, x, y);
             let spikes: Vec<_> = detector
@@ -322,6 +509,7 @@ impl Pathmap {
 mod tests {
     use super::*;
     use crate::graph::NodeLabels;
+    use crate::testutil::wide_fanout_sim;
     use e2eprof_netsim::prelude::*;
     use e2eprof_netsim::Route;
     use e2eprof_timeseries::Nanos;
@@ -494,6 +682,105 @@ mod tests {
         }
         for pair in edge_sets.windows(2) {
             assert_eq!(pair[0], pair[1], "engines disagree on discovered edges");
+        }
+    }
+
+    fn graph_fingerprint(g: &ServiceGraph) -> Vec<((NodeId, NodeId), Vec<u64>, u64)> {
+        let mut edges: Vec<_> = g
+            .edges()
+            .iter()
+            .map(|e| {
+                (
+                    (e.from, e.to),
+                    e.spikes.iter().map(|s| s.delay.as_nanos()).collect(),
+                    e.hop_delay.as_nanos(),
+                )
+            })
+            .collect();
+        edges.sort();
+        edges
+    }
+
+    #[test]
+    fn screened_discovery_matches_unscreened() {
+        for seed in [3, 8, 21] {
+            let mut sim = chain_sim(seed);
+            sim.run_until(Nanos::from_secs(30));
+            let cfg = test_cfg();
+            let screened_cfg = PathmapConfig::builder()
+                .window(Nanos::from_secs(20))
+                .refresh(Nanos::from_secs(5))
+                .max_delay(Nanos::from_secs(2))
+                .screening(crate::config::ScreeningConfig {
+                    decimation: 8,
+                    hysteresis: 0.5,
+                })
+                .build();
+            let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
+            let labels = NodeLabels::from_topology(sim.topology());
+            let roots = roots_from_topology(sim.topology());
+            let plain = Pathmap::new(cfg).discover(&signals, &roots, &labels);
+            for pm in [
+                Pathmap::new(screened_cfg.clone()),
+                Pathmap::new(screened_cfg.clone()),
+            ] {
+                let screened = pm.discover(&signals, &roots, &labels);
+                assert_eq!(plain.len(), screened.len(), "seed {seed}");
+                for (a, b) in plain.iter().zip(&screened) {
+                    assert_eq!(
+                        graph_fingerprint(a),
+                        graph_fingerprint(b),
+                        "seed {seed}: screening changed the discovered graph"
+                    );
+                }
+            }
+            // Parallel screened discovery agrees too.
+            let par = Pathmap::new(screened_cfg).discover_parallel(&signals, &roots, &labels);
+            for (a, b) in plain.iter().zip(&par) {
+                assert_eq!(graph_fingerprint(a), graph_fingerprint(b), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn screening_prunes_dead_edges_in_wide_topology() {
+        let mut sim = wide_fanout_sim(12, 17);
+        sim.run_until(Nanos::from_secs(30));
+
+        let cfg = PathmapConfig::builder()
+            .window(Nanos::from_secs(20))
+            .refresh(Nanos::from_secs(5))
+            .max_delay(Nanos::from_millis(500))
+            .build();
+        let signals = EdgeSignals::from_capture(sim.captures(), &cfg, sim.now());
+        let labels = NodeLabels::from_topology(sim.topology());
+        let roots = roots_from_topology(sim.topology());
+        let fronts: HashMap<NodeId, NodeId> = roots.iter().copied().collect();
+        let screen = Screen::new(8, cfg.min_spike_value(), 0.5);
+        let coarse = signals.decimate(screen.factor());
+        let engine = RleCorrelator;
+        let mut provider = ScreenedStatelessProvider::new(&engine, screen, &coarse, &fronts);
+        let pm = Pathmap::new(cfg.clone());
+        let screened = pm.discover_with(&signals, &roots, &labels, &mut provider);
+
+        let stats = provider.stats();
+        assert!(
+            stats.pruned > 0,
+            "expected pruning on dead edges, stats: {stats:?}"
+        );
+        assert!(stats.candidates >= stats.pruned);
+        // The dead backends alone give a double-digit pruned pool for the
+        // bursty client; demand a substantial fraction rather than a fluke.
+        assert!(
+            stats.pruned_fraction() > 0.3,
+            "pruned fraction too low: {stats:?}"
+        );
+
+        // And the result still matches the unscreened graphs.
+        let plain = pm.discover(&signals, &roots, &labels);
+        assert_eq!(plain.len(), screened.len());
+        for (a, b) in plain.iter().zip(&screened) {
+            assert_eq!(graph_fingerprint(a), graph_fingerprint(b));
         }
     }
 

@@ -1,0 +1,60 @@
+//! Shared test fixtures: deterministic bursty workloads and the
+//! wide-fanout topology used to exercise coarse-to-fine screening.
+
+use e2eprof_netsim::prelude::*;
+use e2eprof_netsim::Route;
+use e2eprof_timeseries::Nanos;
+
+/// Deterministic arrival trace: one request every `step_ms` during the
+/// window `[on_start, on_end)` of each `period`, for `total` seconds.
+pub(crate) fn burst_trace(
+    on_start: f64,
+    on_end: f64,
+    period: f64,
+    step_ms: u64,
+    total: f64,
+) -> Workload {
+    let mut arrivals = Vec::new();
+    let mut cycle = 0.0;
+    while cycle < total {
+        let mut t = cycle + on_start;
+        while t < cycle + on_end && t < total {
+            arrivals.push(Nanos::from_nanos((t * 1e9) as u64));
+            t += step_ms as f64 / 1e3;
+        }
+        cycle += period;
+    }
+    Workload::trace(arrivals)
+}
+
+/// One front end fanning out to a hot backend plus many dead ones. The
+/// traced client bursts in `[0, 1)` of each 4 s period while the noise
+/// class (feeding the dead backends) bursts in `[2.2, 3.2)`: with
+/// `T_u = 500 ms` the supports never overlap at any admissible lag, so
+/// the coarse cover bound on every dead pair is (near) zero.
+pub(crate) fn wide_fanout_sim(backends: usize, seed: u64) -> Simulation {
+    let mut t = TopologyBuilder::new();
+    let bid = t.service_class("bid");
+    let other = t.service_class("other");
+    let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+    let hot = t.service("hot", ServiceConfig::new(DelayDist::exponential_millis(10)));
+    t.connect(web, hot, DelayDist::constant_millis(1));
+    t.route(web, bid, Route::fixed(hot));
+    t.route(hot, bid, Route::terminal());
+    let mut dead = Vec::new();
+    for i in 0..backends {
+        let s = t.service(
+            &format!("s{i}"),
+            ServiceConfig::new(DelayDist::exponential_millis(10)),
+        );
+        t.connect(web, s, DelayDist::constant_millis(1));
+        t.route(s, other, Route::terminal());
+        dead.push(s);
+    }
+    t.route(web, other, Route::round_robin(dead));
+    let cli = t.client("cli", bid, web, burst_trace(0.0, 1.0, 4.0, 5, 40.0));
+    t.connect(cli, web, DelayDist::constant_millis(1));
+    let noise = t.client("noise", other, web, burst_trace(2.2, 3.2, 4.0, 5, 40.0));
+    t.connect(noise, web, DelayDist::constant_millis(1));
+    Simulation::new(t.build().unwrap(), seed)
+}

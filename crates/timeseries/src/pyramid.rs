@@ -1,0 +1,226 @@
+//! Multi-resolution companion windows for coarse-to-fine screening.
+//!
+//! A [`DecimatedWindow`] consumes the same chunk stream as a
+//! [`SlidingWindow`] but retains the signal decimated by a factor `k`:
+//! coarse tick `j` holds the sum of the fine ticks `[j·k, (j+1)·k)`.
+//! Coarse ticks are aligned to absolute multiples of `k`, so the retained
+//! coarse series equals [`RleSeries::decimate`] of the concatenated fine
+//! stream — maintained incrementally in O(chunk runs) per ingest instead
+//! of re-decimating the window.
+//!
+//! Fine ticks that do not yet complete a coarse block are buffered in a
+//! short tail (`< k` ticks plus whatever the latest chunk added) and
+//! folded as soon as their block fills; [`DecimatedWindow::tail`] exposes
+//! the buffered remainder so screening bounds can account for the not-yet-
+//! folded mass exactly.
+
+use crate::rle::RleSeries;
+use crate::time::Tick;
+use crate::window::SlidingWindow;
+
+/// A sliding window over the `k`-decimated image of a fine chunk stream.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{pyramid::DecimatedWindow, RleSeries, Run, Tick};
+/// let mut w = DecimatedWindow::new(100, 4);
+/// w.append_or_reset(&RleSeries::from_parts(
+///     Tick::new(0), 10, vec![Run::new(Tick::new(1), 7, 1.0)],
+/// ));
+/// // Ticks [0, 8) complete two coarse blocks; [8, 10) stays in the tail.
+/// assert_eq!(w.coarse().end(), Tick::new(2));
+/// assert_eq!(w.coarse().series().value_at(Tick::new(0)), 3.0);
+/// assert_eq!(w.coarse().series().value_at(Tick::new(1)), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecimatedWindow {
+    factor: u64,
+    coarse: SlidingWindow,
+    /// The fine-resolution suffix not yet folded into `coarse`: spans
+    /// `[folded_end·k, fine_end)`. `None` before any data.
+    tail: Option<RleSeries>,
+}
+
+impl DecimatedWindow {
+    /// Creates an empty decimated window mirroring a fine window of
+    /// `fine_capacity` ticks, decimating by `factor`.
+    ///
+    /// The coarse retention is sized so that every coarse block
+    /// overlapping the fine window's retained span stays available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or `fine_capacity` is zero.
+    pub fn new(fine_capacity: u64, factor: u64) -> Self {
+        assert!(factor > 0, "decimation factor must be positive");
+        DecimatedWindow {
+            factor,
+            coarse: SlidingWindow::new(fine_capacity.div_ceil(factor) + 2),
+            tail: None,
+        }
+    }
+
+    /// The decimation factor `k`.
+    pub fn factor(&self) -> u64 {
+        self.factor
+    }
+
+    /// The retained coarse window (in coarse ticks of `k` fine ticks each).
+    pub fn coarse(&self) -> &SlidingWindow {
+        &self.coarse
+    }
+
+    /// One past the last fine tick ingested (folded or buffered).
+    pub fn fine_end(&self) -> Tick {
+        self.tail.as_ref().map(|t| t.end()).unwrap_or(Tick::ZERO)
+    }
+
+    /// The buffered fine suffix whose coarse block has not filled yet
+    /// (empty before any data). Its span is `[coarse().end()·k, fine_end)`.
+    pub fn tail(&self) -> RleSeries {
+        self.tail
+            .clone()
+            .unwrap_or_else(|| RleSeries::empty(Tick::ZERO, 0))
+    }
+
+    /// Ingests the next chunk with the same discontinuity semantics as
+    /// [`SlidingWindow::append_or_reset`]: a gap resets the coarse window
+    /// to the chunk's decimation (returns `true`), an overlapping replay
+    /// contributes only its novel suffix, and a stale duplicate is
+    /// ignored (both return `false`).
+    pub fn append_or_reset(&mut self, chunk: &RleSeries) -> bool {
+        let Some(tail) = &mut self.tail else {
+            self.tail = Some(chunk.clone());
+            self.fold();
+            return false;
+        };
+        let end = tail.end();
+        if chunk.start() > end {
+            // Frames lost: restart the pyramid at the chunk's origin.
+            self.coarse = SlidingWindow::new(self.coarse.capacity());
+            self.tail = Some(chunk.clone());
+            self.fold();
+            true
+        } else if chunk.end() <= end {
+            false // stale duplicate
+        } else {
+            let suffix = chunk.slice(end, chunk.end());
+            tail.append_chunk(&suffix);
+            self.fold();
+            false
+        }
+    }
+
+    /// Folds every complete coarse block out of the tail into the coarse
+    /// window, leaving the sub-block remainder buffered.
+    fn fold(&mut self) {
+        let Some(tail) = &self.tail else { return };
+        let k = self.factor;
+        let boundary = Tick::new((tail.end().index() / k) * k);
+        if boundary <= tail.start() {
+            return; // no complete block yet
+        }
+        // Contiguity holds by construction: the previous fold ended at
+        // this fold's first coarse tick.
+        let chunk = tail.slice(tail.start(), boundary).decimate(k);
+        self.coarse.append_chunk(&chunk);
+        self.tail = Some(tail.slice(boundary, tail.end()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rle::Run;
+
+    fn chunk(start: u64, len: u64, runs: Vec<Run>) -> RleSeries {
+        RleSeries::from_parts(Tick::new(start), len, runs)
+    }
+
+    /// Feeds `chunks` through both a fine `SlidingWindow` (large capacity,
+    /// no eviction) and a `DecimatedWindow`, then checks the coarse state
+    /// equals the decimation of the retained fine stream.
+    fn assert_tracks_decimation(chunks: &[RleSeries], k: u64) {
+        let mut fine = SlidingWindow::new(1 << 40);
+        let mut dec = DecimatedWindow::new(1 << 40, k);
+        for c in chunks {
+            let healed = fine.append_or_reset(c);
+            assert_eq!(dec.append_or_reset(c), healed);
+            let whole = fine.series();
+            let boundary = Tick::new((whole.end().index() / k) * k);
+            let want = whole.slice(whole.start(), boundary).decimate(k);
+            let got = dec.coarse().series();
+            assert_eq!(got, want, "after chunk ending {:?}", c.end());
+            let tail_start = boundary.max(whole.start());
+            assert_eq!(dec.tail(), whole.slice(tail_start, whole.end()));
+            assert_eq!(dec.fine_end(), whole.end());
+        }
+    }
+
+    #[test]
+    fn tracks_decimation_across_chunk_boundaries() {
+        assert_tracks_decimation(
+            &[
+                chunk(0, 10, vec![Run::new(Tick::new(1), 7, 1.0)]),
+                chunk(10, 3, vec![Run::new(Tick::new(10), 3, 2.0)]),
+                chunk(13, 1, vec![]),
+                chunk(14, 22, vec![Run::new(Tick::new(20), 10, 1.0)]),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn unaligned_origin_and_sub_block_chunks() {
+        assert_tracks_decimation(
+            &[
+                chunk(5, 2, vec![Run::new(Tick::new(5), 2, 3.0)]),
+                chunk(7, 2, vec![]),
+                chunk(9, 2, vec![Run::new(Tick::new(9), 1, 1.0)]),
+                chunk(11, 2, vec![Run::new(Tick::new(11), 2, 1.0)]),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn gap_resets_like_the_fine_window() {
+        let mut dec = DecimatedWindow::new(1 << 20, 4);
+        dec.append_or_reset(&chunk(0, 8, vec![Run::new(Tick::new(0), 8, 1.0)]));
+        assert_eq!(dec.coarse().series().value_at(Tick::new(0)), 4.0);
+        let healed = dec.append_or_reset(&chunk(100, 8, vec![Run::new(Tick::new(102), 4, 2.0)]));
+        assert!(healed);
+        // Old coarse data is gone; the new origin tick 100 starts block 25.
+        assert_eq!(dec.coarse().start(), Tick::new(25));
+        assert_eq!(dec.coarse().series().value_at(Tick::new(0)), 0.0);
+        assert_eq!(dec.coarse().series().value_at(Tick::new(25)), 4.0);
+    }
+
+    #[test]
+    fn replay_and_duplicates_fold_once() {
+        assert_tracks_decimation(
+            &[
+                chunk(0, 10, vec![Run::new(Tick::new(2), 5, 1.0)]),
+                // Restarted tracer replays everything plus two new ticks.
+                chunk(
+                    0,
+                    12,
+                    vec![
+                        Run::new(Tick::new(2), 5, 1.0),
+                        Run::new(Tick::new(10), 2, 2.0),
+                    ],
+                ),
+                // Fully stale chunk: ignored.
+                chunk(0, 6, vec![Run::new(Tick::new(2), 3, 9.0)]),
+            ],
+            4,
+        );
+    }
+
+    #[test]
+    fn coarse_capacity_covers_fine_retention() {
+        let dec = DecimatedWindow::new(100, 8);
+        assert!(dec.coarse().capacity() > 100u64.div_ceil(8));
+    }
+}

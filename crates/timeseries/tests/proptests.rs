@@ -111,6 +111,103 @@ proptest! {
     }
 }
 
+/// Reference eviction: drop from the front until at most `cap` ticks.
+fn trim_model(start: &mut u64, vals: &mut Vec<f64>, cap: u64) {
+    if vals.len() as u64 > cap {
+        let drop = vals.len() - cap as usize;
+        vals.drain(..drop);
+        *start += drop as u64;
+    }
+}
+
+proptest! {
+    /// [`SlidingWindow`] against a brute-force dense reference, under
+    /// arbitrary chunk sizes, stream gaps (tracer restarts ahead of the
+    /// window), and duplicate/overlapping replays (tracer restarts behind
+    /// it). The model mirrors `append_or_reset`'s contract: contiguous
+    /// chunks append then evict to capacity, a gap resets the window to
+    /// the chunk verbatim (no eviction — the chunk is the entire
+    /// history), replays contribute only their novel suffix, and fully
+    /// stale chunks are ignored.
+    #[test]
+    fn sliding_window_matches_dense_reference(
+        cap in 5u64..60,
+        ops in prop::collection::vec(
+            (
+                0u8..10,  // <6: contiguous, <8: gap, else: replay
+                1u64..25, // gap / replay distance (and the first origin)
+                prop::collection::vec(
+                    prop_oneof![
+                        2 => Just(0.0f64),
+                        1 => (1u32..5).prop_map(|c| (c as f64).sqrt()),
+                    ],
+                    1..30,
+                ),
+            ),
+            1..40,
+        ),
+    ) {
+        use e2eprof_timeseries::window::SlidingWindow;
+        let mut w = SlidingWindow::new(cap);
+        let mut m_start = 0u64;
+        let mut m_vals: Vec<f64> = Vec::new();
+        let mut seen = false;
+        for (mode, dist, cv) in ops {
+            let end = m_start + m_vals.len() as u64;
+            let cs = if !seen {
+                dist
+            } else if mode < 6 {
+                end
+            } else if mode < 8 {
+                end + dist
+            } else {
+                end.saturating_sub(dist)
+            };
+            let chunk = DenseSeries::new(Tick::new(cs), cv.clone())
+                .to_sparse()
+                .to_rle();
+            let healed = w.append_or_reset(&chunk);
+
+            if !seen {
+                m_start = cs;
+                m_vals = cv;
+                seen = true;
+                trim_model(&mut m_start, &mut m_vals, cap);
+                prop_assert!(!healed);
+            } else if cs > end {
+                m_start = cs;
+                m_vals = cv;
+                prop_assert!(healed);
+            } else if cs + cv.len() as u64 <= end {
+                prop_assert!(!healed); // stale duplicate, ignored
+            } else {
+                let skip = (end - cs) as usize;
+                m_vals.extend_from_slice(&cv[skip..]);
+                trim_model(&mut m_start, &mut m_vals, cap);
+                prop_assert!(!healed);
+            }
+
+            let m_end = m_start + m_vals.len() as u64;
+            prop_assert_eq!(w.start(), Tick::new(m_start));
+            prop_assert_eq!(w.end(), Tick::new(m_end));
+            let s = w.series();
+            for (i, &v) in m_vals.iter().enumerate() {
+                prop_assert_eq!(s.value_at(Tick::new(m_start + i as u64)), v);
+            }
+            // Views clamp to the retained span and agree pointwise.
+            let v = w.view(
+                Tick::new(m_start.saturating_sub(3)),
+                Tick::new(m_end + 3),
+            );
+            prop_assert_eq!(v.start(), Tick::new(m_start));
+            prop_assert_eq!(v.end(), Tick::new(m_end));
+            for (i, &mv) in m_vals.iter().enumerate() {
+                prop_assert_eq!(v.value_at(Tick::new(m_start + i as u64)), mv);
+            }
+        }
+    }
+}
+
 /// Arbitrary sorted timestamps in a bounded horizon (milliseconds).
 fn timestamps_strategy() -> impl Strategy<Value = Vec<Nanos>> {
     prop::collection::vec(0u64..500_000u64, 0..300).prop_map(|mut us| {

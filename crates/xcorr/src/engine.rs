@@ -74,11 +74,7 @@ pub struct DenseCorrelator;
 
 impl Correlator for DenseCorrelator {
     fn correlate(&self, x: &RleSeries, y: &RleSeries, max_lag: u64) -> CorrSeries {
-        dense::correlate(
-            &x.to_sparse().to_dense(),
-            &y.to_sparse().to_dense(),
-            max_lag,
-        )
+        dense::correlate(&x.to_dense(), &y.to_dense(), max_lag)
     }
 
     fn name(&self) -> &'static str {
@@ -122,11 +118,7 @@ pub struct FftCorrelator;
 
 impl Correlator for FftCorrelator {
     fn correlate(&self, x: &RleSeries, y: &RleSeries, max_lag: u64) -> CorrSeries {
-        fft::correlate(
-            &x.to_sparse().to_dense(),
-            &y.to_sparse().to_dense(),
-            max_lag,
-        )
+        fft::correlate(&x.to_dense(), &y.to_dense(), max_lag)
     }
 
     fn name(&self) -> &'static str {

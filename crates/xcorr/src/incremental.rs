@@ -41,6 +41,11 @@ pub struct IncrementalCorrelator {
     max_lag: u64,
     acc: CorrSeries,
     window: Option<(Tick, Tick)>,
+    /// Reused correction-term and second-difference buffers: every
+    /// append/evict writes into these instead of allocating `O(max_lag)`
+    /// vectors per call.
+    delta: CorrSeries,
+    scratch: Vec<f64>,
 }
 
 impl IncrementalCorrelator {
@@ -50,6 +55,8 @@ impl IncrementalCorrelator {
             max_lag,
             acc: CorrSeries::zeros(max_lag),
             window: None,
+            delta: CorrSeries::zeros(0),
+            scratch: Vec::new(),
         }
     }
 
@@ -86,8 +93,8 @@ impl IncrementalCorrelator {
                 self.window = Some((s, chunk.end()));
             }
         }
-        let delta = rle::correlate(chunk, y, self.max_lag);
-        self.acc.add_assign(&delta);
+        rle::correlate_into(chunk, y, self.max_lag, &mut self.delta, &mut self.scratch);
+        self.acc.add_assign(&self.delta);
     }
 
     /// Evicts the window prefix before `new_start`.
@@ -111,8 +118,14 @@ impl IncrementalCorrelator {
             return;
         }
         let evicted = x.slice(s, new_start);
-        let delta = rle::correlate(&evicted, y, self.max_lag);
-        self.acc.sub_assign(&delta);
+        rle::correlate_into(
+            &evicted,
+            y,
+            self.max_lag,
+            &mut self.delta,
+            &mut self.scratch,
+        );
+        self.acc.sub_assign(&self.delta);
         self.window = Some((new_start, e));
     }
 

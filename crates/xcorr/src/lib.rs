@@ -25,6 +25,11 @@
 //!   sliding-window advances, touching only the `ΔW` appended/evicted
 //!   ticks.
 //!
+//! For scale, [`screen`] adds a coarse-to-fine screening tier: the
+//! correlation of `k`-decimated signals soundly upper-bounds the fine one
+//! for non-negative densities, so causally dead candidate pairs are pruned
+//! at `1/k` of the cost before any full-lag work happens.
+//!
 //! On top of the raw products, [`normalize`] applies Eq. 1's normalization
 //! (per-lag Pearson coefficient) and [`spike`] finds the distinguishable
 //! spikes (`mean + 3σ` threshold, local maxima, tallest-in-resolution-window
@@ -61,6 +66,7 @@ pub mod fft;
 pub mod incremental;
 pub mod normalize;
 pub mod rle;
+pub mod screen;
 pub mod sparse;
 pub mod spike;
 

@@ -20,19 +20,19 @@ use e2eprof_timeseries::{RleSeries, Tick};
 
 /// Energy threshold below which a window is considered constant (its
 /// correlation with anything is defined as zero).
-const EPS_ENERGY: f64 = 1e-12;
+pub(crate) const EPS_ENERGY: f64 = 1e-12;
 
 /// Prefix-sum evaluator over an RLE signal: cumulative sum and sum of
 /// squares of `y` over all ticks `< t`.
 #[derive(Debug)]
-struct RlePrefix<'a> {
+pub(crate) struct RlePrefix<'a> {
     series: &'a RleSeries,
     /// cum[i] = (Σ value·len, Σ value²·len) over runs[0..i].
     cum: Vec<(f64, f64)>,
 }
 
 impl<'a> RlePrefix<'a> {
-    fn new(series: &'a RleSeries) -> Self {
+    pub(crate) fn new(series: &'a RleSeries) -> Self {
         let mut cum = Vec::with_capacity(series.num_runs() + 1);
         cum.push((0.0, 0.0));
         let (mut s, mut q) = (0.0, 0.0);
@@ -45,7 +45,7 @@ impl<'a> RlePrefix<'a> {
     }
 
     /// `(Σ_{u<t} y(u), Σ_{u<t} y(u)²)`.
-    fn eval(&self, t: Tick) -> (f64, f64) {
+    pub(crate) fn eval(&self, t: Tick) -> (f64, f64) {
         let runs = self.series.runs();
         // Number of runs ending at or before t.
         let i = runs.partition_point(|r| r.end() <= t);

@@ -28,14 +28,39 @@ use e2eprof_timeseries::RleSeries;
 /// assert_eq!(r.values(), &[4.0, 6.0, 4.0]);
 /// ```
 pub fn correlate(x: &RleSeries, y: &RleSeries, max_lag: u64) -> CorrSeries {
+    let mut out = CorrSeries::zeros(0);
+    let mut scratch = Vec::new();
+    correlate_into(x, y, max_lag, &mut out, &mut scratch);
+    out
+}
+
+/// [`correlate`] writing into caller-owned buffers: `out` receives the
+/// lagged products and `scratch` holds the second-difference accumulator.
+///
+/// Both buffers are resized and zeroed as needed, so any prior contents
+/// are irrelevant — passing the same buffers across calls (as
+/// [`IncrementalCorrelator`](crate::incremental::IncrementalCorrelator)
+/// does every append/evict) reuses their allocations instead of paying
+/// two `O(max_lag)` heap round-trips per invocation. The computed values
+/// are bit-identical to [`correlate`]'s.
+pub fn correlate_into(
+    x: &RleSeries,
+    y: &RleSeries,
+    max_lag: u64,
+    out: &mut CorrSeries,
+    scratch: &mut Vec<f64>,
+) {
+    out.reset(max_lag);
     let l = max_lag as i64;
     if l == 0 {
-        return CorrSeries::zeros(0);
+        return;
     }
     // Second-difference accumulator over lags [0, L), with two extra slots
     // so events at p = L and p = L+1 (which cannot affect d < L) need no
     // special-casing when they land exactly on the boundary.
-    let mut diff2 = vec![0.0f64; max_lag as usize + 2];
+    scratch.clear();
+    scratch.resize(max_lag as usize + 2, 0.0);
+    let diff2 = scratch;
     // Events at negative positions fold into a linear + constant term:
     // an impulse e at p < 0 contributes e·(d − p + 1) = e·(d+1) + e·(−p)
     // to every lag d ≥ 0.
@@ -82,15 +107,13 @@ pub fn correlate(x: &RleSeries, y: &RleSeries, max_lag: u64) -> CorrSeries {
     }
 
     // Resolve: double prefix sum plus the folded linear/constant terms.
-    let mut out = vec![0.0f64; max_lag as usize];
     let mut slope = 0.0f64;
     let mut value = 0.0f64;
-    for (d, slot) in out.iter_mut().enumerate() {
+    for (d, slot) in out.values_mut().iter_mut().enumerate() {
         slope += diff2[d];
         value += slope;
         *slot = value + lin * (d as f64 + 1.0) + cst;
     }
-    CorrSeries::new(out)
 }
 
 #[cfg(test)]

@@ -230,6 +230,48 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Soundness of the coarse-to-fine screening tier on arbitrary
+    /// non-negative signals: for every decimation factor, the raw cover
+    /// bound dominates every fine correlation value it covers, and
+    /// `max_rho_bound` dominates every normalized coefficient. This is
+    /// the property that makes pruning observationally invisible.
+    #[test]
+    fn screening_bounds_dominate_fine_correlation(
+        (xs, xv) in signal_strategy(150),
+        (ys, yv) in signal_strategy(200),
+        max_lag in 1u64..60,
+    ) {
+        use e2eprof_xcorr::screen::{coarse_lag_bound, cover_bound, max_rho_bound};
+        let x = to_rle(xs, xv);
+        let y = to_rle(ys, yv);
+        let fine = rle::correlate(&x, &y, max_lag);
+        let rho = normalize::normalize(&fine, &x, &y);
+        for k in [2u64, 4, 8, 16] {
+            let coarse = rle::correlate(
+                &x.decimate(k),
+                &y.decimate(k),
+                coarse_lag_bound(max_lag, k),
+            );
+            let bound = max_rho_bound(&coarse, k, &x, &y, max_lag, 0.0);
+            prop_assert!(bound >= 0.0);
+            // Extra uncovered mass can only loosen the bound.
+            prop_assert!(max_rho_bound(&coarse, k, &x, &y, max_lag, 1.5) >= bound);
+            for d in 0..max_lag {
+                let cover = cover_bound(&coarse, k, d);
+                prop_assert!(
+                    fine.value_at(d) <= cover + 1e-9,
+                    "k={} d={}: fine {} > cover {}", k, d, fine.value_at(d), cover
+                );
+                prop_assert!(
+                    rho.value_at(d) <= bound + 1e-9,
+                    "k={} d={}: rho {} > bound {}", k, d, rho.value_at(d), bound
+                );
+            }
+        }
+    }
+}
+
 /// Dense brute-force Pearson at one lag, straight from Eq. 1.
 fn brute_force_rho(x: &RleSeries, y: &RleSeries, d: u64) -> f64 {
     let n = x.len();

@@ -1,0 +1,215 @@
+//! The screening tier's hard requirement: with `screening` enabled, the
+//! online analyzer's published graphs are **identical** to the unscreened
+//! run — same edge sets, same spike lags, same hop delays, same
+//! bottleneck flags — at every refresh, on both evaluation applications.
+//! Coarse-to-fine pruning is a cost optimization that must be
+//! observationally invisible (the cover bound is sound, so anything
+//! pruned could never have produced a distinguishable spike).
+//!
+//! Spike strengths are compared within 1e-9: a pair that is demoted and
+//! later re-promoted recomputes its correlation from the retained window,
+//! summing the same products in a different order than the incremental
+//! path.
+
+use crossbeam::channel::unbounded;
+use e2eprof::apps::delta::{Delta, DeltaConfig};
+use e2eprof::apps::rubis::{Dispatch, Rubis, RubisConfig};
+use e2eprof::core::prelude::*;
+use e2eprof::netsim::{NodeId, Simulation};
+use e2eprof::timeseries::{Nanos, Quanta};
+use std::collections::HashSet;
+
+const SCREENING: ScreeningConfig = ScreeningConfig {
+    decimation: 8,
+    hysteresis: 0.5,
+};
+
+/// Drives a full online pipeline (tracer agents on every service + one
+/// analyzer) over `steps` refresh intervals, returning each refresh's
+/// published graphs.
+fn run_pipeline(
+    sim: &mut Simulation,
+    config: &PathmapConfig,
+    steps: u64,
+    step: Nanos,
+    drain_lag: Nanos,
+) -> Vec<Vec<ServiceGraph>> {
+    let (tx, rx) = unbounded();
+    let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+    let mut agents: Vec<TracerAgent> = sim
+        .topology()
+        .services()
+        .into_iter()
+        .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+        .collect();
+    let mut analyzer = OnlineAnalyzer::new(
+        config.clone(),
+        roots_from_topology(sim.topology()),
+        NodeLabels::from_topology(sim.topology()),
+        rx,
+    );
+    let mut out = Vec::new();
+    for i in 1..=steps {
+        let now = Nanos::from_nanos(step.as_nanos() * i);
+        sim.run_until(now);
+        let drain = config.quanta().tick_of(now.saturating_sub(drain_lag));
+        for a in &mut agents {
+            a.poll(sim.captures(), drain);
+        }
+        analyzer.ingest();
+        out.push(analyzer.refresh(now));
+    }
+    out
+}
+
+/// Structural equality: edge sets, spike lags, hop delays, and bottleneck
+/// flags exact; spike strengths within 1e-9.
+fn assert_graphs_equivalent(plain: &[ServiceGraph], screened: &[ServiceGraph], ctx: &str) {
+    assert_eq!(plain.len(), screened.len(), "{ctx}: graph count differs");
+    for (ga, gb) in plain.iter().zip(screened) {
+        assert_eq!(ga.client_label, gb.client_label, "{ctx}");
+        let key = |g: &ServiceGraph| {
+            let mut edges: Vec<_> = g
+                .edges()
+                .iter()
+                .map(|e| {
+                    (
+                        (e.from, e.to),
+                        e.spikes.iter().map(|s| s.delay).collect::<Vec<_>>(),
+                        e.hop_delay,
+                    )
+                })
+                .collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(
+            key(ga),
+            key(gb),
+            "{ctx}, {}: screening changed the graph\n{ga}\nvs\n{gb}",
+            ga.client_label
+        );
+        let flags = |g: &ServiceGraph| {
+            let mut v: Vec<_> = g
+                .vertices()
+                .iter()
+                .map(|v| (v.label.clone(), v.bottleneck))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(flags(ga), flags(gb), "{ctx}: bottleneck flags differ");
+        for ea in ga.edges() {
+            let eb = gb.edge(ea.from, ea.to).expect("edge sets already equal");
+            for (sa, sb) in ea.spikes.iter().zip(&eb.spikes) {
+                assert!(
+                    (sa.strength - sb.strength).abs() < 1e-9,
+                    "{ctx}: strength drift {} vs {}",
+                    sa.strength,
+                    sb.strength
+                );
+            }
+        }
+    }
+}
+
+fn rubis_cfg(screening: Option<ScreeningConfig>) -> PathmapConfig {
+    let mut b = PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(20))
+        .refresh(Nanos::from_secs(5))
+        .max_delay(Nanos::from_secs(2));
+    if let Some(sc) = screening {
+        b = b.screening(sc);
+    }
+    b.build()
+}
+
+#[test]
+fn rubis_online_screened_matches_unscreened_across_seeds() {
+    for seed in [1, 2, 3] {
+        let build = || {
+            Rubis::build(RubisConfig {
+                dispatch: Dispatch::Affinity,
+                seed,
+                ..RubisConfig::default()
+            })
+        };
+        let mut plain_app = build();
+        let mut screened_app = build();
+        let step = Nanos::from_secs(5);
+        let lag = Nanos::from_secs(1);
+        let plain = run_pipeline(plain_app.sim_mut(), &rubis_cfg(None), 12, step, lag);
+        let screened = run_pipeline(
+            screened_app.sim_mut(),
+            &rubis_cfg(Some(SCREENING)),
+            12,
+            step,
+            lag,
+        );
+        let mut productive = 0;
+        for (i, (a, b)) in plain.iter().zip(&screened).enumerate() {
+            assert_graphs_equivalent(a, b, &format!("rubis seed {seed}, refresh {}", i + 1));
+            if !a.is_empty() {
+                productive += 1;
+            }
+        }
+        // The equivalence must be exercised on real graphs, not vacuous ones.
+        assert!(
+            productive >= 5,
+            "rubis seed {seed}: only {productive} productive refreshes"
+        );
+    }
+}
+
+fn delta_cfg(screening: Option<ScreeningConfig>) -> PathmapConfig {
+    // The paper's Delta analysis at a reduced horizon: τ = 1 s, ω = 20·τ,
+    // W = 30 min, refresh = 5 min, T_u = 10 min.
+    let mut b = PathmapConfig::builder()
+        .quanta(Quanta::from_secs(1))
+        .omega_ticks(20)
+        .window(Nanos::from_minutes(30))
+        .refresh(Nanos::from_minutes(5))
+        .max_delay(Nanos::from_minutes(10));
+    if let Some(sc) = screening {
+        b = b.screening(sc);
+    }
+    b.build()
+}
+
+#[test]
+fn delta_online_screened_matches_unscreened_across_seeds() {
+    for seed in [7, 8, 9] {
+        let build = || {
+            Delta::build(DeltaConfig {
+                queues: 6,
+                seed,
+                ..DeltaConfig::default()
+            })
+        };
+        let mut plain_app = build();
+        let mut screened_app = build();
+        let step = Nanos::from_minutes(5);
+        let lag = Nanos::from_secs(60);
+        let plain = run_pipeline(plain_app.sim_mut(), &delta_cfg(None), 12, step, lag);
+        let screened = run_pipeline(
+            screened_app.sim_mut(),
+            &delta_cfg(Some(SCREENING)),
+            12,
+            step,
+            lag,
+        );
+        let mut productive = 0;
+        for (i, (a, b)) in plain.iter().zip(&screened).enumerate() {
+            assert_graphs_equivalent(a, b, &format!("delta seed {seed}, refresh {}", i + 1));
+            if !a.is_empty() {
+                productive += 1;
+            }
+        }
+        assert!(
+            productive >= 2,
+            "delta seed {seed}: only {productive} productive refreshes"
+        );
+    }
+}
