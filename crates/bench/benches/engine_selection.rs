@@ -1,0 +1,179 @@
+//! Engine-selection sweep: density × window across every correlation
+//! engine plus the auto-selecting backend.
+//!
+//! For each grid point the four engines and the auto backend correlate
+//! the same pair through the arena-backed steady-state path
+//! (`correlate_into`), timed by iteration loops sized to amortize timer
+//! granularity. The sweep asserts the adaptive backend's point: at every
+//! point `auto` lands within 10% of the best engine (plus a small
+//! absolute slack for microsecond-scale points), and the worst engine is
+//! at least 2× slower than `auto` — i.e. a fixed engine choice is always
+//! substantially wrong somewhere in the regime grid, and the cost model
+//! avoids that. Results go to stdout and `BENCH_engine_selection.json`.
+
+use e2eprof_bench::{write_bench_json, JsonValue};
+use e2eprof_timeseries::{DenseSeries, RleSeries, Tick};
+use e2eprof_xcorr::engine::all_engines;
+use e2eprof_xcorr::{simd, AutoCorrelator, CorrArena, CorrSeries, Correlator, CostModel};
+use std::time::Instant;
+
+const DENSITIES: [f64; 3] = [0.02, 0.1, 1.0];
+const WINDOWS: [u64; 2] = [4_096, 16_384];
+/// Relative headroom the auto backend is allowed over the best engine.
+const REL_SLACK: f64 = 1.10;
+/// Absolute headroom (ns) for microsecond-scale points where scheduler
+/// jitter dominates a 10% margin.
+const ABS_SLACK_NS: f64 = 20_000.0;
+
+/// Deterministic pseudo-random signal: each tick is active with
+/// probability `density`, active values vary over {1..5} so a density-1
+/// signal run-length-encodes to ~n runs (the RLE engine's worst case).
+fn signal(n: u64, density: f64, seed: u64) -> RleSeries {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let values: Vec<f64> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if ((state % 10_000) as f64) < density * 10_000.0 {
+                ((state >> 32) % 5 + 1) as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    DenseSeries::new(Tick::new(0), values).to_sparse().to_rle()
+}
+
+/// Nanoseconds per call: iteration count sized so one measurement spans
+/// ≥ ~20 ms, minimum over 3 measurements.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let iters = ((0.02 / once).ceil() as u64).clamp(1, 1_000_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    best * 1e9
+}
+
+fn main() {
+    let model = CostModel::calibrate();
+    println!(
+        "engine_selection: dense kernel `{}`; calibrated ns/op: dense {:.3} sparse {:.3} rle {:.3} fft {:.3}",
+        simd::kernel_name(),
+        model.dense_op_ns,
+        model.sparse_op_ns,
+        model.rle_op_ns,
+        model.fft_op_ns,
+    );
+
+    let mut points = Vec::new();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for &window in &WINDOWS {
+        for &density in &DENSITIES {
+            let max_lag = window / 4;
+            let x = signal(window, density, 7 + window);
+            let y = signal(window, density, 1_013 + window);
+            let auto = AutoCorrelator::new(model);
+            let pick = auto.pick(&x, &y, max_lag).as_str();
+
+            let mut timings: Vec<(String, f64)> = Vec::new();
+            for engine in all_engines() {
+                let mut arena = CorrArena::new();
+                let mut out = CorrSeries::zeros(0);
+                let ns = time_ns(|| engine.correlate_into(&x, &y, max_lag, &mut out, &mut arena));
+                timings.push((engine.name().to_string(), ns));
+            }
+            let auto_ns = {
+                let mut arena = CorrArena::new();
+                let mut out = CorrSeries::zeros(0);
+                time_ns(|| auto.correlate_into(&x, &y, max_lag, &mut out, &mut arena))
+            };
+            let (best_name, best_ns) = timings
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(n, t)| (n.clone(), *t))
+                .expect("nonempty");
+            let worst_ns = timings
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let hit = pick == best_name;
+            hits += hit as usize;
+            total += 1;
+
+            println!(
+                "  n={window:>6} density={density:<4} lag={max_lag:>5}  pick={pick:<17} \
+                 auto={:>10.1}us  best={best_name} {:>10.1}us  worst={:>10.1}us",
+                auto_ns / 1e3,
+                best_ns / 1e3,
+                worst_ns / 1e3,
+            );
+            for (name, ns) in &timings {
+                println!("      {name:<17} {:>12.1}us", ns / 1e3);
+            }
+
+            assert!(
+                auto_ns <= best_ns * REL_SLACK + ABS_SLACK_NS,
+                "n={window} density={density}: auto {auto_ns:.0}ns not within 10% \
+                 of best engine {best_name} at {best_ns:.0}ns"
+            );
+            assert!(
+                worst_ns >= 2.0 * auto_ns,
+                "n={window} density={density}: worst engine {worst_ns:.0}ns is not \
+                 2x slower than auto {auto_ns:.0}ns — the grid no longer \
+                 discriminates engine regimes"
+            );
+
+            points.push(JsonValue::Obj(vec![
+                ("window".into(), JsonValue::Int(window)),
+                ("density".into(), JsonValue::Num(density)),
+                ("max_lag".into(), JsonValue::Int(max_lag)),
+                ("pick".into(), JsonValue::Str(pick.into())),
+                ("auto_ns".into(), JsonValue::Num(auto_ns)),
+                ("best".into(), JsonValue::Str(best_name)),
+                ("best_ns".into(), JsonValue::Num(best_ns)),
+                ("worst_ns".into(), JsonValue::Num(worst_ns)),
+                ("hit".into(), JsonValue::Bool(hit)),
+                (
+                    "engines".into(),
+                    JsonValue::Obj(
+                        timings
+                            .into_iter()
+                            .map(|(n, t)| (n, JsonValue::Num(t)))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+    }
+
+    let hit_rate = hits as f64 / total as f64;
+    println!("  pick hit rate: {hits}/{total} ({:.0}%)", hit_rate * 100.0);
+
+    let report = JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("engine_selection".into())),
+        ("kernel".into(), JsonValue::Str(simd::kernel_name().into())),
+        (
+            "cost_model_ns_per_op".into(),
+            JsonValue::Obj(vec![
+                ("dense".into(), JsonValue::Num(model.dense_op_ns)),
+                ("sparse".into(), JsonValue::Num(model.sparse_op_ns)),
+                ("rle".into(), JsonValue::Num(model.rle_op_ns)),
+                ("fft".into(), JsonValue::Num(model.fft_op_ns)),
+            ]),
+        ),
+        ("hit_rate".into(), JsonValue::Num(hit_rate)),
+        ("points".into(), JsonValue::Arr(points)),
+    ]);
+    let path = write_bench_json("engine_selection", &report).expect("write bench artifact");
+    println!("  wrote {}", path.display());
+}

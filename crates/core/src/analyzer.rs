@@ -31,7 +31,7 @@ use e2eprof_timeseries::window::SlidingWindow;
 use e2eprof_timeseries::{wire, Nanos, RleSeries, Tick};
 use e2eprof_xcorr::incremental::IncrementalCorrelator;
 use e2eprof_xcorr::screen::{self, Screen};
-use e2eprof_xcorr::CorrSeries;
+use e2eprof_xcorr::{CorrSeries, Correlator};
 use std::collections::{HashMap, HashSet};
 
 /// Key of one maintained correlator: the client whose arrival signal is
@@ -63,6 +63,19 @@ struct ScreeningState {
     stats: ScreeningStats,
 }
 
+/// Counters for the refresh maintenance path's correlation-series buffers:
+/// how many per-pair advances copied into a buffer retained from the
+/// previous refresh versus having to grow (or first-allocate) one. In
+/// steady state `reused` keeps rising while `allocated` stays constant —
+/// the correlate hot path performs no heap allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchCounters {
+    /// Advances whose output fit in a buffer kept from the last refresh.
+    pub reused: u64,
+    /// Advances that allocated or grew their output buffer.
+    pub allocated: u64,
+}
+
 /// The online pathmap analyzer.
 #[derive(Debug)]
 pub struct OnlineAnalyzer {
@@ -80,6 +93,12 @@ pub struct OnlineAnalyzer {
     subscribers: Vec<Sender<GraphUpdate>>,
     /// Coarse screening tier, when configured.
     screening: Option<ScreeningState>,
+    /// Per-pair correlation-series buffers retained across refreshes: the
+    /// sharded advance phase copies each pair's products into last
+    /// refresh's buffer instead of cloning a fresh allocation.
+    corr_cache: HashMap<PairKey, CorrSeries>,
+    /// Buffer-reuse counters accumulated across refreshes.
+    scratch: ScratchCounters,
 }
 
 /// One published refresh: the paper's envisioned "pluggable" service
@@ -125,6 +144,8 @@ impl OnlineAnalyzer {
             capacity,
             subscribers: Vec::new(),
             screening,
+            corr_cache: HashMap::new(),
+            scratch: ScratchCounters::default(),
         }
     }
 
@@ -224,6 +245,7 @@ impl OnlineAnalyzer {
 
         let fronts: HashMap<NodeId, NodeId> = self.roots.iter().copied().collect();
         let num_workers = self.config.num_workers();
+        let engine = self.pathmap.engine();
 
         // Phase 0 — coarse screening tier (when configured): advance the
         // cheap decimated correlator of *every* tracked pair, upper-bound
@@ -317,8 +339,9 @@ impl OnlineAnalyzer {
                     // over untouched and keep the prior classification.
                     return;
                 };
-                let corr = advance_pair(
+                advance_pair(
                     &mut item.inc,
+                    engine,
                     item.key.0,
                     item.key.1,
                     xc,
@@ -360,8 +383,9 @@ impl OnlineAnalyzer {
                 // after a handful of lags (see `max_rho_bound_until`).
                 let was = active_ref.get(&item.key).copied().unwrap_or(true);
                 let stop_at = screen.decision_threshold(was) - screen::BOUND_MARGIN;
+                let corr = item.inc.corr();
                 item.bound = Some(screen::max_rho_bound_until(
-                    &corr, k, x, y, max_lag, slack, stop_at,
+                    corr, k, x, y, max_lag, slack, stop_at,
                 ));
             });
 
@@ -413,7 +437,14 @@ impl OnlineAnalyzer {
             inc: IncrementalCorrelator,
             x: Option<&'a RleSeries>,
             y: Option<&'a RleSeries>,
+            /// Output buffer taken from the previous refresh's cache
+            /// (`None` for pairs advanced for the first time); the worker
+            /// copies the refreshed products into it in place.
             corr: Option<CorrSeries>,
+            /// Whether this refresh actually advanced the pair.
+            advanced: bool,
+            /// Whether the output copy had to allocate or grow.
+            grew: bool,
         }
         let mut items: Vec<AdvanceItem<'_>> = entries
             .into_iter()
@@ -422,9 +453,15 @@ impl OnlineAnalyzer {
                 inc,
                 x: sources.get(&key.0).and_then(Option::as_ref),
                 y: signals.target_signal(key.1 .0, key.1 .1),
-                corr: None,
+                corr: self.corr_cache.remove(&key),
+                advanced: false,
+                grew: false,
             })
             .collect();
+        // Whatever the item construction did not take back out belongs to
+        // pairs no longer tracked; drop it so discovery never reads stale
+        // series (re-inserted below for pairs that did advance).
+        self.corr_cache.clear();
         let windows = &self.windows;
         let fronts_ref = &fronts;
         let fine_lookup = |e: (NodeId, NodeId)| windows.get(&e);
@@ -432,8 +469,9 @@ impl OnlineAnalyzer {
             // Pairs whose signals vanished this window are carried over
             // untouched — discovery cannot visit them either.
             if let (Some(x), Some(y)) = (item.x, item.y) {
-                item.corr = Some(advance_pair(
+                advance_pair(
                     &mut item.inc,
+                    engine,
                     item.key.0,
                     item.key.1,
                     x,
@@ -442,13 +480,23 @@ impl OnlineAnalyzer {
                     (start, end),
                     &fine_lookup,
                     fronts_ref,
-                ));
+                );
+                let slot = item.corr.get_or_insert_with(|| CorrSeries::zeros(0));
+                item.grew = slot.capacity() < item.inc.corr().values().len();
+                slot.copy_from(item.inc.corr());
+                item.advanced = true;
             }
         });
-        let mut cache: HashMap<PairKey, CorrSeries> = HashMap::with_capacity(items.len());
         for item in items {
-            if let Some(corr) = item.corr {
-                cache.insert(item.key, corr);
+            if item.advanced {
+                if item.grew {
+                    self.scratch.allocated += 1;
+                } else {
+                    self.scratch.reused += 1;
+                }
+                if let Some(corr) = item.corr {
+                    self.corr_cache.insert(item.key, corr);
+                }
             }
             self.incs.insert(item.key, item.inc);
         }
@@ -464,7 +512,8 @@ impl OnlineAnalyzer {
             &self.labels,
             num_workers,
             || CachedProvider {
-                cache: &cache,
+                cache: &self.corr_cache,
+                engine,
                 windows: &self.windows,
                 fronts: &fronts,
                 window: (start, end),
@@ -510,10 +559,18 @@ impl OnlineAnalyzer {
     pub fn screening_stats(&self) -> Option<ScreeningStats> {
         self.screening.as_ref().map(|scr| scr.stats)
     }
+
+    /// Correlation-series buffer-reuse counters accumulated across
+    /// refreshes (see [`ScratchCounters`]): in steady state `allocated`
+    /// stops growing while `reused` keeps climbing, the observable form of
+    /// the allocation-free correlate hot path.
+    pub fn scratch_counters(&self) -> ScratchCounters {
+        self.scratch
+    }
 }
 
-/// Advances one `(client, edge)` correlator to the source window `window`
-/// and returns its lagged products.
+/// Advances one `(client, edge)` correlator to the source window `window`;
+/// the refreshed lagged products are left in `inc.corr()`.
 ///
 /// This is the single code path for correlator maintenance: the sharded
 /// pre-advance and the serial fallback both call it with the same
@@ -521,9 +578,15 @@ impl OnlineAnalyzer {
 /// serial ones. The retained history is reached through `lookup` so the
 /// same code advances both tiers: the fine tier passes the raw sliding
 /// windows, the coarse screening tier passes their decimated twins.
+///
+/// `engine` serves only the cold path — a pair's first window (or a window
+/// after a stream heal) is a one-shot from-scratch computation where any
+/// stateless engine applies; warm windows stay on the exact incremental
+/// RLE corrections.
 #[allow(clippy::too_many_arguments)]
 fn advance_pair<'w>(
     inc: &mut IncrementalCorrelator,
+    engine: &dyn Correlator,
     client: NodeId,
     edge: (NodeId, NodeId),
     x: &RleSeries,
@@ -532,7 +595,7 @@ fn advance_pair<'w>(
     window: (Tick, Tick),
     lookup: &impl Fn((NodeId, NodeId)) -> Option<&'w SlidingWindow>,
     fronts: &HashMap<NodeId, NodeId>,
-) -> CorrSeries {
+) {
     let (ws, we) = window;
     if inc.max_lag() != max_lag {
         *inc = IncrementalCorrelator::new(max_lag);
@@ -567,10 +630,8 @@ fn advance_pair<'w>(
             &yw.view(s, (ws + max_lag).min(y_horizon)),
         );
     } else {
-        inc.reset();
-        inc.append(x, y);
+        inc.refill(engine, x, y);
     }
-    inc.corr().clone()
 }
 
 /// One discovery worker's view of the refresh's correlation evidence:
@@ -581,6 +642,8 @@ fn advance_pair<'w>(
 /// conflict).
 struct CachedProvider<'a> {
     cache: &'a HashMap<PairKey, CorrSeries>,
+    /// Engine for the one-shot cold computation of first-reached pairs.
+    engine: &'a dyn Correlator,
     windows: &'a HashMap<(NodeId, NodeId), SlidingWindow>,
     /// Each client's front-end node: the client's source signal lives on
     /// the `(client, front)` edge.
@@ -612,6 +675,7 @@ impl CorrelationProvider for CachedProvider<'_> {
         let windows = self.windows;
         advance_pair(
             inc,
+            self.engine,
             client,
             edge,
             x,
@@ -620,7 +684,8 @@ impl CorrelationProvider for CachedProvider<'_> {
             self.window,
             &move |e| windows.get(&e),
             self.fronts,
-        )
+        );
+        inc.corr().clone()
     }
 
     fn screened_out(
@@ -892,6 +957,56 @@ mod tests {
             "expected dead backends pruned online, stats: {stats:?}"
         );
         assert!(stats.candidates > stats.pruned, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn steady_state_refresh_stops_allocating_series_buffers() {
+        // Drive the online pipeline past warm-up, snapshot the buffer
+        // counters, then keep refreshing: the correlate maintenance path
+        // must only *reuse* retained buffers from then on.
+        let mut sim = two_tier(11);
+        let config = cfg();
+        let (tx, rx) = unbounded();
+        let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+        let mut agents: Vec<TracerAgent> = sim
+            .topology()
+            .services()
+            .into_iter()
+            .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+            .collect();
+        let mut analyzer = OnlineAnalyzer::new(
+            config.clone(),
+            roots_from_topology(sim.topology()),
+            NodeLabels::from_topology(sim.topology()),
+            rx,
+        );
+        let mut drive = |analyzer: &mut OnlineAnalyzer,
+                         sim: &mut Simulation,
+                         steps: std::ops::RangeInclusive<u64>| {
+            for step in steps {
+                let now = Nanos::from_secs(step * 2);
+                sim.run_until(now);
+                let drain = Tick::new(step * 2_000 - 1_000);
+                for a in &mut agents {
+                    a.poll(sim.captures(), drain);
+                }
+                analyzer.ingest();
+                let _ = analyzer.refresh(now);
+            }
+        };
+        drive(&mut analyzer, &mut sim, 1..=12);
+        let warm = analyzer.scratch_counters();
+        assert!(warm.allocated > 0, "no pair ever advanced: {warm:?}");
+        drive(&mut analyzer, &mut sim, 13..=20);
+        let after = analyzer.scratch_counters();
+        assert_eq!(
+            after.allocated, warm.allocated,
+            "steady-state refreshes allocated series buffers: {warm:?} -> {after:?}"
+        );
+        assert!(
+            after.reused > warm.reused,
+            "no buffer reuse recorded: {warm:?} -> {after:?}"
+        );
     }
 
     #[test]

@@ -1,9 +1,34 @@
 //! Pathmap analysis parameters.
 
 use e2eprof_timeseries::{Nanos, Quanta};
+use e2eprof_xcorr::engine::{DenseCorrelator, FftCorrelator, RleCorrelator, SparseCorrelator};
 use e2eprof_xcorr::screen::Screen;
-use e2eprof_xcorr::SpikeDetector;
+use e2eprof_xcorr::{AutoCorrelator, Correlator, CostModel, SpikeDetector};
 use serde::{Deserialize, Serialize};
+
+/// Which correlation engine the pathmap uses for from-scratch (stateless)
+/// correlations.
+///
+/// The default, [`Rle`](CorrelationBackend::Rle), keeps the pipeline
+/// bit-for-bit identical to previous releases. [`Auto`](CorrelationBackend::Auto)
+/// routes each `(client, edge)` pair to the engine a cost model predicts
+/// to be fastest (see [`e2eprof_xcorr::auto`]); since every engine
+/// computes the same lagged products, the discovered graphs are unchanged
+/// up to FFT round-off far below spike-decision scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CorrelationBackend {
+    /// Native RLE correlation ("rle-compression") — the default.
+    #[default]
+    Rle,
+    /// Direct correlation on decompressed windows ("no-compression").
+    Dense,
+    /// Entry-skipping correlation ("burst-compression").
+    Sparse,
+    /// FFT correlation ("fft").
+    Fft,
+    /// Per-pair adaptive selection over the four engines above.
+    Auto,
+}
 
 /// Coarse-to-fine screening parameters (see [`e2eprof_xcorr::screen`]).
 ///
@@ -63,6 +88,8 @@ pub struct PathmapConfig {
     min_spike_value: f64,
     num_workers: usize,
     screening: Option<ScreeningConfig>,
+    backend: CorrelationBackend,
+    auto_cost_model: Option<CostModel>,
 }
 
 impl Default for PathmapConfig {
@@ -149,6 +176,39 @@ impl PathmapConfig {
         self.screening.as_ref()
     }
 
+    /// The correlation backend used for from-scratch correlations
+    /// (default: [`CorrelationBackend::Rle`], bit-for-bit compatible with
+    /// previous releases).
+    pub fn backend(&self) -> CorrelationBackend {
+        self.backend
+    }
+
+    /// The explicit cost model for the [`CorrelationBackend::Auto`]
+    /// backend, if one was supplied. `None` means the model is calibrated
+    /// on the host when the engine is built.
+    pub fn auto_cost_model(&self) -> Option<&CostModel> {
+        self.auto_cost_model.as_ref()
+    }
+
+    /// Instantiates the configured correlation engine.
+    ///
+    /// For [`CorrelationBackend::Auto`] without an explicit cost model
+    /// this runs the one-shot calibration micro-benchmark (a few
+    /// milliseconds; see [`CostModel::calibrate`]) — supply a model via
+    /// the builder for fully deterministic construction.
+    pub fn build_engine(&self) -> Box<dyn Correlator> {
+        match self.backend {
+            CorrelationBackend::Rle => Box::new(RleCorrelator),
+            CorrelationBackend::Dense => Box::new(DenseCorrelator),
+            CorrelationBackend::Sparse => Box::new(SparseCorrelator),
+            CorrelationBackend::Fft => Box::new(FftCorrelator),
+            CorrelationBackend::Auto => Box::new(match self.auto_cost_model {
+                Some(model) => AutoCorrelator::new(model),
+                None => AutoCorrelator::calibrated(),
+            }),
+        }
+    }
+
     /// Builds the screening decision helper from this configuration, if
     /// screening is enabled. The spike floor is
     /// [`min_spike_value`](Self::min_spike_value): a pruned pair's bound
@@ -175,6 +235,8 @@ pub struct PathmapConfigBuilder {
     min_spike_value: f64,
     num_workers: usize,
     screening: Option<ScreeningConfig>,
+    backend: CorrelationBackend,
+    auto_cost_model: Option<CostModel>,
 }
 
 impl Default for PathmapConfigBuilder {
@@ -190,6 +252,8 @@ impl Default for PathmapConfigBuilder {
             min_spike_value: 0.1,
             num_workers: crate::parallel::available_workers(),
             screening: None,
+            backend: CorrelationBackend::default(),
+            auto_cost_model: None,
         }
     }
 }
@@ -258,6 +322,66 @@ impl PathmapConfigBuilder {
         self
     }
 
+    /// Selects the correlation backend (default:
+    /// [`CorrelationBackend::Rle`], bit-for-bit compatible with previous
+    /// releases).
+    pub fn backend(mut self, backend: CorrelationBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Supplies explicit cost-model constants for the
+    /// [`CorrelationBackend::Auto`] backend instead of calibrating on the
+    /// host — use for deterministic tests and reproducible runs.
+    pub fn auto_cost_model(mut self, model: CostModel) -> Self {
+        self.auto_cost_model = Some(model);
+        self
+    }
+
+    /// Applies environment-variable overrides (the CI configuration-matrix
+    /// hook; tests opting in call this last, so a plain build is
+    /// unaffected):
+    ///
+    /// * `E2EPROF_BACKEND` ∈ `rle | dense | sparse | fft | auto` — selects
+    ///   the backend; `auto` uses the deterministic default cost model.
+    /// * `E2EPROF_SCREENING` — `off` disables screening; an integer `k`
+    ///   enables it with decimation `k` and default hysteresis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value so a typo in a CI matrix fails
+    /// loudly instead of silently testing the default path.
+    pub fn env_overrides(mut self) -> Self {
+        if let Ok(v) = std::env::var("E2EPROF_BACKEND") {
+            self.backend = match v.as_str() {
+                "" | "rle" => CorrelationBackend::Rle,
+                "dense" => CorrelationBackend::Dense,
+                "sparse" => CorrelationBackend::Sparse,
+                "fft" => CorrelationBackend::Fft,
+                "auto" => {
+                    self.auto_cost_model.get_or_insert_with(CostModel::default);
+                    CorrelationBackend::Auto
+                }
+                other => panic!("E2EPROF_BACKEND has unknown value {other:?}"),
+            };
+        }
+        if let Ok(v) = std::env::var("E2EPROF_SCREENING") {
+            match v.as_str() {
+                "" | "off" => self.screening = None,
+                k => {
+                    let decimation = k
+                        .parse::<u64>()
+                        .unwrap_or_else(|_| panic!("E2EPROF_SCREENING has unknown value {k:?}"));
+                    self.screening = Some(ScreeningConfig {
+                        decimation,
+                        ..ScreeningConfig::default()
+                    });
+                }
+            }
+        }
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -277,6 +401,8 @@ impl PathmapConfigBuilder {
             min_spike_value: self.min_spike_value,
             num_workers: self.num_workers.max(1),
             screening: self.screening,
+            backend: self.backend,
+            auto_cost_model: self.auto_cost_model,
         };
         assert!(cfg.window_ticks() > 0, "window must span at least one tick");
         assert!(
@@ -436,5 +562,42 @@ mod tests {
             .window(Nanos::from_millis(10))
             .refresh(Nanos::from_millis(1))
             .build();
+    }
+
+    #[test]
+    fn backend_defaults_to_rle() {
+        let cfg = PathmapConfig::builder().build();
+        assert_eq!(cfg.backend(), CorrelationBackend::Rle);
+        assert!(cfg.auto_cost_model().is_none());
+        assert_eq!(cfg.build_engine().name(), "rle-compression");
+    }
+
+    #[test]
+    fn build_engine_honors_backend_selection() {
+        for (backend, name) in [
+            (CorrelationBackend::Rle, "rle-compression"),
+            (CorrelationBackend::Dense, "no-compression"),
+            (CorrelationBackend::Sparse, "burst-compression"),
+            (CorrelationBackend::Fft, "fft"),
+        ] {
+            let cfg = PathmapConfig::builder().backend(backend).build();
+            assert_eq!(cfg.build_engine().name(), name);
+        }
+        let cfg = PathmapConfig::builder()
+            .backend(CorrelationBackend::Auto)
+            .auto_cost_model(CostModel::default())
+            .build();
+        assert_eq!(cfg.backend(), CorrelationBackend::Auto);
+        assert_eq!(cfg.build_engine().name(), "auto");
+    }
+
+    #[test]
+    fn auto_cost_model_is_stored() {
+        let model = CostModel::default();
+        let cfg = PathmapConfig::builder()
+            .backend(CorrelationBackend::Auto)
+            .auto_cost_model(model)
+            .build();
+        assert_eq!(cfg.auto_cost_model(), Some(&model));
     }
 }

@@ -93,16 +93,17 @@ pub mod validate;
 /// Convenient glob-import of the analysis layer's main types.
 pub mod prelude {
     pub use crate::analyzer::OnlineAnalyzer;
+    pub use crate::analyzer::ScratchCounters;
     pub use crate::change::ChangeTracker;
-    pub use crate::config::{PathmapConfig, ScreeningConfig};
+    pub use crate::config::{CorrelationBackend, PathmapConfig, ScreeningConfig};
     pub use crate::graph::{NodeLabels, ServiceGraph};
     pub use crate::pathmap::{roots_from_topology, Pathmap, ScreeningStats};
     pub use crate::signals::EdgeSignals;
     pub use crate::tracer::TracerAgent;
 }
 
-pub use analyzer::OnlineAnalyzer;
-pub use config::{PathmapConfig, ScreeningConfig};
+pub use analyzer::{OnlineAnalyzer, ScratchCounters};
+pub use config::{CorrelationBackend, PathmapConfig, ScreeningConfig};
 pub use graph::{NodeLabels, ServiceGraph};
 pub use pathmap::{roots_from_topology, Pathmap, ScreeningStats};
 pub use signals::EdgeSignals;

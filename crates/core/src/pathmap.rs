@@ -13,7 +13,6 @@ use crate::graph::{GraphEdge, NodeLabels, ServiceGraph};
 use crate::signals::EdgeSignals;
 use e2eprof_netsim::{NodeId, Topology};
 use e2eprof_timeseries::RleSeries;
-use e2eprof_xcorr::engine::RleCorrelator;
 use e2eprof_xcorr::screen::{self, Screen};
 use e2eprof_xcorr::{normalize, CorrSeries, Correlator};
 use std::collections::{HashMap, HashSet};
@@ -251,10 +250,12 @@ pub struct Pathmap {
 }
 
 impl Pathmap {
-    /// Creates a pathmap instance with the production engine (RLE-native
-    /// correlation).
+    /// Creates a pathmap instance with the engine selected by
+    /// [`PathmapConfig::backend`] (default: RLE-native correlation,
+    /// bit-for-bit identical to previous releases).
     pub fn new(config: PathmapConfig) -> Self {
-        Self::with_correlator(config, Box::new(RleCorrelator))
+        let engine = config.build_engine();
+        Self::with_correlator(config, engine)
     }
 
     /// Creates a pathmap instance with an explicit correlation engine
@@ -277,6 +278,11 @@ impl Pathmap {
     /// The analysis configuration.
     pub fn config(&self) -> &PathmapConfig {
         &self.config
+    }
+
+    /// The correlation engine backing this instance.
+    pub fn engine(&self) -> &dyn Correlator {
+        self.engine.as_ref()
     }
 
     /// Runs `ServiceRoot`: discovers one service graph per
@@ -513,6 +519,7 @@ mod tests {
     use e2eprof_netsim::prelude::*;
     use e2eprof_netsim::Route;
     use e2eprof_timeseries::Nanos;
+    use e2eprof_xcorr::engine::RleCorrelator;
 
     /// Short-horizon config so tests stay fast: W = 20 s, T_u = 2 s.
     fn test_cfg() -> PathmapConfig {
@@ -672,7 +679,9 @@ mod tests {
         let labels = NodeLabels::from_topology(sim.topology());
         let roots = roots_from_topology(sim.topology());
         let mut edge_sets = Vec::new();
-        for engine in all_engines() {
+        let mut engines = all_engines();
+        engines.push(Box::new(e2eprof_xcorr::AutoCorrelator::with_default_model()));
+        for engine in engines {
             let pm = Pathmap::with_correlator(cfg.clone(), engine);
             let graphs = pm.discover(&signals, &roots, &labels);
             let mut edges: Vec<(NodeId, NodeId)> =

@@ -45,6 +45,10 @@ pub struct TracerAgent {
     config: PathmapConfig,
     streams: HashMap<TraceKey, StreamState>,
     tx: Sender<TracerFrame>,
+    /// Wire-encoding buffer reused across frames; each poll encodes into
+    /// it and ships an exact-size copy, so the agent's per-frame cost does
+    /// not include growing a fresh vector.
+    frame_buf: Vec<u8>,
 }
 
 impl TracerAgent {
@@ -62,6 +66,7 @@ impl TracerAgent {
             config,
             streams: HashMap::new(),
             tx,
+            frame_buf: Vec::new(),
         }
     }
 
@@ -118,9 +123,10 @@ impl TracerAgent {
             state.cursor += pushed;
             let chunk = state.estimator.drain_chunk(drain_to);
             state.drained_to = drain_to;
+            wire::encode_into(&chunk.to_rle(), &mut self.frame_buf);
             let frame = TracerFrame {
                 edge: (key.src, key.dst),
-                payload: wire::encode(&chunk.to_rle()),
+                payload: Bytes::copy_from_slice(&self.frame_buf),
             };
             // A disconnected analyzer just means the frame is dropped;
             // tracers must not crash the node they run on.

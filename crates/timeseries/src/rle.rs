@@ -149,6 +149,30 @@ impl RleSeries {
         self.runs.iter().map(|r| r.len).sum()
     }
 
+    /// Fraction of the logical span covered by non-zero runs, in `[0, 1]`
+    /// (zero for an empty span). O(runs), no decode pass — this is one of
+    /// the cost-model features the adaptive correlation backend reads per
+    /// pair, so it must stay cheap relative to a correlation.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.support() as f64 / self.len as f64
+        }
+    }
+
+    /// Mean run length in ticks (zero when there are no runs). O(runs).
+    /// Together with [`density`](Self::density) and
+    /// [`num_runs`](Self::num_runs) this summarizes the series shape well
+    /// enough to predict per-engine correlation cost without decoding.
+    pub fn avg_run_len(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.support() as f64 / self.runs.len() as f64
+        }
+    }
+
     /// The stored runs, ordered by start tick.
     pub fn runs(&self) -> &[Run] {
         &self.runs
@@ -180,12 +204,36 @@ impl RleSeries {
     /// Equivalent to `to_sparse().to_dense()` (bit-for-bit) but O(span)
     /// with no intermediate allocation proportional to the support.
     pub fn to_dense(&self) -> crate::dense::DenseSeries {
-        let mut values = vec![0.0f64; self.len as usize];
+        let mut values = Vec::new();
+        self.decode_dense_into(&mut values);
+        crate::dense::DenseSeries::new(self.start, values)
+    }
+
+    /// Decodes the per-tick values over the logical span into `out`,
+    /// clearing it first. Equivalent to `to_dense().values().to_vec()` but
+    /// reuses the caller's allocation — the correlation scratch arena calls
+    /// this every pair, so the steady state must not allocate once `out`
+    /// has grown to the window size.
+    pub fn decode_dense_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.len as usize, 0.0);
         for r in &self.runs {
             let off = (r.start.index() - self.start.index()) as usize;
-            values[off..off + r.len as usize].fill(r.value);
+            out[off..off + r.len as usize].fill(r.value);
         }
-        crate::dense::DenseSeries::new(self.start, values)
+    }
+
+    /// Decodes the non-zero entries into `out`, clearing it first.
+    /// Equivalent to `to_sparse().entries().to_vec()` with the caller's
+    /// allocation reused (see [`decode_dense_into`](Self::decode_dense_into)).
+    pub fn decode_sparse_into(&self, out: &mut Vec<SparseEntry>) {
+        out.clear();
+        out.reserve(self.support() as usize);
+        for r in &self.runs {
+            for i in 0..r.len {
+                out.push(SparseEntry::new(r.start + i, r.value));
+            }
+        }
     }
 
     /// Decimates by `k`: coarse tick `j` sums the fine values over ticks
@@ -297,12 +345,8 @@ impl RleSeries {
 
     /// Decodes back to the sparse representation over the same span.
     pub fn to_sparse(&self) -> SparseSeries {
-        let mut entries = Vec::with_capacity(self.support() as usize);
-        for r in &self.runs {
-            for i in 0..r.len {
-                entries.push(SparseEntry::new(r.start + i, r.value));
-            }
-        }
+        let mut entries = Vec::new();
+        self.decode_sparse_into(&mut entries);
         SparseSeries::from_parts(self.start, self.len, entries)
     }
 
@@ -466,6 +510,34 @@ mod tests {
         let r = sample();
         assert_eq!(r.support(), 6);
         assert!((r.compression_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_and_avg_run_len() {
+        let r = sample();
+        assert!((r.density() - 6.0 / 50.0).abs() < 1e-12);
+        assert!((r.avg_run_len() - 2.0).abs() < 1e-12);
+        let e = RleSeries::empty(Tick::new(0), 0);
+        assert_eq!(e.density(), 0.0);
+        assert_eq!(e.avg_run_len(), 0.0);
+        let q = RleSeries::empty(Tick::new(0), 10);
+        assert_eq!(q.density(), 0.0);
+        assert_eq!(q.avg_run_len(), 0.0);
+    }
+
+    #[test]
+    fn decode_into_matches_owned_decodes() {
+        let r = sample();
+        let mut dense = vec![99.0; 3]; // stale contents must be cleared
+        r.decode_dense_into(&mut dense);
+        assert_eq!(dense, r.to_dense().values());
+        let mut entries = Vec::new();
+        r.decode_sparse_into(&mut entries);
+        assert_eq!(entries, r.to_sparse().entries());
+        // Reuse without reallocation once grown.
+        let cap = dense.capacity();
+        r.decode_dense_into(&mut dense);
+        assert_eq!(dense.capacity(), cap);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::rle::{RleSeries, Run};
 use crate::time::Tick;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 use std::error::Error;
 use std::fmt;
 
@@ -57,18 +57,33 @@ impl Error for DecodeError {}
 /// # Ok::<(), wire::DecodeError>(())
 /// ```
 pub fn encode(series: &RleSeries) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 1 + 8 + 8 + 4 + series.num_runs() * 20);
-    buf.put_slice(WIRE_MAGIC);
-    buf.put_u8(WIRE_VERSION);
-    buf.put_u64(series.start().index());
-    buf.put_u64(series.len());
-    buf.put_u32(series.num_runs() as u32);
+    let mut buf = Vec::new();
+    encode_into(series, &mut buf);
+    Bytes::from(buf)
+}
+
+/// Encodes a series into `out`, clearing it first.
+///
+/// Byte-for-byte identical to [`encode`]; exists so tracer agents can reuse
+/// one frame buffer per flush instead of allocating a fresh frame per
+/// series.
+pub fn encode_into(series: &RleSeries, out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(4 + 1 + 8 + 8 + 4 + series.num_runs() * 20);
+    out.extend_from_slice(WIRE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&series.start().index().to_be_bytes());
+    out.extend_from_slice(&series.len().to_be_bytes());
+    out.extend_from_slice(&(series.num_runs() as u32).to_be_bytes());
     for r in series.runs() {
-        buf.put_u64(r.start().index());
-        buf.put_u32(u32::try_from(r.len()).expect("run length exceeds u32"));
-        buf.put_f64(r.value());
+        out.extend_from_slice(&r.start().index().to_be_bytes());
+        out.extend_from_slice(
+            &u32::try_from(r.len())
+                .expect("run length exceeds u32")
+                .to_be_bytes(),
+        );
+        out.extend_from_slice(&r.value().to_be_bytes());
     }
-    buf.freeze()
 }
 
 /// Decodes a byte frame produced by [`encode`].
@@ -150,6 +165,18 @@ mod tests {
     fn empty_series_round_trip() {
         let s = RleSeries::empty(Tick::new(7), 0);
         assert_eq!(decode(&encode(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let s = sample();
+        let mut buf = vec![0xAAu8; 3]; // stale contents must be cleared
+        encode_into(&s, &mut buf);
+        assert_eq!(&buf[..], &encode(&s)[..]);
+        let cap = buf.capacity();
+        encode_into(&RleSeries::empty(Tick::new(7), 0), &mut buf);
+        assert_eq!(&buf[..], &encode(&RleSeries::empty(Tick::new(7), 0))[..]);
+        assert_eq!(buf.capacity(), cap, "reuse must not shrink or reallocate");
     }
 
     #[test]

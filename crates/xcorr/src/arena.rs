@@ -1,0 +1,92 @@
+//! Reusable scratch buffers for the correlation engines.
+//!
+//! Every engine except the native RLE one pays per-call setup allocations:
+//! the dense and FFT engines decode both windows to per-tick values, the
+//! sparse engine decodes to entry lists, and the FFT engine additionally
+//! needs two `O(n)` complex transform buffers. A [`CorrArena`] owns all of
+//! those buffers so a caller correlating many pairs — `correlate_batch`,
+//! the engine-selection bench, the analyzer's refresh — allocates only
+//! until the buffers have grown to the steady-state window size, and not
+//! at all afterwards.
+//!
+//! The arena tracks how often a buffer acquisition fit inside existing
+//! capacity ([`ScratchStats`]); tests assert the steady state stops
+//! growing, which is the allocation-free-hot-path guarantee without a
+//! custom global allocator.
+
+use crate::fft::Complex;
+use e2eprof_timeseries::SparseEntry;
+
+/// Scratch-reuse counters: how many buffer acquisitions happened and how
+/// many had to grow an allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Total buffer-set acquisitions (one per engine call through an arena).
+    pub acquires: u64,
+    /// Acquisitions that had to grow at least one buffer. In steady state
+    /// this stays constant while `acquires` keeps rising.
+    pub grows: u64,
+}
+
+/// Owns every engine's scratch memory; create once, pass to
+/// [`Correlator::correlate_into`](crate::engine::Correlator::correlate_into)
+/// for each pair.
+#[derive(Debug, Default)]
+pub struct CorrArena {
+    pub(crate) dense_x: Vec<f64>,
+    pub(crate) dense_y: Vec<f64>,
+    pub(crate) entries_x: Vec<SparseEntry>,
+    pub(crate) entries_y: Vec<SparseEntry>,
+    pub(crate) fft_x: Vec<Complex>,
+    pub(crate) fft_y: Vec<Complex>,
+    pub(crate) rle_scratch: Vec<f64>,
+    stats: ScratchStats,
+}
+
+impl CorrArena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        CorrArena::default()
+    }
+
+    /// The scratch-reuse counters accumulated so far.
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the buffers), e.g. after a warm-up phase.
+    pub fn reset_stats(&mut self) {
+        self.stats = ScratchStats::default();
+    }
+
+    /// Records one engine call through the arena; `fit` says whether every
+    /// buffer the call needed already had enough capacity.
+    pub(crate) fn note_acquire(&mut self, fit: bool) {
+        self.stats.acquires += 1;
+        if !fit {
+            self.stats.grows += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_growth() {
+        let mut a = CorrArena::new();
+        a.note_acquire(false);
+        a.note_acquire(true);
+        a.note_acquire(true);
+        assert_eq!(
+            a.stats(),
+            ScratchStats {
+                acquires: 3,
+                grows: 1
+            }
+        );
+        a.reset_stats();
+        assert_eq!(a.stats(), ScratchStats::default());
+    }
+}

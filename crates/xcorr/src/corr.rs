@@ -47,6 +47,21 @@ impl CorrSeries {
         self.values.len() as u64
     }
 
+    /// Overwrites this series with the contents of `other`, reusing the
+    /// existing allocation when it is large enough. The analyzer's
+    /// steady-state refresh snapshots every incremental correlator into a
+    /// persistent per-pair cache this way, so no per-pair `clone` happens
+    /// once the cache has warmed up.
+    pub fn copy_from(&mut self, other: &CorrSeries) {
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Allocated capacity in lags (scratch-reuse accounting).
+    pub fn capacity(&self) -> usize {
+        self.values.capacity()
+    }
+
     /// The per-lag values.
     pub fn values(&self) -> &[f64] {
         &self.values

@@ -5,8 +5,16 @@
 //! maximum transaction delay `T_u` — `O((W/τ) · (T_u/τ))` instead of
 //! `O((W/τ)²)`. It doubles as the reference implementation the optimized
 //! engines are tested against.
+//!
+//! Each lag is one dot product of the overlapping window portions, computed
+//! by the [`simd`] kernel (AVX2/SSE2 on x86_64, 4-lane
+//! unrolled scalar elsewhere) — on dense windows this engine is
+//! memory-bandwidth-bound rather than ALU-bound, which is why the adaptive
+//! backend picks it whenever the signals' density makes run/entry-skipping
+//! pointless.
 
 use crate::corr::CorrSeries;
+use crate::simd;
 use e2eprof_timeseries::DenseSeries;
 
 /// Computes `r(d) = Σ_t x(t) · y(t + d)` for `d ∈ [0, max_lag)`.
@@ -27,22 +35,44 @@ use e2eprof_timeseries::DenseSeries;
 /// assert_eq!(r.values(), &[0.0, 5.0]);
 /// ```
 pub fn correlate(x: &DenseSeries, y: &DenseSeries, max_lag: u64) -> CorrSeries {
-    let xv = x.values();
-    let yv = y.values();
-    let off = x.start().index() as i64 - y.start().index() as i64;
-    let mut out = vec![0.0; max_lag as usize];
-    for (d, slot) in out.iter_mut().enumerate() {
+    let mut out = CorrSeries::zeros(0);
+    correlate_slices_into(
+        x.values(),
+        x.start().index() as i64,
+        y.values(),
+        y.start().index() as i64,
+        max_lag,
+        &mut out,
+    );
+    out
+}
+
+/// Slice-level kernel behind [`correlate`]: correlates `xv` (starting at
+/// absolute tick `x0`) against `yv` (starting at `y0`) into `out`, reusing
+/// `out`'s allocation. The arena-backed engine path decodes RLE windows
+/// into reusable buffers and calls this directly.
+pub(crate) fn correlate_slices_into(
+    xv: &[f64],
+    x0: i64,
+    yv: &[f64],
+    y0: i64,
+    max_lag: u64,
+    out: &mut CorrSeries,
+) {
+    let off = x0 - y0;
+    out.reset(max_lag);
+    for (d, slot) in out.values_mut().iter_mut().enumerate() {
         // y index j = i + d + off must lie in [0, yv.len()).
         let shift = d as i64 + off;
         let i_lo = (-shift).max(0) as usize;
         let i_hi = (yv.len() as i64 - shift).clamp(0, xv.len() as i64) as usize;
-        let mut acc = 0.0;
-        for i in i_lo..i_hi {
-            acc += xv[i] * yv[(i as i64 + shift) as usize];
+        if i_lo >= i_hi {
+            continue; // slot already zeroed by reset
         }
-        *slot = acc;
+        let j_lo = (i_lo as i64 + shift) as usize;
+        let j_hi = (i_hi as i64 + shift) as usize;
+        *slot = simd::dot(&xv[i_lo..i_hi], &yv[j_lo..j_hi]);
     }
-    CorrSeries::new(out)
 }
 
 /// Full-range correlation: every lag from 0 to `x.len() + y.len()`.

@@ -123,41 +123,72 @@ pub fn fft(buf: &mut [Complex], inverse: bool) {
 /// assert!(direct.max_abs_diff(&viafft) < 1e-9);
 /// ```
 pub fn correlate(x: &DenseSeries, y: &DenseSeries, max_lag: u64) -> CorrSeries {
-    let xn = x.values().len();
-    let yn = y.values().len();
+    let mut out = CorrSeries::zeros(0);
+    let mut fx = Vec::new();
+    let mut fy = Vec::new();
+    correlate_slices_into(
+        x.values(),
+        x.start().index() as i64,
+        y.values(),
+        y.start().index() as i64,
+        max_lag,
+        &mut out,
+        &mut fx,
+        &mut fy,
+    );
+    out
+}
+
+/// Slice-level kernel behind [`correlate`]: the transform buffers `fx`/`fy`
+/// and the output are caller-provided so the arena-backed engine path can
+/// reuse them across pairs (the per-call `O(n)` complex allocations are the
+/// FFT route's main constant-factor cost at small windows).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn correlate_slices_into(
+    xv: &[f64],
+    x0: i64,
+    yv: &[f64],
+    y0: i64,
+    max_lag: u64,
+    out: &mut CorrSeries,
+    fx: &mut Vec<Complex>,
+    fy: &mut Vec<Complex>,
+) {
+    out.reset(max_lag);
+    let xn = xv.len();
+    let yn = yv.len();
     if xn == 0 || yn == 0 || max_lag == 0 {
-        return CorrSeries::zeros(max_lag);
+        return;
     }
     let n = (xn + yn).next_power_of_two();
-    let mut fx = vec![Complex::default(); n];
-    let mut fy = vec![Complex::default(); n];
-    for (i, &v) in x.values().iter().enumerate() {
+    fx.clear();
+    fx.resize(n, Complex::default());
+    fy.clear();
+    fy.resize(n, Complex::default());
+    for (i, &v) in xv.iter().enumerate() {
         fx[i].re = v;
     }
-    for (i, &v) in y.values().iter().enumerate() {
+    for (i, &v) in yv.iter().enumerate() {
         fy[i].re = v;
     }
-    fft(&mut fx, false);
-    fft(&mut fy, false);
+    fft(fx, false);
+    fft(fy, false);
     for i in 0..n {
         fx[i] = fx[i].conj() * fy[i];
     }
-    fft(&mut fx, true);
+    fft(fx, true);
     // fx[m mod n] now holds Σ_i xa[i]·ya[i+m] where xa/ya are indexed from
     // their own starts; lag d in tick space maps to m = d + (xs − ys).
-    let off = x.start().index() as i64 - y.start().index() as i64;
-    let out = (0..max_lag as i64)
-        .map(|d| {
-            let m = d + off;
-            // Lags outside the linear support are exactly zero.
-            if m <= -(xn as i64) || m >= yn as i64 {
-                0.0
-            } else {
-                fx[m.rem_euclid(n as i64) as usize].re
-            }
-        })
-        .collect();
-    CorrSeries::new(out)
+    let off = x0 - y0;
+    for (d, slot) in out.values_mut().iter_mut().enumerate() {
+        let m = d as i64 + off;
+        // Lags outside the linear support are exactly zero.
+        if m <= -(xn as i64) || m >= yn as i64 {
+            *slot = 0.0;
+        } else {
+            *slot = fx[m.rem_euclid(n as i64) as usize].re;
+        }
+    }
 }
 
 #[cfg(test)]

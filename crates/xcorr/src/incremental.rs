@@ -134,6 +134,19 @@ impl IncrementalCorrelator {
         self.acc = CorrSeries::zeros(self.max_lag);
         self.window = None;
     }
+
+    /// Recomputes the accumulator from scratch over `x`'s full span with an
+    /// explicit stateless engine, replacing the current window.
+    ///
+    /// This is the cold path of the online analyzer: a pair's very first
+    /// window (or a window after a reset) has no prior state to correct
+    /// incrementally, so any engine — including the auto-selecting one —
+    /// can be used for the one-shot full computation. Subsequent appends
+    /// and evictions stay on the exact RLE-native corrections.
+    pub fn refill(&mut self, engine: &dyn crate::engine::Correlator, x: &RleSeries, y: &RleSeries) {
+        self.acc = engine.correlate(x, y, self.max_lag);
+        self.window = Some((x.start(), x.end()));
+    }
 }
 
 // Shards of `(client, edge) -> IncrementalCorrelator` maps are moved onto
@@ -240,6 +253,27 @@ mod tests {
     fn evict_before_append_panics() {
         let mut inc = IncrementalCorrelator::new(4);
         inc.evict_to(Tick::new(0), &rles(0, vec![1.0]), &rles(0, vec![1.0]));
+    }
+
+    #[test]
+    fn refill_matches_first_append_bitwise() {
+        let x = signal(120, 11);
+        let y = signal(150, 17);
+        let max_lag = 16;
+
+        let mut appended = IncrementalCorrelator::new(max_lag);
+        appended.append(&x, &y);
+
+        let mut refilled = IncrementalCorrelator::new(max_lag);
+        refilled.refill(&crate::engine::RleCorrelator, &x, &y);
+
+        assert_eq!(appended.window(), refilled.window());
+        assert_eq!(appended.corr().values(), refilled.corr().values());
+
+        // Both continue identically under subsequent corrections.
+        appended.evict_to(Tick::new(30), &x, &y);
+        refilled.evict_to(Tick::new(30), &x, &y);
+        assert_eq!(appended.corr().values(), refilled.corr().values());
     }
 
     #[test]

@@ -56,9 +56,14 @@
 //! assert_eq!(spikes[0].lag, 3);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD dispatch module opts back in with a
+// scoped `#[allow(unsafe_code)]` for its `core::arch` intrinsic calls; all
+// other modules remain unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod auto;
 pub mod corr;
 pub mod dense;
 pub mod engine;
@@ -67,9 +72,12 @@ pub mod incremental;
 pub mod normalize;
 pub mod rle;
 pub mod screen;
+pub mod simd;
 pub mod sparse;
 pub mod spike;
 
+pub use arena::CorrArena;
+pub use auto::{AutoCorrelator, CostModel, EngineKind};
 pub use corr::CorrSeries;
 pub use engine::Correlator;
 pub use spike::{Spike, SpikeDetector};

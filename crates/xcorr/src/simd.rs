@@ -1,0 +1,277 @@
+//! SIMD dot-product kernel backing the dense correlation engine.
+//!
+//! Each output lag of the bounded dense correlation is one dot product of
+//! two equal-length `f64` slices (the overlapping portions of the source
+//! and shifted target windows), so the whole engine reduces to [`dot`].
+//!
+//! Dispatch rules (see DESIGN.md §6.3):
+//!
+//! * On `x86_64`, an AVX2 path (4 lanes × 4 independent accumulators) is
+//!   selected at runtime via `is_x86_feature_detected!`; otherwise an SSE2
+//!   path (2 lanes × 4 accumulators) runs — SSE2 is part of the `x86_64`
+//!   baseline, so there is no scalar fallback on this architecture.
+//!   Feature detection is cached by the standard library, so the per-call
+//!   cost is one relaxed atomic load.
+//! * On every other architecture, [`dot_unrolled`] — a 4-accumulator
+//!   scalar loop the autovectorizer can turn into whatever the target
+//!   offers — is the only path, and the crate stays entirely `unsafe`-free.
+//!
+//! All paths reassociate the summation (four partial accumulators reduced
+//! pairwise), so results may differ from strict left-to-right evaluation
+//! in the last ulps. The engine-equivalence suites compare engines under a
+//! tolerance for exactly this reason, and on integer-valued signals every
+//! association order is exact, which is what the bitwise proptests rely on.
+//!
+//! This is the only module in the crate allowed to contain `unsafe` (the
+//! crate root sets `deny(unsafe_code)`); every unsafe block is an intrinsic
+//! call or raw load whose bounds are established by the loop condition.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+/// Dot product of the overlapping prefix of `a` and `b`, using the best
+/// kernel the host supports.
+///
+/// # Example
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [4.0, 5.0, 6.0];
+/// assert_eq!(e2eprof_xcorr::simd::dot(&a, &b), 32.0);
+/// ```
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    dot_dispatch(a, b)
+}
+
+/// The name of the kernel [`dot`] dispatches to on this host
+/// (`"avx2"`, `"sse2"`, or `"scalar"`). Recorded in bench artifacts.
+pub fn kernel_name() -> &'static str {
+    kernel_name_impl()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn dot_dispatch(a: &[f64], b: &[f64]) -> f64 {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: reached only when the host CPU reports AVX2.
+        unsafe { dot_avx2(a, b) }
+    } else {
+        // SAFETY: SSE2 is unconditionally present on x86_64.
+        unsafe { dot_sse2(a, b) }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn dot_dispatch(a: &[f64], b: &[f64]) -> f64 {
+    dot_unrolled(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn kernel_name_impl() -> &'static str {
+    if is_x86_feature_detected!("avx2") {
+        "avx2"
+    } else {
+        "sse2"
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn kernel_name_impl() -> &'static str {
+    "scalar"
+}
+
+/// Portable 4-lane-unrolled kernel: four independent accumulators give the
+/// autovectorizer a dependency-free inner loop and cut the add-latency
+/// chain four-fold even when it stays scalar. Used as the non-x86 path and
+/// as the reference the SIMD paths are tested against.
+pub fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (ka, kb) in (&mut ca).zip(&mut cb) {
+        acc[0] += ka[0] * kb[0];
+        acc[1] += ka[1] * kb[1];
+        acc[2] += ka[2] * kb[2];
+        acc[3] += ka[3] * kb[3];
+    }
+    let mut sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// AVX2 kernel: 4×4 doubles per iteration with unaligned loads (the slices
+/// come from arbitrary window offsets, so alignment cannot be assumed).
+///
+/// # Safety
+///
+/// The host CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+    use core::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    // SAFETY (applies to every load below): the loop conditions keep each
+    // 4-wide load within the first `n` elements of both slices.
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut acc2 = _mm256_setzero_pd();
+    let mut acc3 = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        unsafe {
+            let m0 = _mm256_mul_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+            let m1 = _mm256_mul_pd(
+                _mm256_loadu_pd(ap.add(i + 4)),
+                _mm256_loadu_pd(bp.add(i + 4)),
+            );
+            let m2 = _mm256_mul_pd(
+                _mm256_loadu_pd(ap.add(i + 8)),
+                _mm256_loadu_pd(bp.add(i + 8)),
+            );
+            let m3 = _mm256_mul_pd(
+                _mm256_loadu_pd(ap.add(i + 12)),
+                _mm256_loadu_pd(bp.add(i + 12)),
+            );
+            acc0 = _mm256_add_pd(acc0, m0);
+            acc1 = _mm256_add_pd(acc1, m1);
+            acc2 = _mm256_add_pd(acc2, m2);
+            acc3 = _mm256_add_pd(acc3, m3);
+        }
+        i += 16;
+    }
+    while i + 4 <= n {
+        unsafe {
+            acc0 = _mm256_add_pd(
+                acc0,
+                _mm256_mul_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i))),
+            );
+        }
+        i += 4;
+    }
+    let acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+    let mut lanes = [0.0f64; 4];
+    // SAFETY: `lanes` is a 4-element f64 array; unaligned store is in bounds.
+    unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), acc) };
+    let mut sum = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+    for k in i..n {
+        sum += a[k] * b[k];
+    }
+    sum
+}
+
+/// SSE2 kernel: 4×2 doubles per iteration. The floor for `x86_64` hosts
+/// without AVX2.
+///
+/// # Safety
+///
+/// The host CPU must support SSE2 (always true on x86_64).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn dot_sse2(a: &[f64], b: &[f64]) -> f64 {
+    use core::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = _mm_setzero_pd();
+    let mut acc1 = _mm_setzero_pd();
+    let mut acc2 = _mm_setzero_pd();
+    let mut acc3 = _mm_setzero_pd();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` keeps each 2-wide load within both slices.
+        unsafe {
+            let m0 = _mm_mul_pd(_mm_loadu_pd(ap.add(i)), _mm_loadu_pd(bp.add(i)));
+            let m1 = _mm_mul_pd(_mm_loadu_pd(ap.add(i + 2)), _mm_loadu_pd(bp.add(i + 2)));
+            let m2 = _mm_mul_pd(_mm_loadu_pd(ap.add(i + 4)), _mm_loadu_pd(bp.add(i + 4)));
+            let m3 = _mm_mul_pd(_mm_loadu_pd(ap.add(i + 6)), _mm_loadu_pd(bp.add(i + 6)));
+            acc0 = _mm_add_pd(acc0, m0);
+            acc1 = _mm_add_pd(acc1, m1);
+            acc2 = _mm_add_pd(acc2, m2);
+            acc3 = _mm_add_pd(acc3, m3);
+        }
+        i += 8;
+    }
+    let acc = _mm_add_pd(_mm_add_pd(acc0, acc1), _mm_add_pd(acc2, acc3));
+    let mut lanes = [0.0f64; 2];
+    // SAFETY: `lanes` is a 2-element f64 array.
+    unsafe { _mm_storeu_pd(lanes.as_mut_ptr(), acc) };
+    let mut sum = lanes[0] + lanes[1];
+    for k in i..n {
+        sum += a[k] * b[k];
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strict left-to-right reference.
+    fn dot_naive(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    fn signal(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                match state % 4 {
+                    0 => 0.0,
+                    1 => 1.0,
+                    2 => (state % 7) as f64,
+                    _ => ((state % 100) as f64).sqrt(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_at_every_length() {
+        // Sweep all remainder classes of both the 16-wide and 4-wide loops.
+        for len in 0..70 {
+            let a = signal(len, 3);
+            let b = signal(len, 11);
+            let want = dot_naive(&a, &b);
+            let got = dot(&a, &b);
+            let tol = 1e-12 * want.abs().max(1.0);
+            assert!((got - want).abs() < tol, "len={len}: {got} vs {want}");
+            let unrolled = dot_unrolled(&a, &b);
+            assert!((unrolled - want).abs() < tol, "unrolled len={len}");
+        }
+    }
+
+    #[test]
+    fn exact_on_integer_values() {
+        // Integer products and sums below 2^53 are exact under every
+        // association order, so all kernels must agree bitwise.
+        for len in [0, 1, 5, 16, 33, 64, 100] {
+            let a: Vec<f64> = (0..len).map(|i| ((i * 7 + 3) % 5) as f64).collect();
+            let b: Vec<f64> = (0..len).map(|i| ((i * 11 + 1) % 4) as f64).collect();
+            assert_eq!(dot(&a, &b), dot_naive(&a, &b), "len={len}");
+            assert_eq!(dot_unrolled(&a, &b), dot_naive(&a, &b), "len={len}");
+        }
+    }
+
+    #[test]
+    fn kernel_name_is_known() {
+        assert!(["avx2", "sse2", "scalar"].contains(&kernel_name()));
+    }
+
+    #[test]
+    fn uses_shorter_slice() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 10.0];
+        assert_eq!(dot(&a, &b), 30.0);
+        assert_eq!(dot(&b, &a), 30.0);
+    }
+}

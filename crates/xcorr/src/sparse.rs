@@ -7,7 +7,7 @@
 //! optimization.
 
 use crate::corr::CorrSeries;
-use e2eprof_timeseries::SparseSeries;
+use e2eprof_timeseries::{SparseEntry, SparseSeries};
 
 /// Computes `r(d) = Σ_t x(t) · y(t + d)` for `d ∈ [0, max_lag)` from sparse
 /// signals, skipping quiet zones entirely.
@@ -23,11 +23,25 @@ use e2eprof_timeseries::SparseSeries;
 /// assert_eq!(r.values(), &[0.0, 5.0]);
 /// ```
 pub fn correlate(x: &SparseSeries, y: &SparseSeries, max_lag: u64) -> CorrSeries {
-    let mut out = vec![0.0; max_lag as usize];
-    let ye = y.entries();
+    let mut out = CorrSeries::zeros(0);
+    correlate_entries_into(x.entries(), y.entries(), max_lag, &mut out);
+    out
+}
+
+/// Entry-level kernel behind [`correlate`], reusing `out`'s allocation.
+/// The arena-backed engine path decodes RLE windows into reusable entry
+/// buffers and calls this directly.
+pub(crate) fn correlate_entries_into(
+    xe: &[SparseEntry],
+    ye: &[SparseEntry],
+    max_lag: u64,
+    out: &mut CorrSeries,
+) {
+    out.reset(max_lag);
+    let o = out.values_mut();
     let mut lo = 0usize;
-    for xe in x.entries() {
-        let t = xe.tick().index();
+    for x in xe {
+        let t = x.tick().index();
         // First y entry with tick >= t (lag 0). Monotone in t, so `lo` only
         // moves forward across x entries.
         while lo < ye.len() && ye[lo].tick().index() < t {
@@ -39,11 +53,10 @@ pub fn correlate(x: &SparseSeries, y: &SparseSeries, max_lag: u64) -> CorrSeries
             if d >= max_lag {
                 break;
             }
-            out[d as usize] += xe.value() * ye[j].value();
+            o[d as usize] += x.value() * ye[j].value();
             j += 1;
         }
     }
-    CorrSeries::new(out)
 }
 
 #[cfg(test)]

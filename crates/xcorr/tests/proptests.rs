@@ -6,7 +6,9 @@
 use e2eprof_timeseries::{DenseSeries, RleSeries, Tick};
 use e2eprof_xcorr::engine::{all_engines, Correlator, DenseCorrelator};
 use e2eprof_xcorr::incremental::IncrementalCorrelator;
-use e2eprof_xcorr::{normalize, rle, SpikeDetector};
+use e2eprof_xcorr::{
+    normalize, rle, AutoCorrelator, CorrArena, CorrSeries, CostModel, EngineKind, SpikeDetector,
+};
 use proptest::prelude::*;
 
 fn signal_strategy(max_len: usize) -> impl Strategy<Value = (u64, Vec<f64>)> {
@@ -28,6 +30,22 @@ fn to_rle(start: u64, values: Vec<f64>) -> RleSeries {
         .to_rle()
 }
 
+/// Signals whose values (and hence every lagged product and partial sum)
+/// are small integers: exactly representable in f64 under *any* summation
+/// order, so cross-engine comparisons can demand bitwise equality.
+fn integer_signal_strategy(max_len: usize) -> impl Strategy<Value = (u64, Vec<f64>)> {
+    (
+        0u64..50,
+        prop::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f64),
+                2 => (1u32..9).prop_map(|c| c as f64),
+            ],
+            0..max_len,
+        ),
+    )
+}
+
 proptest! {
     #[test]
     fn engines_agree_on_arbitrary_signals(
@@ -45,6 +63,94 @@ proptest! {
                 reference.max_abs_diff(&got) < 1e-6,
                 "{} diverged: {:?} vs {:?}", engine.name(), reference.values(), got.values()
             );
+        }
+    }
+
+    #[test]
+    fn direct_engines_bitwise_equal_on_integer_signals(
+        (xs, xv) in integer_signal_strategy(120),
+        (ys, yv) in integer_signal_strategy(160),
+        max_lag in 0u64..80,
+    ) {
+        let x = to_rle(xs, xv);
+        let y = to_rle(ys, yv);
+        let reference = DenseCorrelator.correlate(&x, &y, max_lag);
+        for engine in all_engines() {
+            let got = engine.correlate(&x, &y, max_lag);
+            if engine.name() == "fft" {
+                // Irrational twiddle factors make the FFT route inexact
+                // even on integer inputs; it gets a tolerance instead.
+                prop_assert!(
+                    reference.max_abs_diff(&got) < 1e-6,
+                    "fft diverged: {:?} vs {:?}", reference.values(), got.values()
+                );
+            } else {
+                prop_assert_eq!(
+                    reference.values(), got.values(),
+                    "{} not bitwise equal on integer signals", engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_matches_reference_under_arbitrary_cost_models(
+        (xs, xv) in integer_signal_strategy(120),
+        (ys, yv) in integer_signal_strategy(160),
+        max_lag in 0u64..80,
+        dense_ns in 0.01f64..20.0,
+        sparse_ns in 0.01f64..20.0,
+        rle_ns in 0.01f64..20.0,
+        fft_ns in 0.01f64..20.0,
+    ) {
+        // Whatever the (randomized) cost constants make the selector pick,
+        // the result must be the same function — selection is a pure
+        // performance decision and can never change computed values.
+        let x = to_rle(xs, xv);
+        let y = to_rle(ys, yv);
+        let model = CostModel {
+            dense_op_ns: dense_ns,
+            sparse_op_ns: sparse_ns,
+            rle_op_ns: rle_ns,
+            fft_op_ns: fft_ns,
+        };
+        let auto = AutoCorrelator::new(model);
+        let reference = DenseCorrelator.correlate(&x, &y, max_lag);
+        let got = auto.correlate(&x, &y, max_lag);
+        if auto.pick(&x, &y, max_lag) == EngineKind::Fft {
+            prop_assert!(reference.max_abs_diff(&got) < 1e-6);
+        } else {
+            prop_assert_eq!(reference.values(), got.values());
+        }
+    }
+
+    #[test]
+    fn arena_correlate_into_is_bitwise_identical_to_correlate(
+        raw in prop::collection::vec(
+            (signal_strategy(80), signal_strategy(100)),
+            1..8,
+        ),
+        max_lag in 0u64..40,
+    ) {
+        // One shared arena across a whole sequence of differently-shaped
+        // pairs: buffer reuse must never leak state between calls.
+        let owned: Vec<(RleSeries, RleSeries)> = raw
+            .into_iter()
+            .map(|((xs, xv), (ys, yv))| (to_rle(xs, xv), to_rle(ys, yv)))
+            .collect();
+        let mut engines = all_engines();
+        engines.push(Box::new(AutoCorrelator::with_default_model()));
+        for engine in engines {
+            let mut arena = CorrArena::new();
+            let mut out = CorrSeries::zeros(0);
+            for (x, y) in &owned {
+                engine.correlate_into(x, y, max_lag, &mut out, &mut arena);
+                let direct = engine.correlate(x, y, max_lag);
+                prop_assert_eq!(
+                    out.values(), direct.values(),
+                    "{} arena path diverged", engine.name()
+                );
+            }
         }
     }
 

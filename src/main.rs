@@ -154,6 +154,7 @@ fn analyze(args: &[String]) -> ExitCode {
         .window(opts.window)
         .refresh(opts.window)
         .max_delay(opts.max_delay)
+        .env_overrides()
         .build();
     let labels = ingest.labels();
     let signals = ingest.build_signals(&cfg, ingest.horizon());
@@ -208,6 +209,7 @@ fn demo() -> ExitCode {
         .window(Nanos::from_secs(60))
         .refresh(Nanos::from_secs(15))
         .max_delay(Nanos::from_secs(2))
+        .env_overrides()
         .build();
     let graphs = Pathmap::new(cfg.clone()).discover(
         &EdgeSignals::from_capture(sim.captures(), &cfg, sim.now()),

@@ -1,0 +1,272 @@
+//! The adaptive backend's hard requirement: with the auto-selecting
+//! correlation backend, the online analyzer's published graphs are
+//! **identical** to the default (RLE) backend's — same edge sets, same
+//! spike lags, same hop delays, same bottleneck flags — at every refresh,
+//! on both evaluation applications and every ground-truth seed.
+//!
+//! Engine selection is a pure performance decision: every engine computes
+//! the same `r(d) = Σ x(t)·y(t+d)`, and the auto backend only ever runs on
+//! the cold (from-scratch) path of a pair's first window, after which the
+//! exact incremental corrections take over. Spike strengths are compared
+//! within 1e-9 to absorb the FFT route's different summation order on cold
+//! windows.
+//!
+//! The test pins `CostModel::default()` rather than calibrating, so the
+//! picks — and hence the code paths exercised — are deterministic across
+//! hosts.
+
+use crossbeam::channel::unbounded;
+use e2eprof::apps::delta::{Delta, DeltaConfig};
+use e2eprof::apps::rubis::{Dispatch, Rubis, RubisConfig};
+use e2eprof::core::prelude::*;
+use e2eprof::netsim::{NodeId, Simulation};
+use e2eprof::timeseries::{Nanos, Quanta};
+use e2eprof::xcorr::CostModel;
+use std::collections::HashSet;
+
+/// Drives a full online pipeline (tracer agents on every service + one
+/// analyzer) over `steps` refresh intervals, returning each refresh's
+/// published graphs.
+fn run_pipeline(
+    sim: &mut Simulation,
+    config: &PathmapConfig,
+    steps: u64,
+    step: Nanos,
+    drain_lag: Nanos,
+) -> Vec<Vec<ServiceGraph>> {
+    let (tx, rx) = unbounded();
+    let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+    let mut agents: Vec<TracerAgent> = sim
+        .topology()
+        .services()
+        .into_iter()
+        .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+        .collect();
+    let mut analyzer = OnlineAnalyzer::new(
+        config.clone(),
+        roots_from_topology(sim.topology()),
+        NodeLabels::from_topology(sim.topology()),
+        rx,
+    );
+    let mut out = Vec::new();
+    for i in 1..=steps {
+        let now = Nanos::from_nanos(step.as_nanos() * i);
+        sim.run_until(now);
+        let drain = config.quanta().tick_of(now.saturating_sub(drain_lag));
+        for a in &mut agents {
+            a.poll(sim.captures(), drain);
+        }
+        analyzer.ingest();
+        out.push(analyzer.refresh(now));
+    }
+    out
+}
+
+/// Structural equality: edge sets, spike lags, hop delays, and bottleneck
+/// flags exact; spike strengths within 1e-9.
+fn assert_graphs_equivalent(plain: &[ServiceGraph], auto: &[ServiceGraph], ctx: &str) {
+    assert_eq!(plain.len(), auto.len(), "{ctx}: graph count differs");
+    for (ga, gb) in plain.iter().zip(auto) {
+        assert_eq!(ga.client_label, gb.client_label, "{ctx}");
+        let key = |g: &ServiceGraph| {
+            let mut edges: Vec<_> = g
+                .edges()
+                .iter()
+                .map(|e| {
+                    (
+                        (e.from, e.to),
+                        e.spikes.iter().map(|s| s.delay).collect::<Vec<_>>(),
+                        e.hop_delay,
+                    )
+                })
+                .collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(
+            key(ga),
+            key(gb),
+            "{ctx}, {}: the auto backend changed the graph\n{ga}\nvs\n{gb}",
+            ga.client_label
+        );
+        let flags = |g: &ServiceGraph| {
+            let mut v: Vec<_> = g
+                .vertices()
+                .iter()
+                .map(|v| (v.label.clone(), v.bottleneck))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(flags(ga), flags(gb), "{ctx}: bottleneck flags differ");
+        for ea in ga.edges() {
+            let eb = gb.edge(ea.from, ea.to).expect("edge sets already equal");
+            for (sa, sb) in ea.spikes.iter().zip(&eb.spikes) {
+                assert!(
+                    (sa.strength - sb.strength).abs() < 1e-9,
+                    "{ctx}: strength drift {} vs {}",
+                    sa.strength,
+                    sb.strength
+                );
+            }
+        }
+    }
+}
+
+fn rubis_cfg(backend: CorrelationBackend) -> PathmapConfig {
+    let mut b = PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(20))
+        .refresh(Nanos::from_secs(5))
+        .max_delay(Nanos::from_secs(2))
+        .backend(backend);
+    if backend == CorrelationBackend::Auto {
+        b = b.auto_cost_model(CostModel::default());
+    }
+    b.build()
+}
+
+#[test]
+fn rubis_online_auto_backend_matches_default_across_seeds() {
+    for seed in [1, 2, 3] {
+        let build = || {
+            Rubis::build(RubisConfig {
+                dispatch: Dispatch::Affinity,
+                seed,
+                ..RubisConfig::default()
+            })
+        };
+        let mut plain_app = build();
+        let mut auto_app = build();
+        let step = Nanos::from_secs(5);
+        let lag = Nanos::from_secs(1);
+        let plain = run_pipeline(
+            plain_app.sim_mut(),
+            &rubis_cfg(CorrelationBackend::Rle),
+            12,
+            step,
+            lag,
+        );
+        let auto = run_pipeline(
+            auto_app.sim_mut(),
+            &rubis_cfg(CorrelationBackend::Auto),
+            12,
+            step,
+            lag,
+        );
+        let mut productive = 0;
+        for (i, (a, b)) in plain.iter().zip(&auto).enumerate() {
+            assert_graphs_equivalent(a, b, &format!("rubis seed {seed}, refresh {}", i + 1));
+            if !a.is_empty() {
+                productive += 1;
+            }
+        }
+        // The equivalence must be exercised on real graphs, not vacuous ones.
+        assert!(
+            productive >= 5,
+            "rubis seed {seed}: only {productive} productive refreshes"
+        );
+    }
+}
+
+fn delta_cfg(backend: CorrelationBackend) -> PathmapConfig {
+    // The paper's Delta analysis at a reduced horizon: τ = 1 s, ω = 20·τ,
+    // W = 30 min, refresh = 5 min, T_u = 10 min.
+    let mut b = PathmapConfig::builder()
+        .quanta(Quanta::from_secs(1))
+        .omega_ticks(20)
+        .window(Nanos::from_minutes(30))
+        .refresh(Nanos::from_minutes(5))
+        .max_delay(Nanos::from_minutes(10))
+        .backend(backend);
+    if backend == CorrelationBackend::Auto {
+        b = b.auto_cost_model(CostModel::default());
+    }
+    b.build()
+}
+
+#[test]
+fn delta_online_auto_backend_matches_default_across_seeds() {
+    for seed in [7, 8, 9] {
+        let build = || {
+            Delta::build(DeltaConfig {
+                queues: 6,
+                seed,
+                ..DeltaConfig::default()
+            })
+        };
+        let mut plain_app = build();
+        let mut auto_app = build();
+        let step = Nanos::from_minutes(5);
+        let lag = Nanos::from_secs(60);
+        let plain = run_pipeline(
+            plain_app.sim_mut(),
+            &delta_cfg(CorrelationBackend::Rle),
+            12,
+            step,
+            lag,
+        );
+        let auto = run_pipeline(
+            auto_app.sim_mut(),
+            &delta_cfg(CorrelationBackend::Auto),
+            12,
+            step,
+            lag,
+        );
+        let mut productive = 0;
+        for (i, (a, b)) in plain.iter().zip(&auto).enumerate() {
+            assert_graphs_equivalent(a, b, &format!("delta seed {seed}, refresh {}", i + 1));
+            if !a.is_empty() {
+                productive += 1;
+            }
+        }
+        assert!(
+            productive >= 2,
+            "delta seed {seed}: only {productive} productive refreshes"
+        );
+    }
+}
+
+/// Offline discovery under every fixed backend — and auto — produces the
+/// same edge sets as the default on a real application topology.
+#[test]
+fn rubis_offline_all_backends_agree() {
+    let mut app = Rubis::build(RubisConfig {
+        dispatch: Dispatch::Affinity,
+        seed: 1,
+        ..RubisConfig::default()
+    });
+    let sim = app.sim_mut();
+    sim.run_until(Nanos::from_secs(30));
+    let base_cfg = rubis_cfg(CorrelationBackend::Rle);
+    let signals = EdgeSignals::from_capture(sim.captures(), &base_cfg, sim.now());
+    let labels = NodeLabels::from_topology(sim.topology());
+    let roots = roots_from_topology(sim.topology());
+    let edge_sets = |graphs: &[ServiceGraph]| {
+        let mut v: Vec<Vec<(NodeId, NodeId)>> = graphs
+            .iter()
+            .map(|g| {
+                let mut e: Vec<_> = g.edges().iter().map(|e| (e.from, e.to)).collect();
+                e.sort_unstable();
+                e
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let reference = edge_sets(&Pathmap::new(base_cfg).discover(&signals, &roots, &labels));
+    for backend in [
+        CorrelationBackend::Dense,
+        CorrelationBackend::Sparse,
+        CorrelationBackend::Fft,
+        CorrelationBackend::Auto,
+    ] {
+        let graphs = Pathmap::new(rubis_cfg(backend)).discover(&signals, &roots, &labels);
+        assert_eq!(
+            reference,
+            edge_sets(&graphs),
+            "backend {backend:?} disagrees with the default"
+        );
+    }
+}
