@@ -1,0 +1,200 @@
+//! Streaming-ingest fast path: tracer flush → wire → analyzer windows.
+//!
+//! Replays an identical synthetic workload (64 edges × 600 flushes of
+//! bursty density-shaped RLE chunks, most flushes catching an edge idle) through the two wire paths:
+//!
+//! * **v1**: one frame per edge per flush — per-frame encode, allocation,
+//!   channel send, decode to an owned `RleSeries`, window append.
+//! * **v2**: one batch frame per flush — delta/varint batch encode into a
+//!   reused buffer, one send, and zero-copy cursor ingest streaming runs
+//!   straight into the sliding windows (no intermediate series).
+//!
+//! Each timed repetition uses a fresh analyzer (replaying the same chunks
+//! into a warm one would make them stale duplicates and skip the window
+//! work). The bench asserts the v2 path sustains at least 2× the v1
+//! records/sec and writes `BENCH_ingest_throughput.json`.
+
+use crossbeam::channel::unbounded;
+use e2eprof_bench::{fmt_duration, write_bench_json, JsonValue};
+use e2eprof_core::analyzer::OnlineAnalyzer;
+use e2eprof_core::graph::NodeLabels;
+use e2eprof_core::tracer::TracerFrame;
+use e2eprof_core::{PathmapConfig, WireVersion};
+use e2eprof_timeseries::{wire, Nanos, Quanta, RleSeries, Run, Tick};
+use std::time::{Duration, Instant};
+
+// Flush cadence mirrors a real deployment: ΔW is small next to the
+// window, so each flush ships a short, sparse chunk per edge and the
+// per-frame fixed costs (encode, allocation, send, decode) dominate the
+// per-run work — exactly what the batch format amortizes.
+const EDGES: usize = 64;
+const FLUSHES: u64 = 600;
+const CHUNK_TICKS: u64 = 16;
+const REPS: usize = 15;
+
+fn config(wire: WireVersion) -> PathmapConfig {
+    PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(10))
+        .refresh(Nanos::from_secs(2))
+        .max_delay(Nanos::from_secs(1))
+        .wire(wire)
+        .build()
+}
+
+/// Density-shaped chunks: bursts of √count amplitude separated by silent
+/// gaps, contiguous across flushes, deterministic via xorshift.
+fn workload() -> Vec<Vec<((u32, u32), RleSeries)>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..FLUSHES)
+        .map(|flush| {
+            let start = flush * CHUNK_TICKS;
+            (0..EDGES)
+                .map(|e| {
+                    let mut runs = Vec::new();
+                    let mut t = start;
+                    let end = start + CHUNK_TICKS;
+                    while t < end {
+                        t += next() % 96; // silent gap — most flushes catch an edge idle
+                        if t >= end {
+                            break;
+                        }
+                        let len = (1 + next() % 4).min(end - t);
+                        let count = 1 + next() % 24;
+                        runs.push(Run::new(Tick::new(t), len, (count as f64).sqrt()));
+                        t += len;
+                    }
+                    let key = (e as u32, (e + EDGES) as u32);
+                    (
+                        key,
+                        RleSeries::from_parts(Tick::new(start), CHUNK_TICKS, runs),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Underlying message count a density series represents: Σ len·value².
+fn records(flushes: &[Vec<((u32, u32), RleSeries)>]) -> u64 {
+    flushes
+        .iter()
+        .flatten()
+        .flat_map(|(_, s)| s.runs())
+        .map(|r| r.len() * (r.value() * r.value()).round() as u64)
+        .sum()
+}
+
+fn analyzer(wire: WireVersion) -> (OnlineAnalyzer, crossbeam::channel::Sender<TracerFrame>) {
+    let (tx, rx) = unbounded();
+    let labels = NodeLabels::new((0..2 * EDGES).map(|i| format!("n{i}")).collect());
+    (
+        OnlineAnalyzer::new(config(wire), Vec::new(), labels, rx),
+        tx,
+    )
+}
+
+/// v1: frame per edge per flush, exactly the tracer's per-series loop.
+fn drive_v1(flushes: &[Vec<((u32, u32), RleSeries)>]) -> Duration {
+    let (mut an, tx) = analyzer(WireVersion::V1);
+    let mut buf = Vec::new();
+    let t0 = Instant::now();
+    for flush in flushes {
+        for (key, chunk) in flush {
+            wire::encode_into(chunk, &mut buf);
+            let frame = TracerFrame::Series {
+                edge: (
+                    e2eprof_netsim::NodeId::new(key.0),
+                    e2eprof_netsim::NodeId::new(key.1),
+                ),
+                payload: bytes::Bytes::copy_from_slice(&buf),
+            };
+            tx.send(frame).expect("analyzer alive");
+        }
+        an.ingest();
+    }
+    t0.elapsed()
+}
+
+/// v2: one batch frame per flush, exactly the tracer's coalesced path.
+fn drive_v2(flushes: &[Vec<((u32, u32), RleSeries)>]) -> Duration {
+    let (mut an, tx) = analyzer(WireVersion::V2);
+    let mut buf = Vec::new();
+    let t0 = Instant::now();
+    for flush in flushes {
+        wire::encode_batch_into(flush, true, &mut buf);
+        tx.send(TracerFrame::Batch {
+            payload: bytes::Bytes::copy_from_slice(&buf),
+        })
+        .expect("analyzer alive");
+        an.ingest();
+    }
+    t0.elapsed()
+}
+
+fn best_of(reps: usize, f: impl Fn() -> Duration) -> Duration {
+    (0..reps).map(|_| f()).min().expect("at least one rep")
+}
+
+fn main() {
+    let flushes = workload();
+    let total_records = records(&flushes);
+    let frames_v1 = EDGES as u64 * FLUSHES;
+    println!(
+        "ingest_throughput: {EDGES} edges x {FLUSHES} flushes x {CHUNK_TICKS} ticks \
+         = {total_records} records ({frames_v1} v1 frames vs {FLUSHES} v2 frames)"
+    );
+
+    let v1 = best_of(REPS, || drive_v1(&flushes));
+    let v2 = best_of(REPS, || drive_v2(&flushes));
+    let rps = |d: Duration| total_records as f64 / d.as_secs_f64();
+    let (v1_rps, v2_rps) = (rps(v1), rps(v2));
+    let speedup = v2_rps / v1_rps;
+    println!(
+        "  v1 per-series  {:>9}  {:>6.1} M records/s",
+        fmt_duration(v1),
+        v1_rps / 1e6
+    );
+    println!(
+        "  v2 zero-copy   {:>9}  {:>6.1} M records/s  speedup {speedup:.2}x",
+        fmt_duration(v2),
+        v2_rps / 1e6
+    );
+    assert!(
+        speedup >= 2.0,
+        "v2 zero-copy ingest must be >= 2x v1 records/sec, got {speedup:.2}x \
+         ({:.1}M vs {:.1}M records/s)",
+        v2_rps / 1e6,
+        v1_rps / 1e6
+    );
+
+    let report = JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("ingest_throughput".into())),
+        ("edges".into(), JsonValue::Int(EDGES as u64)),
+        ("flushes".into(), JsonValue::Int(FLUSHES)),
+        ("chunk_ticks".into(), JsonValue::Int(CHUNK_TICKS)),
+        ("records".into(), JsonValue::Int(total_records)),
+        ("v1_frames".into(), JsonValue::Int(frames_v1)),
+        ("v2_frames".into(), JsonValue::Int(FLUSHES)),
+        (
+            "v1_ns".into(),
+            JsonValue::Int(v1.as_nanos().try_into().unwrap_or(u64::MAX)),
+        ),
+        (
+            "v2_ns".into(),
+            JsonValue::Int(v2.as_nanos().try_into().unwrap_or(u64::MAX)),
+        ),
+        ("v1_records_per_sec".into(), JsonValue::Num(v1_rps)),
+        ("v2_records_per_sec".into(), JsonValue::Num(v2_rps)),
+        ("speedup".into(), JsonValue::Num(speedup)),
+    ]);
+    let path = write_bench_json("ingest_throughput", &report).expect("write bench artifact");
+    println!("  wrote {}", path.display());
+}

@@ -20,6 +20,7 @@
 use crate::change::ChangeTracker;
 use crate::config::PathmapConfig;
 use crate::graph::{NodeLabels, ServiceGraph};
+use crate::hashing::FxHashMap;
 use crate::parallel;
 use crate::pathmap::{CorrelationProvider, Pathmap, ScreeningStats};
 use crate::signals::EdgeSignals;
@@ -54,11 +55,11 @@ struct ScreeningState {
     /// Coarse-tier lag bound `⌊(L−1)/k⌋ + 2`.
     coarse_lag: u64,
     /// Decimated twin of each edge's sliding window.
-    decimated: HashMap<(NodeId, NodeId), DecimatedWindow>,
+    decimated: FxHashMap<(NodeId, NodeId), DecimatedWindow>,
     /// Coarse correlator per tracked pair (active *and* pruned).
-    coarse: HashMap<PairKey, IncrementalCorrelator>,
+    coarse: FxHashMap<PairKey, IncrementalCorrelator>,
     /// Whether each tracked pair currently runs at full resolution.
-    active: HashMap<PairKey, bool>,
+    active: FxHashMap<PairKey, bool>,
     /// Counters of the most recent refresh.
     stats: ScreeningStats,
 }
@@ -84,8 +85,8 @@ pub struct OnlineAnalyzer {
     roots: Vec<(NodeId, NodeId)>,
     labels: NodeLabels,
     rx: Receiver<TracerFrame>,
-    windows: HashMap<(NodeId, NodeId), SlidingWindow>,
-    incs: HashMap<(NodeId, (NodeId, NodeId)), IncrementalCorrelator>,
+    windows: FxHashMap<(NodeId, NodeId), SlidingWindow>,
+    incs: FxHashMap<(NodeId, (NodeId, NodeId)), IncrementalCorrelator>,
     change: ChangeTracker,
     /// Capacity of each sliding window, in ticks.
     capacity: u64,
@@ -96,7 +97,7 @@ pub struct OnlineAnalyzer {
     /// Per-pair correlation-series buffers retained across refreshes: the
     /// sharded advance phase copies each pair's products into last
     /// refresh's buffer instead of cloning a fresh allocation.
-    corr_cache: HashMap<PairKey, CorrSeries>,
+    corr_cache: FxHashMap<PairKey, CorrSeries>,
     /// Buffer-reuse counters accumulated across refreshes.
     scratch: ScratchCounters,
 }
@@ -127,9 +128,9 @@ impl OnlineAnalyzer {
         let screening = config.screen().map(|screen| ScreeningState {
             coarse_lag: screen::coarse_lag_bound(config.max_lag(), screen.factor()),
             screen,
-            decimated: HashMap::new(),
-            coarse: HashMap::new(),
-            active: HashMap::new(),
+            decimated: FxHashMap::default(),
+            coarse: FxHashMap::default(),
+            active: FxHashMap::default(),
             stats: ScreeningStats::default(),
         });
         OnlineAnalyzer {
@@ -138,13 +139,13 @@ impl OnlineAnalyzer {
             roots,
             labels,
             rx,
-            windows: HashMap::new(),
-            incs: HashMap::new(),
+            windows: FxHashMap::default(),
+            incs: FxHashMap::default(),
             change: ChangeTracker::new(),
             capacity,
             subscribers: Vec::new(),
             screening,
-            corr_cache: HashMap::new(),
+            corr_cache: FxHashMap::default(),
             scratch: ScratchCounters::default(),
         }
     }
@@ -166,6 +167,14 @@ impl OnlineAnalyzer {
     /// Drains all pending tracer frames into the sliding windows. Returns
     /// the number of frames ingested.
     ///
+    /// Both wire formats are accepted on the same channel. A v1 frame
+    /// decodes to one owned chunk and appends as before; a v2 batch frame
+    /// is walked by a zero-copy [`wire::FrameCursor`] whose runs stream
+    /// straight into [`SlidingWindow::extend_runs`] — in steady state (no
+    /// screening) ingest materializes no intermediate series at all. With
+    /// screening enabled each batch entry is materialized once so the
+    /// decimated twin can fold the same chunk.
+    ///
     /// Stream discontinuities heal automatically: a restarted tracer's
     /// replayed history is deduplicated (only novel ticks append), and a
     /// true gap (frames lost in transit) resets that edge's window, with
@@ -179,36 +188,98 @@ impl OnlineAnalyzer {
     pub fn ingest(&mut self) -> usize {
         let mut count = 0;
         let capacity = self.capacity;
+        // Scratch for materializing batch entries when screening needs a
+        // full chunk; retained across frames so steady-state screening
+        // ingest reuses one allocation.
+        let mut scratch_runs: Vec<e2eprof_timeseries::rle::Run> = Vec::new();
         while let Ok(frame) = self.rx.try_recv() {
-            let chunk = wire::decode(&frame.payload).expect("undecodable tracer frame");
-            let healed = self
-                .windows
-                .entry(frame.edge)
-                .or_insert_with(|| SlidingWindow::new(capacity))
-                .append_or_reset(&chunk);
-            if let Some(scr) = &mut self.screening {
-                // The decimated twin sees the same chunk stream, so its
-                // heal events coincide with the fine window's.
-                let factor = scr.screen.factor();
-                scr.decimated
-                    .entry(frame.edge)
-                    .or_insert_with(|| DecimatedWindow::new(capacity, factor))
-                    .append_or_reset(&chunk);
-            }
-            if healed {
-                // Invalidate correlators involving the reset edge.
-                self.incs
-                    .retain(|&(client, edge), _| edge != frame.edge && client != frame.edge.0);
-                if let Some(scr) = &mut self.screening {
-                    scr.coarse
-                        .retain(|&(client, edge), _| edge != frame.edge && client != frame.edge.0);
-                    scr.active
-                        .retain(|&(client, edge), _| edge != frame.edge && client != frame.edge.0);
+            match &frame {
+                TracerFrame::Series { edge, payload } => {
+                    let chunk = wire::decode(payload).expect("undecodable tracer frame");
+                    let healed = self.apply_chunk(*edge, &chunk);
+                    if healed {
+                        self.invalidate_correlators(*edge);
+                    }
+                }
+                TracerFrame::Batch { payload } => {
+                    let mut cursor =
+                        wire::FrameCursor::new(payload).expect("undecodable tracer frame");
+                    while let Some(entry) = cursor.next_entry().expect("undecodable tracer frame") {
+                        let edge = (NodeId::new(entry.key.0), NodeId::new(entry.key.1));
+                        let healed = if self.screening.is_some() {
+                            scratch_runs.clear();
+                            while let Some(run) =
+                                cursor.next_run().expect("undecodable tracer frame")
+                            {
+                                scratch_runs.push(run);
+                            }
+                            let chunk = RleSeries::from_parts(
+                                entry.start,
+                                entry.len,
+                                std::mem::take(&mut scratch_runs),
+                            );
+                            let healed = self.apply_chunk(edge, &chunk);
+                            scratch_runs = {
+                                let mut v = chunk.into_runs();
+                                v.clear();
+                                v
+                            };
+                            healed
+                        } else {
+                            self.windows
+                                .entry(edge)
+                                .or_insert_with(|| SlidingWindow::new(capacity))
+                                .extend_runs(
+                                    entry.start,
+                                    entry.len,
+                                    std::iter::from_fn(|| {
+                                        cursor.next_run().expect("undecodable tracer frame")
+                                    }),
+                                )
+                        };
+                        if healed {
+                            self.invalidate_correlators(edge);
+                        }
+                    }
                 }
             }
             count += 1;
         }
         count
+    }
+
+    /// Appends one owned chunk to an edge's fine window (and its decimated
+    /// twin, when screening is enabled). Returns whether the window healed
+    /// a gap.
+    fn apply_chunk(&mut self, edge: (NodeId, NodeId), chunk: &RleSeries) -> bool {
+        let capacity = self.capacity;
+        let healed = self
+            .windows
+            .entry(edge)
+            .or_insert_with(|| SlidingWindow::new(capacity))
+            .append_or_reset(chunk);
+        if let Some(scr) = &mut self.screening {
+            // The decimated twin sees the same chunk stream, so its
+            // heal events coincide with the fine window's.
+            let factor = scr.screen.factor();
+            scr.decimated
+                .entry(edge)
+                .or_insert_with(|| DecimatedWindow::new(capacity, factor))
+                .append_or_reset(chunk);
+        }
+        healed
+    }
+
+    /// Invalidates every correlator involving a reset edge.
+    fn invalidate_correlators(&mut self, reset: (NodeId, NodeId)) {
+        self.incs
+            .retain(|&(client, edge), _| edge != reset && client != reset.0);
+        if let Some(scr) = &mut self.screening {
+            scr.coarse
+                .retain(|&(client, edge), _| edge != reset && client != reset.0);
+            scr.active
+                .retain(|&(client, edge), _| edge != reset && client != reset.0);
+        }
     }
 
     /// The newest tick for which *every* stream has data (streams drained
@@ -641,10 +712,10 @@ fn advance_pair<'w>(
 /// pair's client belongs to exactly one root, so local maps never
 /// conflict).
 struct CachedProvider<'a> {
-    cache: &'a HashMap<PairKey, CorrSeries>,
+    cache: &'a FxHashMap<PairKey, CorrSeries>,
     /// Engine for the one-shot cold computation of first-reached pairs.
     engine: &'a dyn Correlator,
-    windows: &'a HashMap<(NodeId, NodeId), SlidingWindow>,
+    windows: &'a FxHashMap<(NodeId, NodeId), SlidingWindow>,
     /// Each client's front-end node: the client's source signal lives on
     /// the `(client, front)` edge.
     fronts: &'a HashMap<NodeId, NodeId>,
@@ -957,6 +1028,35 @@ mod tests {
             "expected dead backends pruned online, stats: {stats:?}"
         );
         assert!(stats.candidates > stats.pruned, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn v2_wire_matches_v1_graphs_exactly() {
+        // The batched zero-copy ingest path must be observationally
+        // identical to the per-series v1 path — including with screening,
+        // which exercises the batch-entry materialization fallback.
+        let (plain, _) = run_online(5, 30);
+        let v2_cfg = PathmapConfig::builder()
+            .window(Nanos::from_secs(10))
+            .refresh(Nanos::from_secs(2))
+            .max_delay(Nanos::from_secs(1))
+            .wire(crate::config::WireVersion::V2)
+            .build();
+        let (v2, _) = drive_online(two_tier(5), v2_cfg, 30);
+        assert_graphs_equivalent(&plain, &v2);
+        let v2_screened_cfg = PathmapConfig::builder()
+            .window(Nanos::from_secs(10))
+            .refresh(Nanos::from_secs(2))
+            .max_delay(Nanos::from_secs(1))
+            .wire(crate::config::WireVersion::V2)
+            .screening(crate::config::ScreeningConfig {
+                decimation: 8,
+                hysteresis: 0.5,
+            })
+            .build();
+        let (v2_screened, analyzer) = drive_online(two_tier(5), v2_screened_cfg, 30);
+        assert_graphs_equivalent(&plain, &v2_screened);
+        assert!(analyzer.screening_stats().expect("screening on").candidates > 0);
     }
 
     #[test]

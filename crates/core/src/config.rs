@@ -30,6 +30,26 @@ pub enum CorrelationBackend {
     Auto,
 }
 
+/// Which wire format tracer agents ship frames in (see
+/// [`e2eprof_timeseries::wire`]).
+///
+/// The default, [`V1`](WireVersion::V1), keeps the frame stream bit-for-bit
+/// identical to previous releases: one fixed-width frame per edge per
+/// flush. [`V2`](WireVersion::V2) coalesces every series an agent owns
+/// into one varint-compressed batch frame per flush, which the analyzer
+/// ingests through a zero-copy cursor; the decoded series — and hence the
+/// discovered graphs — are identical (the integer-count amplitude encoding
+/// reconstructs every √count density bit-for-bit). The analyzer accepts
+/// both formats regardless of this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WireVersion {
+    /// One fixed-width frame per edge per flush — the default.
+    #[default]
+    V1,
+    /// One varint batch frame per agent flush.
+    V2,
+}
+
 /// Coarse-to-fine screening parameters (see [`e2eprof_xcorr::screen`]).
 ///
 /// With screening enabled, the analyzer maintains cheap correlators over
@@ -90,6 +110,7 @@ pub struct PathmapConfig {
     screening: Option<ScreeningConfig>,
     backend: CorrelationBackend,
     auto_cost_model: Option<CostModel>,
+    wire: WireVersion,
 }
 
 impl Default for PathmapConfig {
@@ -190,6 +211,13 @@ impl PathmapConfig {
         self.auto_cost_model.as_ref()
     }
 
+    /// The wire format tracer agents ship frames in (default:
+    /// [`WireVersion::V1`], bit-for-bit compatible with previous
+    /// releases).
+    pub fn wire(&self) -> WireVersion {
+        self.wire
+    }
+
     /// Instantiates the configured correlation engine.
     ///
     /// For [`CorrelationBackend::Auto`] without an explicit cost model
@@ -237,6 +265,7 @@ pub struct PathmapConfigBuilder {
     screening: Option<ScreeningConfig>,
     backend: CorrelationBackend,
     auto_cost_model: Option<CostModel>,
+    wire: WireVersion,
 }
 
 impl Default for PathmapConfigBuilder {
@@ -254,6 +283,7 @@ impl Default for PathmapConfigBuilder {
             screening: None,
             backend: CorrelationBackend::default(),
             auto_cost_model: None,
+            wire: WireVersion::default(),
         }
     }
 }
@@ -338,6 +368,13 @@ impl PathmapConfigBuilder {
         self
     }
 
+    /// Selects the tracer wire format (default: [`WireVersion::V1`],
+    /// bit-for-bit compatible with previous releases).
+    pub fn wire(mut self, wire: WireVersion) -> Self {
+        self.wire = wire;
+        self
+    }
+
     /// Applies environment-variable overrides (the CI configuration-matrix
     /// hook; tests opting in call this last, so a plain build is
     /// unaffected):
@@ -346,6 +383,7 @@ impl PathmapConfigBuilder {
     ///   the backend; `auto` uses the deterministic default cost model.
     /// * `E2EPROF_SCREENING` — `off` disables screening; an integer `k`
     ///   enables it with decimation `k` and default hysteresis.
+    /// * `E2EPROF_WIRE` ∈ `v1 | v2` — selects the tracer wire format.
     ///
     /// # Panics
     ///
@@ -379,6 +417,13 @@ impl PathmapConfigBuilder {
                 }
             }
         }
+        if let Ok(v) = std::env::var("E2EPROF_WIRE") {
+            self.wire = match v.as_str() {
+                "" | "v1" => WireVersion::V1,
+                "v2" => WireVersion::V2,
+                other => panic!("E2EPROF_WIRE has unknown value {other:?}"),
+            };
+        }
         self
     }
 
@@ -403,6 +448,7 @@ impl PathmapConfigBuilder {
             screening: self.screening,
             backend: self.backend,
             auto_cost_model: self.auto_cost_model,
+            wire: self.wire,
         };
         assert!(cfg.window_ticks() > 0, "window must span at least one tick");
         assert!(
@@ -589,6 +635,13 @@ mod tests {
             .build();
         assert_eq!(cfg.backend(), CorrelationBackend::Auto);
         assert_eq!(cfg.build_engine().name(), "auto");
+    }
+
+    #[test]
+    fn wire_defaults_to_v1_and_is_selectable() {
+        assert_eq!(PathmapConfig::default().wire(), WireVersion::V1);
+        let cfg = PathmapConfig::builder().wire(WireVersion::V2).build();
+        assert_eq!(cfg.wire(), WireVersion::V2);
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod config;
 pub mod convolution;
 pub mod diff;
 pub mod graph;
+pub mod hashing;
 pub mod ingest;
 pub mod nesting;
 pub mod parallel;
@@ -95,7 +96,7 @@ pub mod prelude {
     pub use crate::analyzer::OnlineAnalyzer;
     pub use crate::analyzer::ScratchCounters;
     pub use crate::change::ChangeTracker;
-    pub use crate::config::{CorrelationBackend, PathmapConfig, ScreeningConfig};
+    pub use crate::config::{CorrelationBackend, PathmapConfig, ScreeningConfig, WireVersion};
     pub use crate::graph::{NodeLabels, ServiceGraph};
     pub use crate::pathmap::{roots_from_topology, Pathmap, ScreeningStats};
     pub use crate::signals::EdgeSignals;
@@ -103,7 +104,7 @@ pub mod prelude {
 }
 
 pub use analyzer::{OnlineAnalyzer, ScratchCounters};
-pub use config::{CorrelationBackend, PathmapConfig, ScreeningConfig};
+pub use config::{CorrelationBackend, PathmapConfig, ScreeningConfig, WireVersion};
 pub use graph::{NodeLabels, ServiceGraph};
 pub use pathmap::{roots_from_topology, Pathmap, ScreeningStats};
 pub use signals::EdgeSignals;

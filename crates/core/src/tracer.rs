@@ -11,23 +11,34 @@
 //! *receiver-side* series of every edge arriving at it, plus the
 //! *sender-side* series of its edges toward (untraced) client nodes.
 
-use crate::config::PathmapConfig;
+use crate::config::{PathmapConfig, WireVersion};
+use crate::hashing::FxHashMap;
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use e2eprof_netsim::capture::TraceKey;
 use e2eprof_netsim::{CaptureStore, NodeId};
 use e2eprof_timeseries::density::DensityEstimator;
-use e2eprof_timeseries::{wire, Nanos, Tick};
-use std::collections::{HashMap, HashSet};
+use e2eprof_timeseries::{wire, Nanos, RleSeries, Tick};
+use std::collections::HashSet;
 
-/// One streamed chunk: the RLE density series of a directed edge over
-/// `[previous drain tick, drain tick)`, wire-encoded.
+/// One message on the tracer→analyzer channel.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TracerFrame {
-    /// The directed edge the series describes.
-    pub edge: (NodeId, NodeId),
-    /// Wire-encoded [`RleSeries`](e2eprof_timeseries::RleSeries).
-    pub payload: Bytes,
+pub enum TracerFrame {
+    /// Wire-v1: one edge's RLE density chunk over `[previous drain tick,
+    /// drain tick)`, encoded with [`wire::encode`].
+    Series {
+        /// The directed edge the series describes.
+        edge: (NodeId, NodeId),
+        /// Wire-encoded [`RleSeries`].
+        payload: Bytes,
+    },
+    /// Wire-v2: every series one agent owns for one flush, batch-encoded
+    /// with [`wire::encode_batch`] — the edges travel in-band as node
+    /// indices.
+    Batch {
+        /// Wire-encoded batch frame.
+        payload: Bytes,
+    },
 }
 
 #[derive(Debug)]
@@ -43,7 +54,7 @@ pub struct TracerAgent {
     node: NodeId,
     clients: HashSet<NodeId>,
     config: PathmapConfig,
-    streams: HashMap<TraceKey, StreamState>,
+    streams: FxHashMap<TraceKey, StreamState>,
     tx: Sender<TracerFrame>,
     /// Wire-encoding buffer reused across frames; each poll encodes into
     /// it and ships an exact-size copy, so the agent's per-frame cost does
@@ -64,7 +75,7 @@ impl TracerAgent {
             node,
             clients,
             config,
-            streams: HashMap::new(),
+            streams: FxHashMap::default(),
             tx,
             frame_buf: Vec::new(),
         }
@@ -102,6 +113,8 @@ impl TracerAgent {
             drain_to.index() * quanta.duration().as_nanos()
                 + omega * quanta.duration().as_nanos() / 2,
         );
+        let batched = self.config.wire() == WireVersion::V2;
+        let mut batch: Vec<((u32, u32), RleSeries)> = Vec::new();
         for key in owned {
             let state = self.streams.entry(key).or_insert_with(|| StreamState {
                 estimator: DensityEstimator::new(quanta, omega),
@@ -123,14 +136,28 @@ impl TracerAgent {
             state.cursor += pushed;
             let chunk = state.estimator.drain_chunk(drain_to);
             state.drained_to = drain_to;
+            if batched {
+                let edge = (key.src.index() as u32, key.dst.index() as u32);
+                batch.push((edge, chunk.to_rle()));
+                continue;
+            }
             wire::encode_into(&chunk.to_rle(), &mut self.frame_buf);
-            let frame = TracerFrame {
+            let frame = TracerFrame::Series {
                 edge: (key.src, key.dst),
                 payload: Bytes::copy_from_slice(&self.frame_buf),
             };
             // A disconnected analyzer just means the frame is dropped;
             // tracers must not crash the node they run on.
             let _ = self.tx.send(frame);
+        }
+        if !batch.is_empty() {
+            // One frame — and one allocation — per flush, not per edge.
+            // Density amplitudes are √count, so the integer-amplitude
+            // encoding is lossless here.
+            wire::encode_batch_into(&batch, true, &mut self.frame_buf);
+            let _ = self.tx.send(TracerFrame::Batch {
+                payload: Bytes::copy_from_slice(&self.frame_buf),
+            });
         }
     }
 }
@@ -142,6 +169,7 @@ mod tests {
     use e2eprof_netsim::prelude::*;
     use e2eprof_netsim::Route;
     use e2eprof_timeseries::RleSeries;
+    use std::collections::HashMap;
 
     fn cfg() -> PathmapConfig {
         PathmapConfig::builder()
@@ -164,6 +192,20 @@ mod tests {
         Simulation::new(t.build().unwrap(), seed)
     }
 
+    /// Decodes a frame of either wire version into `(edge, chunk)` pairs.
+    fn decode_frame(frame: &TracerFrame) -> Vec<((NodeId, NodeId), RleSeries)> {
+        match frame {
+            TracerFrame::Series { edge, payload } => {
+                vec![(*edge, wire::decode(payload).expect("decodable frame"))]
+            }
+            TracerFrame::Batch { payload } => wire::decode_batch(payload)
+                .expect("decodable batch frame")
+                .into_iter()
+                .map(|((src, dst), chunk)| ((NodeId::new(src), NodeId::new(dst)), chunk))
+                .collect(),
+        }
+    }
+
     #[test]
     fn agent_streams_owned_edges_only() {
         let mut sim = two_tier(1);
@@ -174,7 +216,11 @@ mod tests {
         let mut agent = TracerAgent::new(web, HashSet::from([cli]), cfg(), tx);
         agent.poll(sim.captures(), Tick::new(4_000));
         let frames: Vec<TracerFrame> = rx.try_iter().collect();
-        let mut edges: Vec<(NodeId, NodeId)> = frames.iter().map(|f| f.edge).collect();
+        let mut edges: Vec<(NodeId, NodeId)> = frames
+            .iter()
+            .flat_map(decode_frame)
+            .map(|(edge, _)| edge)
+            .collect();
         edges.sort_unstable();
         // web owns: cli->web (recv), db->web (recv), web->cli (send).
         let db = NodeId::new(1);
@@ -194,12 +240,13 @@ mod tests {
             // Drain 1s behind the simulation clock (≫ ω = 50 ms).
             agent.poll(sim.captures(), Tick::new(step * 2_000 - 1_000));
             for frame in rx.try_iter() {
-                let chunk = wire::decode(&frame.payload).expect("decodable frame");
-                match assembled.get_mut(&frame.edge) {
-                    None => {
-                        assembled.insert(frame.edge, chunk);
+                for (edge, chunk) in decode_frame(&frame) {
+                    match assembled.get_mut(&edge) {
+                        None => {
+                            assembled.insert(edge, chunk);
+                        }
+                        Some(series) => series.append_chunk(&chunk), // panics if gap
                     }
-                    Some(series) => series.append_chunk(&chunk), // panics if gap
                 }
             }
         }
@@ -208,6 +255,40 @@ mod tests {
         assert_eq!(series.end(), Tick::new(9_000));
         assert!(series.support() > 0, "client arrivals must show up");
         assert!(assembled.contains_key(&(db, web)));
+    }
+
+    #[test]
+    fn v2_poll_coalesces_all_owned_edges_into_one_batch_frame() {
+        let poll = |config: PathmapConfig| {
+            let mut sim = two_tier(6);
+            sim.run_until(Nanos::from_secs(5));
+            let (tx, rx) = unbounded();
+            let web = NodeId::new(0);
+            let cli = NodeId::new(2);
+            let mut agent = TracerAgent::new(web, HashSet::from([cli]), config, tx);
+            agent.poll(sim.captures(), Tick::new(4_000));
+            rx.try_iter().collect::<Vec<TracerFrame>>()
+        };
+        let v1 = poll(cfg());
+        let v2 = poll(
+            PathmapConfig::builder()
+                .window(Nanos::from_secs(10))
+                .refresh(Nanos::from_secs(2))
+                .max_delay(Nanos::from_secs(1))
+                .wire(WireVersion::V2)
+                .build(),
+        );
+        assert_eq!(v1.len(), 3, "v1 ships one frame per owned edge");
+        assert_eq!(v2.len(), 1, "v2 coalesces the flush into one frame");
+        assert!(matches!(v2[0], TracerFrame::Batch { .. }));
+        // The batch carries the same series, bit-for-bit.
+        let sort = |mut v: Vec<((NodeId, NodeId), RleSeries)>| {
+            v.sort_by_key(|&(edge, _)| edge);
+            v
+        };
+        let from_v1 = sort(v1.iter().flat_map(decode_frame).collect());
+        let from_v2 = sort(decode_frame(&v2[0]));
+        assert_eq!(from_v1, from_v2);
     }
 
     #[test]

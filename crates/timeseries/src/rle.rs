@@ -178,6 +178,12 @@ impl RleSeries {
         &self.runs
     }
 
+    /// Consumes the series, returning its run storage — lets callers that
+    /// materialize transient chunks recycle one allocation.
+    pub fn into_runs(self) -> Vec<Run> {
+        self.runs
+    }
+
     /// The value at tick `t` (zero if uncovered or outside the span).
     pub fn value_at(&self, t: Tick) -> f64 {
         let i = self.runs.partition_point(|r| r.end() <= t);

@@ -7,9 +7,20 @@
 //! The capacity is typically `W + T_u` rather than just `W`: the correlated
 //! *target* signal must stay available `T_u` ticks past the source window so
 //! that bounded-lag correlation never reads unmaterialized (future) data.
+//!
+//! Storage is a run deque with amortized front eviction: appending a chunk
+//! pushes its runs at the back (O(runs appended)) and eviction pops whole
+//! stale runs off the front plus clips at most one straddler (O(runs
+//! evicted)), so steady-state ingest never rebuilds the retained series.
+//! The invariant: after every append, the deque holds exactly the runs of
+//! `[end − min(len, capacity), end)`, each run clipped to that span —
+//! identical to slicing a full-history series, just without ever storing
+//! the history. [`series`](SlidingWindow::series) and
+//! [`view`](SlidingWindow::view) materialize on demand.
 
-use crate::rle::RleSeries;
+use crate::rle::{RleSeries, Run};
 use crate::time::Tick;
+use std::collections::VecDeque;
 
 /// A bounded window over a run-length-encoded signal.
 ///
@@ -29,7 +40,9 @@ use crate::time::Tick;
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
     capacity: u64,
-    series: Option<RleSeries>,
+    /// Retained span `[start, end)`; `None` before any data.
+    span: Option<(Tick, Tick)>,
+    runs: VecDeque<Run>,
 }
 
 impl SlidingWindow {
@@ -42,7 +55,8 @@ impl SlidingWindow {
         assert!(capacity > 0, "window capacity must be positive");
         SlidingWindow {
             capacity,
-            series: None,
+            span: None,
+            runs: VecDeque::new(),
         }
     }
 
@@ -53,20 +67,17 @@ impl SlidingWindow {
 
     /// Whether any data has been appended.
     pub fn is_empty(&self) -> bool {
-        self.series.is_none()
+        self.span.is_none()
     }
 
     /// First retained tick (the window start). Tick zero before any data.
     pub fn start(&self) -> Tick {
-        self.series
-            .as_ref()
-            .map(|s| s.start())
-            .unwrap_or(Tick::ZERO)
+        self.span.map(|(s, _)| s).unwrap_or(Tick::ZERO)
     }
 
     /// One past the last retained tick. Tick zero before any data.
     pub fn end(&self) -> Tick {
-        self.series.as_ref().map(|s| s.end()).unwrap_or(Tick::ZERO)
+        self.span.map(|(_, e)| e).unwrap_or(Tick::ZERO)
     }
 
     /// Appends the next contiguous chunk, evicting old data past capacity.
@@ -78,34 +89,99 @@ impl SlidingWindow {
     ///
     /// Panics if a non-first chunk is not contiguous.
     pub fn append_chunk(&mut self, chunk: &RleSeries) {
-        match &mut self.series {
-            None => self.series = Some(chunk.clone()),
-            Some(s) => s.append_chunk(chunk),
+        match self.span {
+            None => {
+                self.span = Some((chunk.start(), chunk.end()));
+                self.runs.extend(chunk.runs().iter().copied());
+            }
+            Some((_, end)) => {
+                assert_eq!(
+                    chunk.start(),
+                    end,
+                    "appended chunk must be contiguous with the series"
+                );
+                self.push_runs(chunk.end(), chunk.runs().iter().copied());
+            }
         }
-        let s = self.series.as_mut().expect("just set");
-        if s.len() > self.capacity {
-            let new_start = Tick::new(s.end().index() - self.capacity);
-            *s = s.slice(new_start, s.end());
+        self.evict();
+    }
+
+    /// Appends one contiguous chunk's runs, merging the first with the
+    /// back run when it continues it, and advancing the span to `new_end`.
+    fn push_runs(&mut self, new_end: Tick, runs: impl Iterator<Item = Run>) {
+        let mut first = true;
+        for r in runs {
+            if std::mem::take(&mut first) {
+                if let Some(last) = self.runs.back_mut() {
+                    if last.end() == r.start() && last.value().to_bits() == r.value().to_bits() {
+                        last.extend(r.len());
+                        continue;
+                    }
+                }
+            }
+            self.runs.push_back(r);
         }
+        let span = self.span.as_mut().expect("push_runs on empty window");
+        span.1 = new_end;
+    }
+
+    /// Drops runs that fell behind `end − capacity`: whole stale runs pop
+    /// off the front, one straddler is clipped in place. Amortized O(1)
+    /// per appended run — each run is popped at most once.
+    fn evict(&mut self) {
+        let Some((start, end)) = self.span else {
+            return;
+        };
+        if end - start <= self.capacity {
+            return;
+        }
+        let new_start = Tick::new(end.index() - self.capacity);
+        while let Some(front) = self.runs.front() {
+            if front.end() <= new_start {
+                self.runs.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(front) = self.runs.front_mut() {
+            if front.start() < new_start {
+                *front = Run::new(new_start, front.end() - new_start, front.value());
+            }
+        }
+        self.span = Some((new_start, end));
     }
 
     /// The retained series (empty series at tick zero before any data).
     pub fn series(&self) -> RleSeries {
-        self.series
-            .clone()
-            .unwrap_or_else(|| RleSeries::empty(Tick::ZERO, 0))
+        match self.span {
+            None => RleSeries::empty(Tick::ZERO, 0),
+            Some((start, end)) => {
+                RleSeries::from_parts(start, end - start, self.runs.iter().copied().collect())
+            }
+        }
     }
 
     /// A view of `[from, to)` clamped to the retained span.
     pub fn view(&self, from: Tick, to: Tick) -> RleSeries {
-        match &self.series {
-            None => RleSeries::empty(from, to.checked_sub(from).unwrap_or(0)),
-            Some(s) => {
-                let from = from.max(s.start());
-                let to = to.min(s.end()).max(from);
-                s.slice(from, to)
+        let Some((start, end)) = self.span else {
+            return RleSeries::empty(from, to.checked_sub(from).unwrap_or(0));
+        };
+        let from = from.max(start);
+        let to = to.min(end).max(from);
+        let mut runs = Vec::new();
+        // First run ending past `from` (runs are ordered by start *and*
+        // end, so the eligible suffix is contiguous).
+        let mut i = self.runs.partition_point(|r| r.end() <= from);
+        while let Some(r) = self.runs.get(i) {
+            if r.start() >= to {
+                break;
             }
+            let s = r.start().max(from);
+            let e = r.end().min(to);
+            runs.push(Run::new(s, e - s, r.value()));
+            i += 1;
         }
+        RleSeries::from_parts(from, to - from, runs)
     }
 
     /// Appends a chunk, recovering from stream discontinuities:
@@ -118,23 +194,56 @@ impl SlidingWindow {
     /// * a chunk entirely within retained data is ignored — returns
     ///   `false`.
     pub fn append_or_reset(&mut self, chunk: &RleSeries) -> bool {
-        let Some(s) = &self.series else {
-            self.append_chunk(chunk);
-            return false;
-        };
-        let end = s.end();
-        if chunk.start() > end {
-            self.series = Some(chunk.clone());
-            true
-        } else if chunk.end() <= end {
-            false // stale duplicate
-        } else if chunk.start() < end {
-            let suffix = chunk.slice(end, chunk.end());
-            self.append_chunk(&suffix);
-            false
-        } else {
-            self.append_chunk(chunk);
-            false
+        self.extend_runs(chunk.start(), chunk.len(), chunk.runs().iter().copied())
+    }
+
+    /// [`append_or_reset`](Self::append_or_reset) as a streaming sink: the
+    /// chunk is described by its span (`start`, `len`) and an iterator of
+    /// its runs, consumed directly into the deque with no intermediate
+    /// [`RleSeries`] — the analyzer feeds a wire
+    /// [`FrameCursor`](crate::wire::FrameCursor) in here, making
+    /// steady-state ingest allocation-free. On a stale (fully retained)
+    /// chunk the iterator is not consumed.
+    pub fn extend_runs(
+        &mut self,
+        start: Tick,
+        len: u64,
+        runs: impl IntoIterator<Item = Run>,
+    ) -> bool {
+        let chunk_end = start + len;
+        match self.span {
+            None => {
+                self.span = Some((start, chunk_end));
+                self.runs.extend(runs);
+                self.evict();
+                false
+            }
+            Some((_, end)) if start > end => {
+                // A true gap: reset to the chunk verbatim (it is the
+                // entire retained history; eviction waits for the next
+                // append, exactly as the reset-by-clone always behaved).
+                self.runs.clear();
+                self.span = Some((start, chunk_end));
+                self.runs.extend(runs);
+                true
+            }
+            Some((_, end)) if chunk_end <= end => false, // stale duplicate
+            Some((_, end)) => {
+                // Overlap or contiguous: append the novel suffix, clipping
+                // a run that straddles the retained end.
+                let novel = runs.into_iter().filter_map(move |r| {
+                    if r.end() <= end {
+                        None
+                    } else if r.start() < end {
+                        Some(Run::new(end, r.end() - end, r.value()))
+                    } else {
+                        Some(r)
+                    }
+                });
+                self.push_runs(chunk_end, novel);
+                self.evict();
+                false
+            }
         }
     }
 
@@ -240,6 +349,78 @@ mod tests {
         // A fully-stale chunk is ignored.
         assert!(!w.append_or_reset(&chunk(0, 10, vec![])));
         assert_eq!(w.end(), Tick::new(15));
+    }
+
+    #[test]
+    fn replayed_run_straddling_the_end_is_clipped() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 10, vec![Run::new(Tick::new(8), 2, 1.5)]));
+        // Replay covers [0, 14) with one run straddling the retained end.
+        assert!(!w.append_or_reset(&chunk(0, 14, vec![Run::new(Tick::new(8), 5, 1.5)])));
+        assert_eq!(w.end(), Tick::new(14));
+        // The straddler's novel part merges with the retained run.
+        assert_eq!(w.series().num_runs(), 1);
+        assert_eq!(w.series().runs()[0], Run::new(Tick::new(8), 5, 1.5));
+    }
+
+    #[test]
+    fn append_merges_run_continuing_across_chunks() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 10, vec![Run::new(Tick::new(8), 2, 1.0)]));
+        w.append_chunk(&chunk(10, 10, vec![Run::new(Tick::new(10), 3, 1.0)]));
+        assert_eq!(w.series().num_runs(), 1);
+        assert_eq!(w.series().runs()[0], Run::new(Tick::new(8), 5, 1.0));
+    }
+
+    #[test]
+    fn eviction_clips_a_straddling_run() {
+        let mut w = SlidingWindow::new(6);
+        w.append_chunk(&chunk(0, 8, vec![Run::new(Tick::new(1), 6, 2.0)]));
+        assert_eq!(w.start(), Tick::new(2));
+        assert_eq!(w.series().runs(), &[Run::new(Tick::new(2), 5, 2.0)]);
+        w.append_chunk(&chunk(8, 4, vec![]));
+        assert_eq!(w.start(), Tick::new(6));
+        assert_eq!(w.series().runs(), &[Run::new(Tick::new(6), 1, 2.0)]);
+        w.append_chunk(&chunk(12, 4, vec![]));
+        assert_eq!(w.start(), Tick::new(10));
+        assert_eq!(w.series().num_runs(), 0);
+    }
+
+    #[test]
+    fn extend_runs_streams_without_an_intermediate_series() {
+        let mut w = SlidingWindow::new(50);
+        assert!(!w.extend_runs(
+            Tick::new(0),
+            10,
+            [Run::new(Tick::new(2), 3, 1.0)].into_iter()
+        ));
+        assert!(!w.extend_runs(
+            Tick::new(10),
+            10,
+            [Run::new(Tick::new(10), 2, 1.0)].into_iter()
+        ));
+        let mut reference = SlidingWindow::new(50);
+        reference.append_chunk(&chunk(0, 10, vec![Run::new(Tick::new(2), 3, 1.0)]));
+        reference.append_chunk(&chunk(10, 10, vec![Run::new(Tick::new(10), 2, 1.0)]));
+        assert_eq!(w.series(), reference.series());
+    }
+
+    #[test]
+    fn extend_runs_does_not_consume_a_stale_chunk() {
+        let mut w = SlidingWindow::new(50);
+        w.append_chunk(&chunk(0, 20, vec![]));
+        let mut consumed = false;
+        let healed = w.extend_runs(
+            Tick::new(5),
+            10,
+            std::iter::from_fn(|| {
+                consumed = true;
+                None::<Run>
+            }),
+        );
+        assert!(!healed);
+        assert!(!consumed, "stale chunk's runs must not be read");
+        assert_eq!(w.end(), Tick::new(20));
     }
 
     #[test]

@@ -2,9 +2,21 @@
 //!
 //! The paper's `tracer` kernel module streams RLE-encoded time series from
 //! each service node to a central analysis node. This module provides the
-//! equivalent byte format: a small header followed by fixed-width run
-//! records. The format is versioned and length-checked so a truncated or
-//! corrupt stream is detected rather than misparsed.
+//! equivalent byte formats. Two versions coexist behind the same magic:
+//!
+//! * **v1** — one series per frame: a small header followed by fixed-width
+//!   20-byte run records ([`encode`] / [`decode`]).
+//! * **v2** — one *batch* frame per tracer flush carrying every series the
+//!   agent owns, with LEB128 varint lengths, delta-encoded run starts, and
+//!   an optional lossless integer-count amplitude encoding ([`encode_batch`]
+//!   / [`decode_batch`] / [`FrameCursor`]). Density amplitudes are `√n` for
+//!   an integer message count `n`, so shipping the varint count and
+//!   reconstructing `(n as f64).sqrt()` reproduces the float bit-for-bit in
+//!   a few bytes instead of eight.
+//!
+//! Both formats are versioned and length-checked so a truncated or corrupt
+//! stream is detected rather than misparsed; v1 frames keep decoding
+//! unchanged.
 
 use crate::rle::{RleSeries, Run};
 use crate::time::Tick;
@@ -12,10 +24,23 @@ use bytes::{Buf, Bytes};
 use std::error::Error;
 use std::fmt;
 
-/// Format version byte; bump on incompatible changes.
+/// Format version byte of the original one-series-per-frame format.
 const WIRE_VERSION: u8 = 1;
+/// Format version byte of the batched varint format.
+const WIRE_VERSION_V2: u8 = 2;
 /// Magic prefix identifying an E2EProf series frame.
 const WIRE_MAGIC: &[u8; 4] = b"E2EP";
+/// v2 flags-byte bit: run amplitudes use the integer-count encoding.
+const FLAG_INT_AMP: u8 = 0b0000_0001;
+/// Smallest possible encoded run: 1-byte gap + 1-byte length + 1-byte
+/// amplitude code (integer-amplitude mode). Used to cap declared run
+/// counts against the bytes actually present before any allocation.
+const MIN_RUN_BYTES_INT_AMP: u64 = 3;
+/// Smallest encoded run without integer amplitudes: 1 + 1 + 8 raw bytes.
+const MIN_RUN_BYTES_RAW: u64 = 10;
+/// Smallest encoded batch entry: five varints (src, dst, start, len,
+/// num_runs), one byte each.
+const MIN_ENTRY_BYTES: u64 = 5;
 
 /// Errors produced when decoding a series frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +165,376 @@ pub fn decode(mut frame: &[u8]) -> Result<RleSeries, DecodeError> {
     Ok(RleSeries::from_parts(start, len, runs))
 }
 
+/// Peeks the format version of a frame without decoding it.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] if the frame is shorter than the magic plus
+/// version byte, [`DecodeError::BadMagic`] if the magic does not match.
+/// Unknown versions are returned as-is — dispatchers decide what is
+/// supported.
+pub fn frame_version(frame: &[u8]) -> Result<u8, DecodeError> {
+    if frame.len() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    if &frame[..4] != WIRE_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    Ok(frame[4])
+}
+
+/// Appends `v` to `out` as an LEB128 varint (7 data bits per byte, low
+/// bits first, high bit marks continuation).
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint, advancing the slice.
+fn get_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
+    // Single-byte fast path: run gaps, lengths, and message counts are
+    // almost always below 128, and decode sits on the ingest hot path.
+    if let Some((&b, rest)) = buf.split_first() {
+        if b & 0x80 == 0 {
+            *buf = rest;
+            return Ok(b as u64);
+        }
+    }
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some((&b, rest)) = buf.split_first() else {
+            return Err(DecodeError::Truncated);
+        };
+        *buf = rest;
+        let bits = (b & 0x7f) as u64;
+        if shift == 63 && bits > 1 {
+            return Err(DecodeError::Corrupt("varint overflows u64"));
+        }
+        v |= bits << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::Corrupt("varint longer than ten bytes"));
+        }
+    }
+}
+
+/// The integer-count amplitude code for `value`, if lossless: the `n ≥ 1`
+/// with `(n as f64).sqrt()` bit-identical to `value`. Density amplitudes
+/// are √(message count), so this hits for every value the estimator emits.
+fn int_amp_code(value: f64) -> Option<u64> {
+    if value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return None; // zero, negative, or NaN
+    }
+    let n = (value * value).round();
+    if !(1.0..=9.007_199_254_740_992e15).contains(&n) {
+        return None; // zero, or beyond f64's exact-integer range (2^53)
+    }
+    let n = n as u64;
+    if (n as f64).sqrt().to_bits() == value.to_bits() {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Encodes a batch of keyed series into one v2 frame.
+///
+/// `entries` carry an opaque `(u32, u32)` key per series (the analyzer
+/// uses directed-edge node indices); with `int_amp`, amplitudes that are
+/// exactly `√n` for integer `n` ship as the varint count.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{wire, RleSeries, Run, Tick};
+/// let s = RleSeries::from_parts(Tick::new(3), 10, vec![Run::new(Tick::new(4), 2, 2f64.sqrt())]);
+/// let frame = wire::encode_batch(&[((0, 1), s.clone())], true);
+/// let back = wire::decode_batch(&frame)?;
+/// assert_eq!(back, vec![((0, 1), s)]);
+/// # Ok::<(), wire::DecodeError>(())
+/// ```
+pub fn encode_batch<S: std::borrow::Borrow<RleSeries>>(
+    entries: &[((u32, u32), S)],
+    int_amp: bool,
+) -> Bytes {
+    let mut buf = Vec::new();
+    encode_batch_into(entries, int_amp, &mut buf);
+    Bytes::from(buf)
+}
+
+/// Encodes a batch into `out`, clearing it first (byte-for-byte identical
+/// to [`encode_batch`]); exists so tracer agents can reuse one frame
+/// buffer per flush.
+pub fn encode_batch_into<S: std::borrow::Borrow<RleSeries>>(
+    entries: &[((u32, u32), S)],
+    int_amp: bool,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.extend_from_slice(WIRE_MAGIC);
+    out.push(WIRE_VERSION_V2);
+    out.push(if int_amp { FLAG_INT_AMP } else { 0 });
+    put_varint(out, entries.len() as u64);
+    for ((src, dst), series) in entries {
+        let series = series.borrow();
+        put_varint(out, u64::from(*src));
+        put_varint(out, u64::from(*dst));
+        put_varint(out, series.start().index());
+        put_varint(out, series.len());
+        put_varint(out, series.num_runs() as u64);
+        let mut prev_end = series.start().index();
+        for r in series.runs() {
+            put_varint(out, r.start().index() - prev_end);
+            put_varint(out, r.len());
+            prev_end = r.end().index();
+            match int_amp_code(r.value()).filter(|_| int_amp) {
+                Some(n) => put_varint(out, n),
+                None => {
+                    if int_amp {
+                        put_varint(out, 0); // escape: raw f64 follows
+                    }
+                    out.extend_from_slice(&r.value().to_be_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Header of one series inside a v2 batch frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// The opaque series key (the analyzer's directed-edge node indices).
+    pub key: (u32, u32),
+    /// First tick of the series span.
+    pub start: Tick,
+    /// Span length in ticks.
+    pub len: u64,
+    /// Number of runs that follow, already capped against the bytes
+    /// actually remaining in the frame.
+    pub num_runs: u64,
+}
+
+impl BatchEntry {
+    /// One past the last tick of the series span.
+    pub fn end(&self) -> Tick {
+        self.start + self.len
+    }
+}
+
+/// A validating zero-copy cursor over a v2 batch frame.
+///
+/// Walks entry headers and runs directly off the frame bytes without
+/// materializing intermediate [`RleSeries`] — the analyzer streams
+/// [`next_run`](FrameCursor::next_run) straight into
+/// [`SlidingWindow::extend_runs`](crate::window::SlidingWindow::extend_runs).
+/// Every run is validated exactly as strictly as the v1 decoder (non-zero
+/// length, finite non-zero value, inside the declared span; overlap is
+/// structurally impossible since run starts are gap-encoded). Declared
+/// counts are capped against the remaining frame length before any use, so
+/// a corrupt frame can never trigger an outsized allocation downstream.
+#[derive(Debug, Clone)]
+pub struct FrameCursor<'a> {
+    buf: &'a [u8],
+    int_amp: bool,
+    /// Entries not yet returned by `next_entry`.
+    entries_left: u64,
+    /// Runs of the current entry not yet returned by `next_run`.
+    runs_left: u64,
+    span_end: u64,
+    prev_end: u64,
+}
+
+impl<'a> FrameCursor<'a> {
+    /// Opens a cursor over `frame`, validating the v2 header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on a bad magic, a version other than 2,
+    /// unknown flag bits, or a truncated header.
+    pub fn new(frame: &'a [u8]) -> Result<Self, DecodeError> {
+        let version = frame_version(frame)?;
+        if version != WIRE_VERSION_V2 {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        let mut buf = &frame[5..];
+        let Some((&flags, rest)) = buf.split_first() else {
+            return Err(DecodeError::Truncated);
+        };
+        buf = rest;
+        if flags & !FLAG_INT_AMP != 0 {
+            return Err(DecodeError::Corrupt("unknown flag bits"));
+        }
+        let entries_left = get_varint(&mut buf)?;
+        if entries_left
+            .checked_mul(MIN_ENTRY_BYTES)
+            .is_none_or(|need| need > buf.len() as u64)
+        {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(FrameCursor {
+            buf,
+            int_amp: flags & FLAG_INT_AMP != 0,
+            entries_left,
+            runs_left: 0,
+            span_end: 0,
+            prev_end: 0,
+        })
+    }
+
+    /// Whether amplitudes use the integer-count encoding.
+    pub fn int_amp(&self) -> bool {
+        self.int_amp
+    }
+
+    /// Entries not yet returned by [`next_entry`](Self::next_entry).
+    pub fn entries_remaining(&self) -> u64 {
+        self.entries_left
+    }
+
+    /// Advances to the next series header, first draining (and validating)
+    /// any unread runs of the current entry. Returns `None` after the last
+    /// entry — at which point any trailing garbage is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the frame is truncated or any skipped
+    /// run is invalid.
+    pub fn next_entry(&mut self) -> Result<Option<BatchEntry>, DecodeError> {
+        while self.runs_left > 0 {
+            self.next_run()?;
+        }
+        if self.entries_left == 0 {
+            if !self.buf.is_empty() {
+                return Err(DecodeError::Corrupt("trailing bytes after last series"));
+            }
+            return Ok(None);
+        }
+        self.entries_left -= 1;
+        let src = get_varint(&mut self.buf)?;
+        let dst = get_varint(&mut self.buf)?;
+        let key = (
+            u32::try_from(src).map_err(|_| DecodeError::Corrupt("series key exceeds u32"))?,
+            u32::try_from(dst).map_err(|_| DecodeError::Corrupt("series key exceeds u32"))?,
+        );
+        let start = get_varint(&mut self.buf)?;
+        let len = get_varint(&mut self.buf)?;
+        let num_runs = get_varint(&mut self.buf)?;
+        let span_end = start
+            .checked_add(len)
+            .ok_or(DecodeError::Corrupt("series span overflows"))?;
+        let min_run_bytes = if self.int_amp {
+            MIN_RUN_BYTES_INT_AMP
+        } else {
+            MIN_RUN_BYTES_RAW
+        };
+        if num_runs
+            .checked_mul(min_run_bytes)
+            .is_none_or(|need| need > self.buf.len() as u64)
+        {
+            return Err(DecodeError::Truncated);
+        }
+        self.runs_left = num_runs;
+        self.span_end = span_end;
+        self.prev_end = start;
+        Ok(Some(BatchEntry {
+            key,
+            start: Tick::new(start),
+            len,
+            num_runs,
+        }))
+    }
+
+    /// Decodes the next run of the current entry; `None` once the entry's
+    /// declared runs are exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the frame is truncated or the run
+    /// violates series invariants.
+    pub fn next_run(&mut self) -> Result<Option<Run>, DecodeError> {
+        if self.runs_left == 0 {
+            return Ok(None);
+        }
+        let gap = get_varint(&mut self.buf)?;
+        let len = get_varint(&mut self.buf)?;
+        if len == 0 {
+            return Err(DecodeError::Corrupt("zero-length run"));
+        }
+        let run_start = self
+            .prev_end
+            .checked_add(gap)
+            .ok_or(DecodeError::Corrupt("run outside declared span"))?;
+        let run_end = run_start
+            .checked_add(len)
+            .ok_or(DecodeError::Corrupt("run outside declared span"))?;
+        if run_end > self.span_end {
+            return Err(DecodeError::Corrupt("run outside declared span"));
+        }
+        let value = if self.int_amp {
+            match get_varint(&mut self.buf)? {
+                0 => self.get_raw_f64()?,
+                n => (n as f64).sqrt(),
+            }
+        } else {
+            self.get_raw_f64()?
+        };
+        if value == 0.0 || !value.is_finite() {
+            return Err(DecodeError::Corrupt("zero or non-finite run value"));
+        }
+        self.runs_left -= 1;
+        self.prev_end = run_end;
+        Ok(Some(Run::new(Tick::new(run_start), len, value)))
+    }
+
+    fn get_raw_f64(&mut self) -> Result<f64, DecodeError> {
+        if self.buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(self.buf.get_f64())
+    }
+}
+
+/// Decodes a v2 batch frame into owned keyed series.
+///
+/// The fully-materialized contents of a v2 batch frame: one keyed series
+/// per entry, in frame order.
+pub type DecodedBatch = Vec<((u32, u32), RleSeries)>;
+
+/// The streaming ingest path uses [`FrameCursor`] directly; this
+/// materializing form serves tests, tools, and the screening tier's
+/// decimated twin.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the frame is malformed, truncated, or any
+/// series violates its invariants.
+pub fn decode_batch(frame: &[u8]) -> Result<DecodedBatch, DecodeError> {
+    let mut cursor = FrameCursor::new(frame)?;
+    let mut out = Vec::with_capacity(cursor.entries_remaining() as usize);
+    while let Some(entry) = cursor.next_entry()? {
+        let mut runs = Vec::with_capacity(entry.num_runs as usize);
+        while let Some(run) = cursor.next_run()? {
+            runs.push(run);
+        }
+        out.push((
+            entry.key,
+            RleSeries::from_parts(entry.start, entry.len, runs),
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +612,219 @@ mod tests {
         let off = 25;
         f[off..off + 8].copy_from_slice(&999u64.to_be_bytes());
         assert!(matches!(decode(&f), Err(DecodeError::Corrupt(_))));
+    }
+
+    fn batch() -> Vec<((u32, u32), RleSeries)> {
+        vec![
+            ((2, 0), sample()),
+            ((0, 3), RleSeries::empty(Tick::new(160), 60)),
+            (
+                (7, 1),
+                RleSeries::from_parts(
+                    Tick::new(0),
+                    40,
+                    vec![
+                        Run::new(Tick::new(0), 3, 5f64.sqrt()),
+                        Run::new(Tick::new(10), 30, 1.0),
+                    ],
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn batch_round_trip_with_and_without_int_amp() {
+        let entries = batch();
+        for int_amp in [false, true] {
+            let frame = encode_batch(&entries, int_amp);
+            assert_eq!(decode_batch(&frame).unwrap(), entries, "int_amp={int_amp}");
+        }
+    }
+
+    #[test]
+    fn int_amp_shrinks_sqrt_count_amplitudes() {
+        let entries = batch();
+        let plain = encode_batch(&entries, false);
+        let packed = encode_batch(&entries, true);
+        assert!(
+            packed.len() < plain.len(),
+            "int-amp frame not smaller: {} vs {}",
+            packed.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn int_amp_escapes_non_count_values_losslessly() {
+        // Values that are not √n for any integer n (including a negative
+        // one) must survive the escape path bit-for-bit.
+        let odd = RleSeries::from_parts(
+            Tick::new(0),
+            20,
+            vec![
+                Run::new(Tick::new(0), 2, 0.3),
+                Run::new(Tick::new(5), 1, -2.5),
+                Run::new(Tick::new(9), 4, 3.0), // √9: back on the count path
+            ],
+        );
+        let frame = encode_batch(&[((1, 2), odd.clone())], true);
+        let back = decode_batch(&frame).unwrap();
+        assert_eq!(back.len(), 1);
+        for (got, want) in back[0].1.runs().iter().zip(odd.runs()) {
+            assert_eq!(got.value().to_bits(), want.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn int_amp_code_matches_density_values() {
+        // Every value the density estimator can emit is √n for a message
+        // count n, and the code must reproduce it bit-for-bit.
+        for n in [1u64, 2, 3, 9, 50, 12_345, u64::from(u32::MAX)] {
+            let v = (n as f64).sqrt();
+            assert_eq!(int_amp_code(v), Some(n), "n={n}");
+        }
+        assert_eq!(int_amp_code(0.0), None);
+        assert_eq!(int_amp_code(-1.0), None);
+        assert_eq!(int_amp_code(0.5), None);
+        assert_eq!(int_amp_code(f64::NAN), None);
+        assert_eq!(int_amp_code(1e300), None);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut cursor = &buf[..];
+            assert_eq!(get_varint(&mut cursor), Ok(v));
+            assert!(cursor.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // Ten continuation bytes with a final byte carrying >1 bit at
+        // shift 63 overflows u64.
+        let over = [0xffu8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(
+            get_varint(&mut &over[..]),
+            Err(DecodeError::Corrupt(_))
+        ));
+        let trunc = [0x80u8, 0x80];
+        assert_eq!(get_varint(&mut &trunc[..]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn frame_version_distinguishes_formats() {
+        assert_eq!(frame_version(&encode(&sample())), Ok(1));
+        assert_eq!(frame_version(&encode_batch(&batch(), true)), Ok(2));
+        assert_eq!(frame_version(b"E2E"), Err(DecodeError::Truncated));
+        assert_eq!(frame_version(b"XXXX\x02"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn cursor_streams_runs_without_materializing() {
+        let entries = batch();
+        let frame = encode_batch(&entries, true);
+        let mut cursor = FrameCursor::new(&frame).unwrap();
+        assert_eq!(cursor.entries_remaining(), 3);
+        let mut seen = Vec::new();
+        while let Some(entry) = cursor.next_entry().unwrap() {
+            let mut runs = Vec::new();
+            while let Some(run) = cursor.next_run().unwrap() {
+                runs.push(run);
+            }
+            seen.push((
+                entry.key,
+                RleSeries::from_parts(entry.start, entry.len, runs),
+            ));
+        }
+        assert_eq!(seen, entries);
+    }
+
+    #[test]
+    fn cursor_next_entry_skips_unread_runs() {
+        let frame = encode_batch(&batch(), true);
+        let mut cursor = FrameCursor::new(&frame).unwrap();
+        let mut keys = Vec::new();
+        while let Some(entry) = cursor.next_entry().unwrap() {
+            keys.push(entry.key); // never read the runs
+        }
+        assert_eq!(keys, vec![(2, 0), (0, 3), (7, 1)]);
+    }
+
+    #[test]
+    fn v1_frame_is_rejected_by_the_v2_cursor() {
+        let frame = encode(&sample());
+        assert!(matches!(
+            FrameCursor::new(&frame),
+            Err(DecodeError::UnsupportedVersion(1))
+        ));
+    }
+
+    #[test]
+    fn batch_truncation_detected_at_every_cut() {
+        let frame = encode_batch(&batch(), true);
+        for cut in 0..frame.len() {
+            assert!(
+                decode_batch(&frame[..cut]).is_err(),
+                "cut={cut} silently decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_declared_lengths_capped_before_allocation() {
+        // A minimal frame claiming u64::MAX entries (or runs) must fail
+        // fast on the length cap, not attempt an allocation.
+        let mut f = Vec::new();
+        f.extend_from_slice(WIRE_MAGIC);
+        f.push(WIRE_VERSION_V2);
+        f.push(FLAG_INT_AMP);
+        put_varint(&mut f, u64::MAX); // entry count
+        assert_eq!(decode_batch(&f), Err(DecodeError::Truncated));
+
+        let mut f = Vec::new();
+        f.extend_from_slice(WIRE_MAGIC);
+        f.push(WIRE_VERSION_V2);
+        f.push(FLAG_INT_AMP);
+        put_varint(&mut f, 1); // one entry
+        put_varint(&mut f, 0); // src
+        put_varint(&mut f, 1); // dst
+        put_varint(&mut f, 0); // start
+        put_varint(&mut f, u64::MAX); // len
+        put_varint(&mut f, u64::MAX / 2); // num_runs: absurd
+        assert_eq!(decode_batch(&f), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected() {
+        let mut f = encode_batch(&batch(), true).to_vec();
+        f[5] |= 0b1000_0000;
+        assert_eq!(
+            decode_batch(&f),
+            Err(DecodeError::Corrupt("unknown flag bits"))
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut f = encode_batch(&batch(), true).to_vec();
+        f.push(0);
+        assert_eq!(
+            decode_batch(&f),
+            Err(DecodeError::Corrupt("trailing bytes after last series"))
+        );
     }
 
     #[test]

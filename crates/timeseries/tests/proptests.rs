@@ -273,6 +273,173 @@ proptest! {
     }
 }
 
+/// An arbitrary multi-series batch: per-entry edge keys plus a signal.
+type BatchSpec = Vec<((u32, u32), (u64, Vec<f64>))>;
+
+fn batch_strategy() -> impl Strategy<Value = BatchSpec> {
+    prop::collection::vec(((any::<u32>(), any::<u32>()), signal_strategy()), 0..6)
+}
+
+proptest! {
+    /// Wire-v2 batch round trip is the identity, with and without the
+    /// integer-amplitude encoding (signal values are √count or zero, so
+    /// the integer path is exercised and must stay lossless).
+    #[test]
+    fn wire_v2_batch_round_trip(entries in batch_strategy(), int_amp in any::<bool>()) {
+        let batch: Vec<((u32, u32), e2eprof_timeseries::RleSeries)> = entries
+            .into_iter()
+            .map(|(key, (start, values))| (key, dense(start, values).to_sparse().to_rle()))
+            .collect();
+        let decoded = wire::decode_batch(&wire::encode_batch(&batch, int_amp))
+            .expect("round trip");
+        prop_assert_eq!(decoded.len(), batch.len());
+        for ((dk, ds), (ek, es)) in decoded.iter().zip(batch.iter()) {
+            prop_assert_eq!(dk, ek);
+            prop_assert_eq!(ds, es);
+            // PartialEq on f64 conflates -0.0/0.0 and would pass NaN-free
+            // near-misses; the wire contract is bit-for-bit.
+            for (dr, er) in ds.runs().iter().zip(es.runs()) {
+                prop_assert_eq!(dr.value().to_bits(), er.value().to_bits());
+            }
+        }
+    }
+
+    /// Re-encoding a decoded v1 series as a v2 batch and decoding it again
+    /// yields the exact same series, bit for bit — upgrading the wire
+    /// mid-stream cannot perturb the analyzer's inputs.
+    #[test]
+    fn wire_v2_reencode_of_v1_is_bitwise_equal(
+        (start, values) in signal_strategy(),
+        int_amp in any::<bool>(),
+    ) {
+        let r = dense(start, values).to_sparse().to_rle();
+        let via_v1 = wire::decode(&wire::encode(&r)).expect("v1 round trip");
+        let batch = wire::encode_batch(&[((7u32, 3u32), via_v1.clone())], int_amp);
+        let mut via_v2 = wire::decode_batch(&batch).expect("v2 round trip");
+        prop_assert_eq!(via_v2.len(), 1);
+        let ((src, dst), series) = via_v2.pop().unwrap();
+        prop_assert_eq!((src, dst), (7, 3));
+        prop_assert_eq!(&series, &via_v1);
+        for (a, b) in series.runs().iter().zip(via_v1.runs()) {
+            prop_assert_eq!(a.value().to_bits(), b.value().to_bits());
+        }
+    }
+}
+
+/// The pre-deque [`SlidingWindow`]: one owned [`RleSeries`] that is
+/// re-sliced (i.e. rebuilt) on every append. Kept verbatim as the
+/// reference model for the amortized run-deque rewrite.
+struct SliceWindow {
+    capacity: u64,
+    series: Option<e2eprof_timeseries::RleSeries>,
+}
+
+impl SliceWindow {
+    fn new(capacity: u64) -> Self {
+        SliceWindow {
+            capacity,
+            series: None,
+        }
+    }
+
+    fn trim(&mut self) {
+        let Some(series) = &mut self.series else {
+            return;
+        };
+        let len = series.end() - series.start();
+        if len > self.capacity {
+            let new_start = Tick::new(series.end().index() - self.capacity);
+            *series = series.slice(new_start, series.end());
+        }
+    }
+
+    fn append_or_reset(&mut self, chunk: &e2eprof_timeseries::RleSeries) -> bool {
+        let Some(series) = &mut self.series else {
+            self.series = Some(chunk.clone());
+            self.trim();
+            return false;
+        };
+        if chunk.start() > series.end() {
+            self.series = Some(chunk.clone());
+            return true;
+        }
+        if chunk.end() <= series.end() {
+            return false;
+        }
+        let novel = chunk.slice(series.end(), chunk.end());
+        series.append_chunk(&novel);
+        self.trim();
+        false
+    }
+
+    fn start(&self) -> Tick {
+        self.series.as_ref().map_or(Tick::ZERO, |s| s.start())
+    }
+
+    fn end(&self) -> Tick {
+        self.series.as_ref().map_or(Tick::ZERO, |s| s.end())
+    }
+
+    fn series(&self) -> e2eprof_timeseries::RleSeries {
+        self.series
+            .clone()
+            .unwrap_or_else(|| e2eprof_timeseries::RleSeries::empty(Tick::ZERO, 0))
+    }
+}
+
+proptest! {
+    /// The run-deque [`SlidingWindow`] must be indistinguishable from the
+    /// slice-based implementation it replaced — same span, same healed
+    /// flags, and structurally identical `series()` (run boundaries and
+    /// bit-exact values, not just pointwise equality) — under arbitrary
+    /// mixtures of contiguous appends, stream gaps, and replays.
+    #[test]
+    fn sliding_window_deque_matches_slice_reference(
+        cap in 5u64..60,
+        ops in prop::collection::vec(
+            (
+                0u8..10,  // <6: contiguous, <8: gap, else: replay
+                1u64..25, // gap / replay distance (and the first origin)
+                prop::collection::vec(
+                    prop_oneof![
+                        2 => Just(0.0f64),
+                        1 => (1u32..5).prop_map(|c| (c as f64).sqrt()),
+                    ],
+                    1..30,
+                ),
+            ),
+            1..40,
+        ),
+    ) {
+        use e2eprof_timeseries::window::SlidingWindow;
+        let mut new = SlidingWindow::new(cap);
+        let mut old = SliceWindow::new(cap);
+        for (mode, dist, cv) in ops {
+            let end = old.end().index();
+            let cs = if old.series.is_none() {
+                dist
+            } else if mode < 6 {
+                end
+            } else if mode < 8 {
+                end + dist
+            } else {
+                end.saturating_sub(dist)
+            };
+            let chunk = DenseSeries::new(Tick::new(cs), cv).to_sparse().to_rle();
+            prop_assert_eq!(new.append_or_reset(&chunk), old.append_or_reset(&chunk));
+            prop_assert_eq!(new.start(), old.start());
+            prop_assert_eq!(new.end(), old.end());
+            let (ns, os) = (new.series(), old.series());
+            prop_assert_eq!(&ns, &os);
+            for (a, b) in ns.runs().iter().zip(os.runs()) {
+                prop_assert_eq!(a.start(), b.start());
+                prop_assert_eq!(a.len(), b.len());
+                prop_assert_eq!(a.value().to_bits(), b.value().to_bits());
+            }
+        }
+    }
+}
+
 proptest! {
     /// Decoding arbitrary bytes must never panic — only return errors.
     #[test]

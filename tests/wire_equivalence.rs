@@ -1,0 +1,238 @@
+//! Wire v2 is a transport optimization, not a semantic change: with
+//! `wire = V2`, every tracer flush ships one batch frame (delta-encoded
+//! run starts, varint lengths, integer-count amplitudes) instead of one
+//! v1 frame per edge — and the analyzer's published graphs must be
+//! **identical** to the v1 run at every refresh, on both evaluation
+//! applications. The integer-amplitude encoding is lossless for density
+//! series (amplitudes are √n for integer counts n, reconstructed
+//! bit-for-bit), so not even strength comparisons need slack — but we
+//! reuse the screening test's 1e-9 tolerance to keep the helper shared.
+//!
+//! A pinned golden-bytes test locks the v1 layout: old frames must keep
+//! decoding unchanged under a v2-capable build.
+
+use crossbeam::channel::unbounded;
+use e2eprof::apps::delta::{Delta, DeltaConfig};
+use e2eprof::apps::rubis::{Dispatch, Rubis, RubisConfig};
+use e2eprof::core::prelude::*;
+use e2eprof::netsim::{NodeId, Simulation};
+use e2eprof::timeseries::{wire, Nanos, Quanta, RleSeries, Run, Tick};
+use std::collections::HashSet;
+
+/// Drives a full online pipeline (tracer agents on every service + one
+/// analyzer) over `steps` refresh intervals, returning each refresh's
+/// published graphs.
+fn run_pipeline(
+    sim: &mut Simulation,
+    config: &PathmapConfig,
+    steps: u64,
+    step: Nanos,
+    drain_lag: Nanos,
+) -> Vec<Vec<ServiceGraph>> {
+    let (tx, rx) = unbounded();
+    let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+    let mut agents: Vec<TracerAgent> = sim
+        .topology()
+        .services()
+        .into_iter()
+        .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+        .collect();
+    let mut analyzer = OnlineAnalyzer::new(
+        config.clone(),
+        roots_from_topology(sim.topology()),
+        NodeLabels::from_topology(sim.topology()),
+        rx,
+    );
+    let mut out = Vec::new();
+    for i in 1..=steps {
+        let now = Nanos::from_nanos(step.as_nanos() * i);
+        sim.run_until(now);
+        let drain = config.quanta().tick_of(now.saturating_sub(drain_lag));
+        for a in &mut agents {
+            a.poll(sim.captures(), drain);
+        }
+        analyzer.ingest();
+        out.push(analyzer.refresh(now));
+    }
+    out
+}
+
+/// Structural equality: edge sets, spike lags, hop delays, and bottleneck
+/// flags exact; spike strengths within 1e-9.
+fn assert_graphs_equivalent(v1: &[ServiceGraph], v2: &[ServiceGraph], ctx: &str) {
+    assert_eq!(v1.len(), v2.len(), "{ctx}: graph count differs");
+    for (ga, gb) in v1.iter().zip(v2) {
+        assert_eq!(ga.client_label, gb.client_label, "{ctx}");
+        let key = |g: &ServiceGraph| {
+            let mut edges: Vec<_> = g
+                .edges()
+                .iter()
+                .map(|e| {
+                    (
+                        (e.from, e.to),
+                        e.spikes.iter().map(|s| s.delay).collect::<Vec<_>>(),
+                        e.hop_delay,
+                    )
+                })
+                .collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(
+            key(ga),
+            key(gb),
+            "{ctx}, {}: wire version changed the graph\n{ga}\nvs\n{gb}",
+            ga.client_label
+        );
+        let flags = |g: &ServiceGraph| {
+            let mut v: Vec<_> = g
+                .vertices()
+                .iter()
+                .map(|v| (v.label.clone(), v.bottleneck))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(flags(ga), flags(gb), "{ctx}: bottleneck flags differ");
+        for ea in ga.edges() {
+            let eb = gb.edge(ea.from, ea.to).expect("edge sets already equal");
+            for (sa, sb) in ea.spikes.iter().zip(&eb.spikes) {
+                assert!(
+                    (sa.strength - sb.strength).abs() < 1e-9,
+                    "{ctx}: strength drift {} vs {}",
+                    sa.strength,
+                    sb.strength
+                );
+            }
+        }
+    }
+}
+
+fn rubis_cfg(wire: WireVersion) -> PathmapConfig {
+    PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(20))
+        .refresh(Nanos::from_secs(5))
+        .max_delay(Nanos::from_secs(2))
+        .wire(wire)
+        .build()
+}
+
+#[test]
+fn rubis_online_v2_matches_v1_across_seeds() {
+    for seed in [1, 2, 3] {
+        let build = || {
+            Rubis::build(RubisConfig {
+                dispatch: Dispatch::Affinity,
+                seed,
+                ..RubisConfig::default()
+            })
+        };
+        let mut v1_app = build();
+        let mut v2_app = build();
+        let step = Nanos::from_secs(5);
+        let lag = Nanos::from_secs(1);
+        let v1 = run_pipeline(v1_app.sim_mut(), &rubis_cfg(WireVersion::V1), 12, step, lag);
+        let v2 = run_pipeline(v2_app.sim_mut(), &rubis_cfg(WireVersion::V2), 12, step, lag);
+        let mut productive = 0;
+        for (i, (a, b)) in v1.iter().zip(&v2).enumerate() {
+            assert_graphs_equivalent(a, b, &format!("rubis seed {seed}, refresh {}", i + 1));
+            if !a.is_empty() {
+                productive += 1;
+            }
+        }
+        // The equivalence must be exercised on real graphs, not vacuous ones.
+        assert!(
+            productive >= 5,
+            "rubis seed {seed}: only {productive} productive refreshes"
+        );
+    }
+}
+
+fn delta_cfg(wire: WireVersion) -> PathmapConfig {
+    // The paper's Delta analysis at a reduced horizon: τ = 1 s, ω = 20·τ,
+    // W = 30 min, refresh = 5 min, T_u = 10 min.
+    PathmapConfig::builder()
+        .quanta(Quanta::from_secs(1))
+        .omega_ticks(20)
+        .window(Nanos::from_minutes(30))
+        .refresh(Nanos::from_minutes(5))
+        .max_delay(Nanos::from_minutes(10))
+        .wire(wire)
+        .build()
+}
+
+#[test]
+fn delta_online_v2_matches_v1_across_seeds() {
+    for seed in [7, 8, 9] {
+        let build = || {
+            Delta::build(DeltaConfig {
+                queues: 6,
+                seed,
+                ..DeltaConfig::default()
+            })
+        };
+        let mut v1_app = build();
+        let mut v2_app = build();
+        let step = Nanos::from_minutes(5);
+        let lag = Nanos::from_secs(60);
+        let v1 = run_pipeline(v1_app.sim_mut(), &delta_cfg(WireVersion::V1), 12, step, lag);
+        let v2 = run_pipeline(v2_app.sim_mut(), &delta_cfg(WireVersion::V2), 12, step, lag);
+        let mut productive = 0;
+        for (i, (a, b)) in v1.iter().zip(&v2).enumerate() {
+            assert_graphs_equivalent(a, b, &format!("delta seed {seed}, refresh {}", i + 1));
+            if !a.is_empty() {
+                productive += 1;
+            }
+        }
+        assert!(
+            productive >= 2,
+            "delta seed {seed}: only {productive} productive refreshes"
+        );
+    }
+}
+
+/// The v1 layout, pinned byte for byte: magic `E2EP`, version 1, BE u64
+/// start and length, BE u32 run count, then 20-byte runs of (BE u64
+/// start, BE u32 length, BE f64 value). A frame captured under the v1-only
+/// build must decode to the same series under the v2-capable decoder, and
+/// re-encode to the identical bytes.
+#[test]
+fn pinned_v1_golden_frame_still_decodes() {
+    const SQRT_2_BITS: u64 = 0x3FF6_A09E_667F_3BCD;
+    let mut golden: Vec<u8> = Vec::new();
+    golden.extend_from_slice(b"E2EP");
+    golden.push(1);
+    golden.extend_from_slice(&100u64.to_be_bytes()); // series start
+    golden.extend_from_slice(&50u64.to_be_bytes()); // series length
+    golden.extend_from_slice(&2u32.to_be_bytes()); // two runs
+    golden.extend_from_slice(&104u64.to_be_bytes());
+    golden.extend_from_slice(&3u32.to_be_bytes());
+    golden.extend_from_slice(&SQRT_2_BITS.to_be_bytes());
+    golden.extend_from_slice(&120u64.to_be_bytes());
+    golden.extend_from_slice(&5u32.to_be_bytes());
+    golden.extend_from_slice(&1.0f64.to_be_bytes());
+
+    assert_eq!(wire::frame_version(&golden), Ok(1));
+    let decoded = wire::decode(&golden).expect("golden v1 frame decodes");
+    let expect = RleSeries::from_parts(
+        Tick::new(100),
+        50,
+        vec![
+            Run::new(Tick::new(104), 3, f64::from_bits(SQRT_2_BITS)),
+            Run::new(Tick::new(120), 5, 1.0),
+        ],
+    );
+    assert_eq!(decoded, expect);
+    assert_eq!(
+        decoded.runs()[0].value().to_bits(),
+        SQRT_2_BITS,
+        "amplitude must survive bit-for-bit"
+    );
+    assert_eq!(
+        wire::encode(&decoded).as_ref(),
+        golden.as_slice(),
+        "the v1 encoder still emits the pinned layout"
+    );
+}
