@@ -1,0 +1,257 @@
+//! Transport-layer throughput: the same synthetic tracer workload driven
+//! through (a) the in-process channel and (b) loopback TCP — framed,
+//! CRC-checked, brokered, and fanned out to 1 and 4 analyzer shards.
+//!
+//! The workload is the ingest bench's shape (bursty density-shaped RLE
+//! chunks over 64 edges, one wire-v2 batch frame per flush) so the two
+//! benches compose: `ingest_throughput` isolates the codec + window
+//! cost, this bench adds the envelope, the socket hop, the broker's
+//! dedup/replay ring, and the per-shard fan-out on top. Every shard
+//! subscribes to the full stream, so the 4-shard case moves 4× the bytes
+//! of the 1-shard case.
+//!
+//! Writes `BENCH_transport_throughput.json` with records/sec per
+//! configuration. No speedup assertion across transports — a socket is
+//! not faster than a memcpy; what the numbers must show is that the
+//! transport sustains tracer-flush rates with headroom (asserted as a
+//! floor on the TCP paths).
+
+use crossbeam::channel::unbounded;
+use e2eprof_bench::{fmt_duration, write_bench_json, JsonValue};
+use e2eprof_core::analyzer::OnlineAnalyzer;
+use e2eprof_core::graph::NodeLabels;
+use e2eprof_core::tracer::{FrameSink, TracerFrame};
+use e2eprof_core::{PathmapConfig, WireVersion};
+use e2eprof_net::link::{AnalyzerConn, LinkConfig, TracerLink};
+use e2eprof_net::pipeline::Endpoint;
+use e2eprof_net::BrokerHandle;
+use e2eprof_timeseries::{wire, Nanos, Quanta, RleSeries, Run, Tick};
+use std::time::{Duration, Instant};
+
+const EDGES: usize = 64;
+const FLUSHES: u64 = 300;
+const CHUNK_TICKS: u64 = 16;
+const REPS: usize = 5;
+
+fn config() -> PathmapConfig {
+    PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(10))
+        .refresh(Nanos::from_secs(2))
+        .max_delay(Nanos::from_secs(1))
+        .wire(WireVersion::V2)
+        .build()
+}
+
+/// Bursty, deterministic chunks (xorshift), contiguous across flushes.
+fn workload() -> Vec<Vec<((u32, u32), RleSeries)>> {
+    let mut state = 0x1234_5678_9abc_def1u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..FLUSHES)
+        .map(|flush| {
+            let start = flush * CHUNK_TICKS;
+            (0..EDGES)
+                .map(|e| {
+                    let mut runs = Vec::new();
+                    let mut t = start;
+                    let end = start + CHUNK_TICKS;
+                    while t < end {
+                        t += next() % 96;
+                        if t >= end {
+                            break;
+                        }
+                        let len = (1 + next() % 4).min(end - t);
+                        let count = 1 + next() % 24;
+                        runs.push(Run::new(Tick::new(t), len, (count as f64).sqrt()));
+                        t += len;
+                    }
+                    let key = (e as u32, (e + EDGES) as u32);
+                    (
+                        key,
+                        RleSeries::from_parts(Tick::new(start), CHUNK_TICKS, runs),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Underlying message count a density series represents: Σ len·value².
+fn records(flushes: &[Vec<((u32, u32), RleSeries)>]) -> u64 {
+    flushes
+        .iter()
+        .flatten()
+        .flat_map(|(_, s)| s.runs())
+        .map(|r| r.len() * (r.value() * r.value()).round() as u64)
+        .sum()
+}
+
+/// Pre-encoded batch frames (encode cost excluded: this bench times the
+/// transport, not the codec).
+fn frames(flushes: &[Vec<((u32, u32), RleSeries)>]) -> Vec<bytes::Bytes> {
+    let mut buf = Vec::new();
+    flushes
+        .iter()
+        .map(|flush| {
+            wire::encode_batch_into(flush, true, &mut buf);
+            bytes::Bytes::copy_from_slice(&buf)
+        })
+        .collect()
+}
+
+fn labels() -> NodeLabels {
+    NodeLabels::new((0..2 * EDGES).map(|i| format!("n{i}")).collect())
+}
+
+/// Baseline: frames over the in-process channel into one analyzer.
+fn drive_inproc(frames: &[bytes::Bytes]) -> Duration {
+    let (tx, rx) = unbounded();
+    let mut analyzer = OnlineAnalyzer::new(config(), Vec::new(), labels(), rx);
+    let expected = frames.len();
+    let t0 = Instant::now();
+    let ingester = std::thread::spawn(move || {
+        assert_eq!(analyzer.ingest_expected(expected), expected);
+    });
+    for payload in frames {
+        tx.send(TracerFrame::Batch {
+            payload: payload.clone(),
+        })
+        .expect("analyzer alive");
+    }
+    drop(tx);
+    ingester.join().expect("ingester");
+    t0.elapsed()
+}
+
+/// Frames over loopback TCP: link → broker → `shards` subscribed
+/// analyzers, each ingesting the full stream concurrently.
+fn drive_tcp(frames: &[bytes::Bytes], shards: usize) -> Duration {
+    let endpoint = Endpoint::Tcp.bind().expect("bind loopback");
+    let broker = BrokerHandle::spawn(
+        endpoint.acceptor(),
+        e2eprof_net::BrokerConfig {
+            ring_capacity: frames.len().max(1024),
+        },
+    );
+    let expected = frames.len();
+    let mut conns = Vec::new();
+    let mut ingesters = Vec::new();
+    for shard in 0..shards {
+        let (conn, rx) = AnalyzerConn::spawn(
+            endpoint.dialer(),
+            shard as u32,
+            shards as u32,
+            LinkConfig::default(),
+        );
+        conns.push(conn);
+        let mut analyzer = OnlineAnalyzer::new(config(), Vec::new(), labels(), rx);
+        ingesters.push(std::thread::spawn(move || {
+            assert_eq!(analyzer.ingest_expected(expected), expected);
+        }));
+    }
+    let mut link = TracerLink::new(0, endpoint.dialer(), LinkConfig::default());
+    let t0 = Instant::now();
+    for payload in frames {
+        let dropped = link.send_frame(TracerFrame::Batch {
+            payload: payload.clone(),
+        });
+        assert_eq!(dropped, 0, "bench must not hit backpressure drops");
+    }
+    for ingester in ingesters {
+        ingester.join().expect("shard ingester");
+    }
+    let elapsed = t0.elapsed();
+    broker.shutdown();
+    for conn in &mut conns {
+        conn.stop();
+    }
+    elapsed
+}
+
+fn best_of(reps: usize, f: impl Fn() -> Duration) -> Duration {
+    (0..reps).map(|_| f()).min().expect("at least one rep")
+}
+
+fn main() {
+    let flushes = workload();
+    let total_records = records(&flushes);
+    let encoded = frames(&flushes);
+    let bytes_on_wire: usize = encoded.iter().map(bytes::Bytes::len).sum();
+    println!(
+        "transport_throughput: {EDGES} edges x {FLUSHES} flushes = {total_records} records, \
+         {} KiB of wire-v2 batches",
+        bytes_on_wire / 1024
+    );
+
+    let inproc = best_of(REPS, || drive_inproc(&encoded));
+    let tcp1 = best_of(REPS, || drive_tcp(&encoded, 1));
+    let tcp4 = best_of(REPS, || drive_tcp(&encoded, 4));
+
+    let rps = |d: Duration| total_records as f64 / d.as_secs_f64();
+    let report_line = |name: &str, d: Duration| {
+        println!(
+            "  {name:<22} {:>9}  {:>7.2} M records/s",
+            fmt_duration(d),
+            rps(d) / 1e6
+        );
+    };
+    report_line("in-process channel", inproc);
+    report_line("tcp loopback x1", tcp1);
+    report_line("tcp loopback x4", tcp4);
+
+    // Floor: a tracer flushes every ΔW (seconds); the transport must
+    // clear this synthetic 300-flush stream at >= 100k records/s even
+    // with 4 subscribed shards, or it could not keep up with real
+    // deployments.
+    for (name, d) in [("tcp x1", tcp1), ("tcp x4", tcp4)] {
+        assert!(
+            rps(d) >= 1e5,
+            "{name}: {:.0} records/s is below the 100k floor",
+            rps(d)
+        );
+    }
+
+    let report = JsonValue::Obj(vec![
+        (
+            "bench".into(),
+            JsonValue::Str("transport_throughput".into()),
+        ),
+        ("edges".into(), JsonValue::Int(EDGES as u64)),
+        ("flushes".into(), JsonValue::Int(FLUSHES)),
+        ("records".into(), JsonValue::Int(total_records)),
+        ("wire_bytes".into(), JsonValue::Int(bytes_on_wire as u64)),
+        (
+            "inproc_ns".into(),
+            JsonValue::Int(inproc.as_nanos().try_into().unwrap_or(u64::MAX)),
+        ),
+        (
+            "tcp_1shard_ns".into(),
+            JsonValue::Int(tcp1.as_nanos().try_into().unwrap_or(u64::MAX)),
+        ),
+        (
+            "tcp_4shard_ns".into(),
+            JsonValue::Int(tcp4.as_nanos().try_into().unwrap_or(u64::MAX)),
+        ),
+        ("inproc_records_per_sec".into(), JsonValue::Num(rps(inproc))),
+        (
+            "tcp_1shard_records_per_sec".into(),
+            JsonValue::Num(rps(tcp1)),
+        ),
+        (
+            "tcp_4shard_records_per_sec".into(),
+            JsonValue::Num(rps(tcp4)),
+        ),
+        (
+            "tcp_overhead_vs_inproc".into(),
+            JsonValue::Num(tcp1.as_secs_f64() / inproc.as_secs_f64()),
+        ),
+    ]);
+    let path = write_bench_json("transport_throughput", &report).expect("write bench artifact");
+    println!("  wrote {}", path.display());
+}

@@ -83,6 +83,10 @@ pub struct OnlineAnalyzer {
     config: PathmapConfig,
     pathmap: Pathmap,
     roots: Vec<(NodeId, NodeId)>,
+    /// Every client node in the deployment — a superset of the clients in
+    /// `roots`. Discovery must know all of them even when this analyzer
+    /// shard owns only some roots (see [`Pathmap::discover_pooled_among`]).
+    universe: HashSet<NodeId>,
     labels: NodeLabels,
     rx: Receiver<TracerFrame>,
     windows: FxHashMap<(NodeId, NodeId), SlidingWindow>,
@@ -114,10 +118,29 @@ pub struct GraphUpdate {
 }
 
 impl OnlineAnalyzer {
-    /// Creates an analyzer fed by `rx`.
+    /// Creates an analyzer fed by `rx`, analyzing every root.
     pub fn new(
         config: PathmapConfig,
         roots: Vec<(NodeId, NodeId)>,
+        labels: NodeLabels,
+        rx: Receiver<TracerFrame>,
+    ) -> Self {
+        let universe = roots.iter().map(|&(c, _)| c).collect();
+        OnlineAnalyzer::with_universe(config, roots, universe, labels, rx)
+    }
+
+    /// Creates an analyzer *shard*: it ingests every edge stream on `rx`
+    /// but discovers graphs only for its owned `roots`, while `universe`
+    /// names every client in the whole deployment so exploration never
+    /// recurses through another shard's client nodes. With `universe`
+    /// equal to the roots' clients this is exactly [`new`](Self::new);
+    /// concatenating the graphs of shards holding contiguous root chunks
+    /// (in shard order) reproduces the single-analyzer output bit for
+    /// bit.
+    pub fn with_universe(
+        config: PathmapConfig,
+        roots: Vec<(NodeId, NodeId)>,
+        universe: HashSet<NodeId>,
         labels: NodeLabels,
         rx: Receiver<TracerFrame>,
     ) -> Self {
@@ -137,6 +160,7 @@ impl OnlineAnalyzer {
             config,
             pathmap,
             roots,
+            universe,
             labels,
             rx,
             windows: FxHashMap::default(),
@@ -187,65 +211,100 @@ impl OnlineAnalyzer {
     /// condition.
     pub fn ingest(&mut self) -> usize {
         let mut count = 0;
-        let capacity = self.capacity;
         // Scratch for materializing batch entries when screening needs a
         // full chunk; retained across frames so steady-state screening
         // ingest reuses one allocation.
         let mut scratch_runs: Vec<e2eprof_timeseries::rle::Run> = Vec::new();
         while let Ok(frame) = self.rx.try_recv() {
-            match &frame {
-                TracerFrame::Series { edge, payload } => {
-                    let chunk = wire::decode(payload).expect("undecodable tracer frame");
-                    let healed = self.apply_chunk(*edge, &chunk);
-                    if healed {
-                        self.invalidate_correlators(*edge);
-                    }
-                }
-                TracerFrame::Batch { payload } => {
-                    let mut cursor =
-                        wire::FrameCursor::new(payload).expect("undecodable tracer frame");
-                    while let Some(entry) = cursor.next_entry().expect("undecodable tracer frame") {
-                        let edge = (NodeId::new(entry.key.0), NodeId::new(entry.key.1));
-                        let healed = if self.screening.is_some() {
-                            scratch_runs.clear();
-                            while let Some(run) =
-                                cursor.next_run().expect("undecodable tracer frame")
-                            {
-                                scratch_runs.push(run);
-                            }
-                            let chunk = RleSeries::from_parts(
-                                entry.start,
-                                entry.len,
-                                std::mem::take(&mut scratch_runs),
-                            );
-                            let healed = self.apply_chunk(edge, &chunk);
-                            scratch_runs = {
-                                let mut v = chunk.into_runs();
-                                v.clear();
-                                v
-                            };
-                            healed
-                        } else {
-                            self.windows
-                                .entry(edge)
-                                .or_insert_with(|| SlidingWindow::new(capacity))
-                                .extend_runs(
-                                    entry.start,
-                                    entry.len,
-                                    std::iter::from_fn(|| {
-                                        cursor.next_run().expect("undecodable tracer frame")
-                                    }),
-                                )
-                        };
-                        if healed {
-                            self.invalidate_correlators(edge);
-                        }
-                    }
-                }
-            }
+            self.ingest_frame(&frame, &mut scratch_runs);
             count += 1;
         }
         count
+    }
+
+    /// Ingests exactly `frames` tracer frames, *blocking* until they
+    /// arrive (or every sender disconnects, whichever comes first), and
+    /// returns the number actually ingested.
+    ///
+    /// This is the deterministic synchronization primitive for the
+    /// distributed pipeline: the driving side counts the frames its
+    /// agents emitted, and the analyzer side blocks until that many have
+    /// crossed the transport — no sleeps, no timing assumptions, and a
+    /// refresh never runs against a partially delivered flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame fails to decode, like [`ingest`](Self::ingest).
+    pub fn ingest_expected(&mut self, frames: usize) -> usize {
+        let mut count = 0;
+        let mut scratch_runs: Vec<e2eprof_timeseries::rle::Run> = Vec::new();
+        while count < frames {
+            match self.rx.recv() {
+                Ok(frame) => {
+                    self.ingest_frame(&frame, &mut scratch_runs);
+                    count += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        count
+    }
+
+    /// Applies one tracer frame to the sliding windows (either wire
+    /// format; see [`ingest`](Self::ingest) for the decoding contract).
+    fn ingest_frame(
+        &mut self,
+        frame: &TracerFrame,
+        scratch_runs: &mut Vec<e2eprof_timeseries::rle::Run>,
+    ) {
+        let capacity = self.capacity;
+        match frame {
+            TracerFrame::Series { edge, payload } => {
+                let chunk = wire::decode(payload).expect("undecodable tracer frame");
+                let healed = self.apply_chunk(*edge, &chunk);
+                if healed {
+                    self.invalidate_correlators(*edge);
+                }
+            }
+            TracerFrame::Batch { payload } => {
+                let mut cursor = wire::FrameCursor::new(payload).expect("undecodable tracer frame");
+                while let Some(entry) = cursor.next_entry().expect("undecodable tracer frame") {
+                    let edge = (NodeId::new(entry.key.0), NodeId::new(entry.key.1));
+                    let healed = if self.screening.is_some() {
+                        scratch_runs.clear();
+                        while let Some(run) = cursor.next_run().expect("undecodable tracer frame") {
+                            scratch_runs.push(run);
+                        }
+                        let chunk = RleSeries::from_parts(
+                            entry.start,
+                            entry.len,
+                            std::mem::take(scratch_runs),
+                        );
+                        let healed = self.apply_chunk(edge, &chunk);
+                        *scratch_runs = {
+                            let mut v = chunk.into_runs();
+                            v.clear();
+                            v
+                        };
+                        healed
+                    } else {
+                        self.windows
+                            .entry(edge)
+                            .or_insert_with(|| SlidingWindow::new(capacity))
+                            .extend_runs(
+                                entry.start,
+                                entry.len,
+                                std::iter::from_fn(|| {
+                                    cursor.next_run().expect("undecodable tracer frame")
+                                }),
+                            )
+                    };
+                    if healed {
+                        self.invalidate_correlators(edge);
+                    }
+                }
+            }
+        }
     }
 
     /// Appends one owned chunk to an edge's fine window (and its decimated
@@ -577,9 +636,10 @@ impl OnlineAnalyzer {
         // first reached this refresh belongs to exactly one client (hence
         // one worker), so its correlator is created in the worker's local
         // map — no lock — and merged back in stable root order.
-        let (graphs, providers) = self.pathmap.discover_pooled_with_providers(
+        let (graphs, providers) = self.pathmap.discover_pooled_among(
             &signals,
             &self.roots,
+            &self.universe,
             &self.labels,
             num_workers,
             || CachedProvider {

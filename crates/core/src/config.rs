@@ -50,6 +50,25 @@ pub enum WireVersion {
     V2,
 }
 
+/// How tracer agents reach the analyzer tier.
+///
+/// The default, [`InProcess`](Transport::InProcess), keeps the original
+/// channel pipeline — the bit-identical anchor every other transport is
+/// tested against. [`Tcp`](Transport::Tcp) and [`Unix`](Transport::Unix)
+/// put the same frames on real sockets through a broker (see the
+/// `e2eprof-net` crate); the framed stream carries the identical wire
+/// payloads, so discovered graphs are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Transport {
+    /// In-process channels (the default, bit-identical anchor).
+    #[default]
+    InProcess,
+    /// TCP sockets through a broker.
+    Tcp,
+    /// Unix-domain sockets through a broker.
+    Unix,
+}
+
 /// Coarse-to-fine screening parameters (see [`e2eprof_xcorr::screen`]).
 ///
 /// With screening enabled, the analyzer maintains cheap correlators over
@@ -111,6 +130,7 @@ pub struct PathmapConfig {
     backend: CorrelationBackend,
     auto_cost_model: Option<CostModel>,
     wire: WireVersion,
+    transport: Transport,
 }
 
 impl Default for PathmapConfig {
@@ -218,6 +238,12 @@ impl PathmapConfig {
         self.wire
     }
 
+    /// How tracer agents reach the analyzer tier (default:
+    /// [`Transport::InProcess`], the bit-identical channel anchor).
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
     /// Instantiates the configured correlation engine.
     ///
     /// For [`CorrelationBackend::Auto`] without an explicit cost model
@@ -266,6 +292,7 @@ pub struct PathmapConfigBuilder {
     backend: CorrelationBackend,
     auto_cost_model: Option<CostModel>,
     wire: WireVersion,
+    transport: Transport,
 }
 
 impl Default for PathmapConfigBuilder {
@@ -284,6 +311,7 @@ impl Default for PathmapConfigBuilder {
             backend: CorrelationBackend::default(),
             auto_cost_model: None,
             wire: WireVersion::default(),
+            transport: Transport::default(),
         }
     }
 }
@@ -375,6 +403,13 @@ impl PathmapConfigBuilder {
         self
     }
 
+    /// Selects the tracer-to-analyzer transport (default:
+    /// [`Transport::InProcess`], the bit-identical channel anchor).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Applies environment-variable overrides (the CI configuration-matrix
     /// hook; tests opting in call this last, so a plain build is
     /// unaffected):
@@ -384,6 +419,8 @@ impl PathmapConfigBuilder {
     /// * `E2EPROF_SCREENING` — `off` disables screening; an integer `k`
     ///   enables it with decimation `k` and default hysteresis.
     /// * `E2EPROF_WIRE` ∈ `v1 | v2` — selects the tracer wire format.
+    /// * `E2EPROF_TRANSPORT` ∈ `inproc | tcp | unix` — selects the
+    ///   tracer-to-analyzer transport.
     ///
     /// # Panics
     ///
@@ -424,6 +461,14 @@ impl PathmapConfigBuilder {
                 other => panic!("E2EPROF_WIRE has unknown value {other:?}"),
             };
         }
+        if let Ok(v) = std::env::var("E2EPROF_TRANSPORT") {
+            self.transport = match v.as_str() {
+                "" | "inproc" => Transport::InProcess,
+                "tcp" => Transport::Tcp,
+                "unix" => Transport::Unix,
+                other => panic!("E2EPROF_TRANSPORT has unknown value {other:?}"),
+            };
+        }
         self
     }
 
@@ -449,6 +494,7 @@ impl PathmapConfigBuilder {
             backend: self.backend,
             auto_cost_model: self.auto_cost_model,
             wire: self.wire,
+            transport: self.transport,
         };
         assert!(cfg.window_ticks() > 0, "window must span at least one tick");
         assert!(
@@ -642,6 +688,14 @@ mod tests {
         assert_eq!(PathmapConfig::default().wire(), WireVersion::V1);
         let cfg = PathmapConfig::builder().wire(WireVersion::V2).build();
         assert_eq!(cfg.wire(), WireVersion::V2);
+    }
+
+    #[test]
+    fn transport_defaults_to_in_process_and_is_selectable() {
+        assert_eq!(PathmapConfig::default().transport(), Transport::InProcess);
+        for t in [Transport::Tcp, Transport::Unix] {
+            assert_eq!(PathmapConfig::builder().transport(t).build().transport(), t);
+        }
     }
 
     #[test]

@@ -96,16 +96,18 @@ pub mod prelude {
     pub use crate::analyzer::OnlineAnalyzer;
     pub use crate::analyzer::ScratchCounters;
     pub use crate::change::ChangeTracker;
-    pub use crate::config::{CorrelationBackend, PathmapConfig, ScreeningConfig, WireVersion};
+    pub use crate::config::{
+        CorrelationBackend, PathmapConfig, ScreeningConfig, Transport, WireVersion,
+    };
     pub use crate::graph::{NodeLabels, ServiceGraph};
     pub use crate::pathmap::{roots_from_topology, Pathmap, ScreeningStats};
     pub use crate::signals::EdgeSignals;
-    pub use crate::tracer::TracerAgent;
+    pub use crate::tracer::{ChannelSink, FrameSink, PollOutcome, TracerAgent};
 }
 
 pub use analyzer::{OnlineAnalyzer, ScratchCounters};
-pub use config::{CorrelationBackend, PathmapConfig, ScreeningConfig, WireVersion};
+pub use config::{CorrelationBackend, PathmapConfig, ScreeningConfig, Transport, WireVersion};
 pub use graph::{NodeLabels, ServiceGraph};
 pub use pathmap::{roots_from_topology, Pathmap, ScreeningStats};
 pub use signals::EdgeSignals;
-pub use tracer::TracerAgent;
+pub use tracer::{ChannelSink, FrameSink, PollOutcome, TracerAgent};

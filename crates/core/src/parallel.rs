@@ -23,6 +23,26 @@ pub fn available_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Splits `len` items into at most `num_shards` contiguous index ranges
+/// whose sizes differ by at most one (earlier shards get the remainder) —
+/// the same partition the sharded refresh uses internally, exposed so the
+/// distributed analyzer tier can assign each shard a contiguous chunk of
+/// the global root order (their concatenation, in shard order, is then
+/// the single-analyzer order).
+///
+/// When `len < num_shards` only `len` non-empty ranges are returned.
+pub fn shard_ranges(len: usize, num_shards: usize) -> Vec<std::ops::Range<usize>> {
+    let mut start = 0;
+    shard_lengths(len, num_shards)
+        .into_iter()
+        .map(|n| {
+            let range = start..start + n;
+            start += n;
+            range
+        })
+        .collect()
+}
+
 /// Splits `len` items into at most `num_workers` contiguous shard lengths
 /// whose sizes differ by at most one (earlier shards get the remainder).
 fn shard_lengths(len: usize, num_workers: usize) -> Vec<usize> {

@@ -383,9 +383,37 @@ impl Pathmap {
         // exploring one client's graph must still know that the *other*
         // clients are untraced endpoints it cannot recurse into.
         let clients: HashSet<NodeId> = roots.iter().map(|&(c, _)| c).collect();
+        self.discover_pooled_among(signals, roots, &clients, labels, num_workers, make_provider)
+    }
+
+    /// Like
+    /// [`discover_pooled_with_providers`](Pathmap::discover_pooled_with_providers),
+    /// but with an explicit client universe.
+    ///
+    /// This is the sharded-analyzer entry point: a shard explores only its
+    /// *owned* roots, yet discovery must still treat every client in the
+    /// whole deployment as an untraced endpoint it cannot recurse into —
+    /// deriving the universe from the shard's own roots would let its
+    /// exploration wander through other shards' client nodes and diverge
+    /// from the single-analyzer graphs. `client_universe` must be a
+    /// superset of the clients in `roots`.
+    pub fn discover_pooled_among<P, F>(
+        &self,
+        signals: &EdgeSignals,
+        roots: &[(NodeId, NodeId)],
+        client_universe: &HashSet<NodeId>,
+        labels: &NodeLabels,
+        num_workers: usize,
+        make_provider: F,
+    ) -> (Vec<ServiceGraph>, Vec<P>)
+    where
+        P: CorrelationProvider + Send,
+        F: Fn() -> P + Sync,
+    {
+        let clients = client_universe;
         let results = crate::parallel::map_sharded(roots, num_workers, |&(client, front)| {
             let mut provider = make_provider();
-            let graph = self.discover_one(signals, client, front, &clients, labels, &mut provider);
+            let graph = self.discover_one(signals, client, front, clients, labels, &mut provider);
             (graph, provider)
         });
         let mut graphs = Vec::with_capacity(results.len());

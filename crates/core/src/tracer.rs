@@ -41,6 +41,51 @@ pub enum TracerFrame {
     },
 }
 
+/// Where a tracer agent delivers its frames.
+///
+/// The in-process pipeline uses a channel ([`ChannelSink`]); the network
+/// transport plugs in a socket-backed link. Either way the agent's
+/// capture loop never blocks on a slow consumer: a sink under
+/// backpressure admits the new frame and reports how many *older* queued
+/// frames it evicted to make room.
+pub trait FrameSink: Send {
+    /// Delivers one frame. Returns the number of previously queued frames
+    /// dropped under backpressure to admit it (0 when nothing was lost).
+    fn send_frame(&mut self, frame: TracerFrame) -> u64;
+
+    /// Tells the sink which directed edges (as node-index pairs) this
+    /// agent owns — transport sinks forward the set to their broker; the
+    /// in-process sink has no use for it.
+    fn announce(&mut self, edges: &[(u32, u32)]) {
+        let _ = edges;
+    }
+}
+
+/// The in-process [`FrameSink`]: an unbounded channel straight into the
+/// analyzer. Never drops; a disconnected receiver discards frames (the
+/// tracer must not crash the node it runs on) without counting them as
+/// backpressure drops.
+#[derive(Debug, Clone)]
+pub struct ChannelSink(pub Sender<TracerFrame>);
+
+impl FrameSink for ChannelSink {
+    fn send_frame(&mut self, frame: TracerFrame) -> u64 {
+        let _ = self.0.send(frame);
+        0
+    }
+}
+
+/// What one [`TracerAgent::poll`] did at the sink boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// Every frame emitted this poll was admitted without loss; the
+    /// payload is the number of frames handed to the sink.
+    Sent(usize),
+    /// The sink evicted this many older queued frames under backpressure
+    /// while admitting this poll's output.
+    Dropped(u64),
+}
+
 #[derive(Debug)]
 struct StreamState {
     estimator: DensityEstimator,
@@ -49,41 +94,82 @@ struct StreamState {
 }
 
 /// A tracer agent for one service node.
-#[derive(Debug)]
 pub struct TracerAgent {
     node: NodeId,
     clients: HashSet<NodeId>,
     config: PathmapConfig,
     streams: FxHashMap<TraceKey, StreamState>,
-    tx: Sender<TracerFrame>,
+    sink: Box<dyn FrameSink>,
     /// Wire-encoding buffer reused across frames; each poll encodes into
     /// it and ships an exact-size copy, so the agent's per-frame cost does
     /// not include growing a fresh vector.
     frame_buf: Vec<u8>,
+    /// The edge set last announced to the sink (as node-index pairs).
+    announced: Vec<(u32, u32)>,
+    /// Frames handed to the sink over the agent's lifetime.
+    frames_emitted: u64,
+    /// Older frames the sink reported evicted under backpressure.
+    frames_dropped: u64,
+}
+
+impl std::fmt::Debug for TracerAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerAgent")
+            .field("node", &self.node)
+            .field("streams", &self.streams.len())
+            .field("frames_emitted", &self.frames_emitted)
+            .field("frames_dropped", &self.frames_dropped)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TracerAgent {
-    /// Creates an agent for `node`. `clients` are the untraced client
-    /// nodes (the agent streams sender-side series for edges toward them).
+    /// Creates an agent for `node` delivering over an in-process channel.
+    /// `clients` are the untraced client nodes (the agent streams
+    /// sender-side series for edges toward them).
     pub fn new(
         node: NodeId,
         clients: HashSet<NodeId>,
         config: PathmapConfig,
         tx: Sender<TracerFrame>,
     ) -> Self {
+        TracerAgent::with_sink(node, clients, config, Box::new(ChannelSink(tx)))
+    }
+
+    /// Creates an agent delivering through an arbitrary [`FrameSink`] —
+    /// the hook the network transport uses.
+    pub fn with_sink(
+        node: NodeId,
+        clients: HashSet<NodeId>,
+        config: PathmapConfig,
+        sink: Box<dyn FrameSink>,
+    ) -> Self {
         TracerAgent {
             node,
             clients,
             config,
             streams: FxHashMap::default(),
-            tx,
+            sink,
             frame_buf: Vec::new(),
+            announced: Vec::new(),
+            frames_emitted: 0,
+            frames_dropped: 0,
         }
     }
 
     /// The node this agent runs on.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Frames handed to the sink over the agent's lifetime.
+    pub fn frames_emitted(&self) -> u64 {
+        self.frames_emitted
+    }
+
+    /// Older queued frames the sink reported dropped under backpressure.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
     }
 
     /// Streams all series this agent owns up to tick `drain_to`.
@@ -95,7 +181,14 @@ impl TracerAgent {
     ///
     /// Every owned stream emits a frame per poll — possibly an empty chunk
     /// — so the analyzer's sliding windows stay contiguous.
-    pub fn poll(&mut self, capture: &CaptureStore, drain_to: Tick) {
+    ///
+    /// The returned [`PollOutcome`] surfaces what happened at the sink
+    /// boundary: [`Sent`](PollOutcome::Sent) when every emitted frame was
+    /// admitted losslessly, [`Dropped`](PollOutcome::Dropped) when the
+    /// sink evicted older queued frames under backpressure. Drops also
+    /// accumulate in [`frames_dropped`](TracerAgent::frames_dropped) —
+    /// backpressure is observable, never silent.
+    pub fn poll(&mut self, capture: &CaptureStore, drain_to: Tick) -> PollOutcome {
         // Discover streams this node owns.
         let mut owned: Vec<TraceKey> = Vec::new();
         for (src, dst) in capture.edges() {
@@ -106,6 +199,16 @@ impl TracerAgent {
             }
         }
         owned.sort_unstable();
+        let owned_edges: Vec<(u32, u32)> = owned
+            .iter()
+            .map(|k| (k.src.index() as u32, k.dst.index() as u32))
+            .collect();
+        if owned_edges != self.announced {
+            self.sink.announce(&owned_edges);
+            self.announced = owned_edges;
+        }
+        let mut emitted = 0usize;
+        let mut dropped = 0u64;
 
         let quanta = self.config.quanta();
         let omega = self.config.omega_ticks();
@@ -146,18 +249,25 @@ impl TracerAgent {
                 edge: (key.src, key.dst),
                 payload: Bytes::copy_from_slice(&self.frame_buf),
             };
-            // A disconnected analyzer just means the frame is dropped;
-            // tracers must not crash the node they run on.
-            let _ = self.tx.send(frame);
+            dropped += self.sink.send_frame(frame);
+            emitted += 1;
         }
         if !batch.is_empty() {
             // One frame — and one allocation — per flush, not per edge.
             // Density amplitudes are √count, so the integer-amplitude
             // encoding is lossless here.
             wire::encode_batch_into(&batch, true, &mut self.frame_buf);
-            let _ = self.tx.send(TracerFrame::Batch {
+            dropped += self.sink.send_frame(TracerFrame::Batch {
                 payload: Bytes::copy_from_slice(&self.frame_buf),
             });
+            emitted += 1;
+        }
+        self.frames_emitted += emitted as u64;
+        self.frames_dropped += dropped;
+        if dropped > 0 {
+            PollOutcome::Dropped(dropped)
+        } else {
+            PollOutcome::Sent(emitted)
         }
     }
 }
@@ -315,5 +425,91 @@ mod tests {
         let web = NodeId::new(0);
         let mut agent = TracerAgent::new(web, HashSet::new(), cfg(), tx);
         agent.poll(sim.captures(), Tick::new(2_000)); // must not panic
+    }
+
+    /// A sink holding at most one frame: every admission past the first
+    /// evicts the queued frame — the smallest honest backpressure model.
+    struct OneSlotSink {
+        queued: bool,
+    }
+
+    impl FrameSink for OneSlotSink {
+        fn send_frame(&mut self, _frame: TracerFrame) -> u64 {
+            let dropped = u64::from(self.queued);
+            self.queued = true;
+            dropped
+        }
+    }
+
+    #[test]
+    fn poll_surfaces_backpressure_drops_in_outcome_and_counters() {
+        // Regression: poll used to `let _ =` the send, so a slow consumer
+        // lost frames invisibly. Now the outcome and the agent counters
+        // must both record every eviction.
+        let mut sim = two_tier(8);
+        sim.run_until(Nanos::from_secs(5));
+        let web = NodeId::new(0);
+        let cli = NodeId::new(2);
+        let mut agent = TracerAgent::with_sink(
+            web,
+            HashSet::from([cli]),
+            cfg(),
+            Box::new(OneSlotSink { queued: false }),
+        );
+        // web owns three edge streams, so one v1 poll emits three frames
+        // into a one-slot sink: two evictions.
+        let outcome = agent.poll(sim.captures(), Tick::new(4_000));
+        assert_eq!(outcome, PollOutcome::Dropped(2));
+        assert_eq!(agent.frames_emitted(), 3);
+        assert_eq!(agent.frames_dropped(), 2);
+    }
+
+    #[test]
+    fn lossless_poll_reports_sent_count() {
+        let mut sim = two_tier(8);
+        sim.run_until(Nanos::from_secs(5));
+        let (tx, rx) = unbounded();
+        let web = NodeId::new(0);
+        let cli = NodeId::new(2);
+        let mut agent = TracerAgent::new(web, HashSet::from([cli]), cfg(), tx);
+        let outcome = agent.poll(sim.captures(), Tick::new(4_000));
+        assert_eq!(outcome, PollOutcome::Sent(3));
+        assert_eq!(agent.frames_dropped(), 0);
+        assert_eq!(rx.try_iter().count(), 3);
+    }
+
+    /// Records announced edge sets for assertion.
+    type AnnounceLog = std::sync::Arc<std::sync::Mutex<Vec<Vec<(u32, u32)>>>>;
+    struct AnnounceProbe(AnnounceLog);
+
+    impl FrameSink for AnnounceProbe {
+        fn send_frame(&mut self, _frame: TracerFrame) -> u64 {
+            0
+        }
+
+        fn announce(&mut self, edges: &[(u32, u32)]) {
+            self.0.lock().expect("probe lock").push(edges.to_vec());
+        }
+    }
+
+    #[test]
+    fn agent_announces_owned_edges_once_until_they_change() {
+        let mut sim = two_tier(8);
+        sim.run_until(Nanos::from_secs(5));
+        let web = NodeId::new(0);
+        let cli = NodeId::new(2);
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut agent = TracerAgent::with_sink(
+            web,
+            HashSet::from([cli]),
+            cfg(),
+            Box::new(AnnounceProbe(log.clone())),
+        );
+        agent.poll(sim.captures(), Tick::new(3_000));
+        agent.poll(sim.captures(), Tick::new(4_000));
+        let announces = log.lock().expect("probe lock").clone();
+        assert_eq!(announces.len(), 1, "stable edge set announced once");
+        // web's owned streams: web->cli (send), db->web and cli->web (recv).
+        assert_eq!(announces[0], vec![(0, 2), (1, 0), (2, 0)]);
     }
 }

@@ -1,0 +1,431 @@
+//! The threaded broker: tracers announce and publish, analyzers
+//! subscribe, the broker fans data frames out through a bounded replay
+//! ring.
+//!
+//! Threading model: one accept thread; one reader thread per connection;
+//! one writer thread per subscriber walking its own [`RingCursor`]. The
+//! routing/dedup brain is the pure [`Registry`]/[`SeqDedup`] pair from
+//! [`registry`](crate::registry) — the threads only move bytes.
+//!
+//! Delivery guarantees (the reconnect invariant):
+//!
+//! - The broker dedups inbound data frames per origin, so a tracer
+//!   resending its queue after a reconnect cannot duplicate a frame in
+//!   the ring.
+//! - A subscriber's `Subscribe` carries resume positions; its writer
+//!   replays retained frames strictly *after* those positions, so a
+//!   reconnecting analyzer receives exactly the frames it missed.
+//! - Data sequence numbers start at 1; 0 means "nothing received yet".
+
+use crate::frame::{encode_frame_to_vec, Frame, FrameDecoder, FrameKind};
+use crate::msg::{decode_announce, decode_hello, decode_subscribe, Role, SubscribeSpec};
+use crate::queue::{ReplayFrame, ReplayRing, RingCursor};
+use crate::registry::{Freshness, PeerId, Registry, SeqDedup};
+use crate::stream::{Acceptor, SplitStream};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Broker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Frames retained for replay to late or reconnecting subscribers.
+    /// When full the oldest frame is evicted (drop-oldest, counted).
+    pub ring_capacity: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            ring_capacity: 4096,
+        }
+    }
+}
+
+struct Shared {
+    registry: Mutex<Registry>,
+    ring: ReplayRing,
+    dedup: Mutex<SeqDedup>,
+    /// Data frames written to subscriber connections.
+    delivered: AtomicU64,
+    next_peer: AtomicU64,
+}
+
+/// A handle to a running broker. Dropping it shuts the broker down.
+pub struct BrokerHandle {
+    shared: Arc<Shared>,
+    acceptor: Arc<dyn Acceptor>,
+}
+
+impl BrokerHandle {
+    /// Spawns a broker serving connections from `acceptor`.
+    pub fn spawn(acceptor: Arc<dyn Acceptor>, config: BrokerConfig) -> BrokerHandle {
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(Registry::new()),
+            ring: ReplayRing::new(config.ring_capacity),
+            dedup: Mutex::new(SeqDedup::new()),
+            delivered: AtomicU64::new(0),
+            next_peer: AtomicU64::new(1),
+        });
+        {
+            let shared = Arc::clone(&shared);
+            let acceptor = Arc::clone(&acceptor);
+            thread::spawn(move || accept_loop(&*acceptor, &shared));
+        }
+        BrokerHandle { shared, acceptor }
+    }
+
+    /// Stops accepting and wakes every subscriber writer so their threads
+    /// exit. Live reader threads exit as their peers disconnect.
+    pub fn shutdown(&self) {
+        self.acceptor.close_acceptor();
+        self.shared.ring.close();
+    }
+
+    /// Frames evicted from the replay ring under backpressure.
+    pub fn ring_dropped(&self) -> u64 {
+        self.shared.ring.dropped()
+    }
+
+    /// Inbound data frames rejected as per-origin duplicates.
+    pub fn duplicates_rejected(&self) -> u64 {
+        self.shared.dedup.lock().expect("dedup lock").duplicates
+    }
+
+    /// Data frames written to subscriber connections.
+    pub fn delivered(&self) -> u64 {
+        self.shared.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Live subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        self.shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .subscriber_count()
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(acceptor: &dyn Acceptor, shared: &Arc<Shared>) {
+    while let Ok(conn) = acceptor.accept_conn() {
+        let peer = shared.next_peer.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        thread::spawn(move || serve_conn(conn, peer, &shared));
+    }
+}
+
+/// Per-connection reader loop: decode frames, dispatch, clean up on any
+/// exit path (EOF, IO error, framing error, protocol misuse).
+fn serve_conn(mut conn: Box<dyn SplitStream>, peer: PeerId, shared: &Arc<Shared>) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut role: Option<Role> = None;
+    'conn: loop {
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    if handle_frame(&frame, &mut conn, peer, &mut role, shared).is_err() {
+                        conn.shutdown_stream();
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Framing/corruption error: the stream position is
+                    // untrustworthy — drop the connection; the peer
+                    // reconnects and resumes.
+                    conn.shutdown_stream();
+                    break 'conn;
+                }
+            }
+        }
+        match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => dec.feed(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let mut registry = shared.registry.lock().expect("registry lock");
+    match role {
+        Some(Role::Tracer { node }) => registry.tracer_disconnected(node),
+        Some(Role::Analyzer { .. }) => registry.subscriber_disconnected(peer),
+        None => {}
+    }
+    // Wake a writer blocked on this connection, if any.
+    conn.shutdown_stream();
+}
+
+fn handle_frame(
+    frame: &Frame,
+    conn: &mut Box<dyn SplitStream>,
+    peer: PeerId,
+    role: &mut Option<Role>,
+    shared: &Arc<Shared>,
+) -> Result<(), ()> {
+    match frame.kind {
+        FrameKind::Hello => {
+            *role = Some(decode_hello(&frame.payload).map_err(|_| ())?);
+            Ok(())
+        }
+        FrameKind::Announce => {
+            let Some(Role::Tracer { node }) = *role else {
+                return Err(());
+            };
+            let edges = decode_announce(&frame.payload).map_err(|_| ())?;
+            shared
+                .registry
+                .lock()
+                .expect("registry lock")
+                .announce(node, &edges);
+            Ok(())
+        }
+        FrameKind::Subscribe => {
+            let Some(Role::Analyzer { .. }) = *role else {
+                return Err(());
+            };
+            let sub = decode_subscribe(&frame.payload).map_err(|_| ())?;
+            shared
+                .registry
+                .lock()
+                .expect("registry lock")
+                .subscribe(peer, sub.spec.clone());
+            let cursor = shared.ring.cursor_resuming(&sub.resume);
+            let writer = conn.try_clone_stream().map_err(|_| ())?;
+            let resume: BTreeMap<u32, u64> = sub.resume.iter().copied().collect();
+            let shared = Arc::clone(shared);
+            thread::spawn(move || {
+                subscriber_writer(writer, cursor, resume, sub.spec, &shared);
+            });
+            Ok(())
+        }
+        FrameKind::DataBatch | FrameKind::DataSeries => {
+            let Some(Role::Tracer { .. }) = *role else {
+                return Err(());
+            };
+            let fresh = shared
+                .dedup
+                .lock()
+                .expect("dedup lock")
+                .offer(frame.origin, frame.seq);
+            if fresh == Freshness::Fresh {
+                let bytes =
+                    encode_frame_to_vec(frame.kind, frame.origin, frame.seq, &frame.payload);
+                shared.ring.push(ReplayFrame {
+                    origin: frame.origin,
+                    seq: frame.seq,
+                    bytes: Arc::new(bytes),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Fan-out loop for one subscriber: walk the ring, skip frames the
+/// subscriber already holds (resume positions) or did not ask for (spec),
+/// write the rest. Exits when the ring closes or the connection dies.
+fn subscriber_writer(
+    mut stream: Box<dyn SplitStream>,
+    mut cursor: RingCursor,
+    resume: BTreeMap<u32, u64>,
+    spec: SubscribeSpec,
+    shared: &Arc<Shared>,
+) {
+    while let Some(frame) = cursor.next_blocking() {
+        if frame.seq <= resume.get(&frame.origin).copied().unwrap_or(0) {
+            continue;
+        }
+        let wanted = match &spec {
+            SubscribeSpec::All => true,
+            SubscribeSpec::Edges(want) => {
+                let registry = shared.registry.lock().expect("registry lock");
+                let have = registry.edges_of(frame.origin);
+                want.iter().any(|e| have.contains(e))
+            }
+        };
+        if !wanted {
+            continue;
+        }
+        if stream.write_all(&frame.bytes).is_err() {
+            break;
+        }
+        shared.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+    stream.shutdown_stream();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+    use crate::mem::MemListener;
+    use crate::msg::{encode_announce, encode_hello, encode_subscribe, Subscribe};
+    use crate::stream::{Dialer, NetStream};
+
+    fn data_frame(origin: u32, seq: u64, byte: u8) -> Vec<u8> {
+        encode_frame_to_vec(FrameKind::DataBatch, origin, seq, &[byte])
+    }
+
+    fn tracer_hello(node: u32) -> Vec<u8> {
+        encode_frame_to_vec(
+            FrameKind::Hello,
+            node,
+            0,
+            &encode_hello(Role::Tracer { node }),
+        )
+    }
+
+    fn subscribe_all(resume: Vec<(u32, u64)>) -> Vec<u8> {
+        let mut out = encode_frame_to_vec(
+            FrameKind::Hello,
+            0,
+            0,
+            &encode_hello(Role::Analyzer { shard: 0, of: 1 }),
+        );
+        encode_frame(
+            FrameKind::Subscribe,
+            0,
+            0,
+            &encode_subscribe(&Subscribe {
+                spec: SubscribeSpec::All,
+                resume,
+            }),
+            &mut out,
+        );
+        out
+    }
+
+    fn read_data(conn: &mut Box<dyn NetStream>, n: usize) -> Vec<Frame> {
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        let mut out = Vec::new();
+        while out.len() < n {
+            let got = conn.read(&mut buf).expect("subscriber read");
+            assert!(got > 0, "unexpected EOF from broker");
+            dec.feed(&buf[..got]);
+            while let Some(frame) = dec.next_frame().expect("valid frame") {
+                out.push(frame);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn publishes_reach_subscriber() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let dialer = listener.dialer();
+
+        let mut tracer = dialer.dial().unwrap();
+        let mut bytes = tracer_hello(7);
+        bytes.extend(encode_frame_to_vec(
+            FrameKind::Announce,
+            7,
+            0,
+            &encode_announce(&[(7, 8)]),
+        ));
+        bytes.extend(data_frame(7, 1, 0xAA));
+        bytes.extend(data_frame(7, 2, 0xBB));
+        tracer.write_all(&bytes).unwrap();
+
+        let mut sub = dialer.dial().unwrap();
+        sub.write_all(&subscribe_all(vec![])).unwrap();
+        let frames = read_data(&mut sub, 2);
+        assert_eq!(frames[0].seq, 1);
+        assert_eq!(frames[0].payload.as_ref(), &[0xAA]);
+        assert_eq!(frames[1].seq, 2);
+        assert_eq!(broker.delivered(), 2);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn resume_positions_suppress_replay() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let dialer = listener.dialer();
+
+        let mut tracer = dialer.dial().unwrap();
+        let mut bytes = tracer_hello(3);
+        for seq in 1..=3 {
+            bytes.extend(data_frame(3, seq, seq as u8));
+        }
+        tracer.write_all(&bytes).unwrap();
+
+        // Subscriber already holds seq 1 and 2 of origin 3.
+        let mut sub = dialer.dial().unwrap();
+        sub.write_all(&subscribe_all(vec![(3, 2)])).unwrap();
+        let frames = read_data(&mut sub, 1);
+        assert_eq!(frames[0].seq, 3, "only the missed frame is replayed");
+        broker.shutdown();
+    }
+
+    #[test]
+    fn tracer_resend_is_not_double_delivered() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let dialer = listener.dialer();
+
+        let mut sub = dialer.dial().unwrap();
+        sub.write_all(&subscribe_all(vec![])).unwrap();
+
+        let mut tracer = dialer.dial().unwrap();
+        let mut bytes = tracer_hello(5);
+        bytes.extend(data_frame(5, 1, 1));
+        bytes.extend(data_frame(5, 2, 2));
+        tracer.write_all(&bytes).unwrap();
+        tracer.shutdown_stream();
+
+        // Reconnect and conservatively resend everything plus one new.
+        let mut tracer = dialer.dial().unwrap();
+        let mut bytes = tracer_hello(5);
+        for seq in 1..=3 {
+            bytes.extend(data_frame(5, seq, seq as u8));
+        }
+        tracer.write_all(&bytes).unwrap();
+
+        let frames = read_data(&mut sub, 3);
+        let seqs: Vec<u64> = frames.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "each frame delivered exactly once");
+        assert_eq!(broker.duplicates_rejected(), 2);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn corrupt_stream_drops_connection_not_broker() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let dialer = listener.dialer();
+
+        let mut bad = dialer.dial().unwrap();
+        bad.write_all(b"not a frame at all").unwrap();
+        // The broker shuts the corrupt connection; our next read sees EOF.
+        let mut buf = [0u8; 16];
+        loop {
+            match bad.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+
+        // The broker still serves fresh connections.
+        let mut tracer = dialer.dial().unwrap();
+        let mut bytes = tracer_hello(1);
+        bytes.extend(data_frame(1, 1, 9));
+        tracer.write_all(&bytes).unwrap();
+        let mut sub = dialer.dial().unwrap();
+        sub.write_all(&subscribe_all(vec![])).unwrap();
+        let frames = read_data(&mut sub, 1);
+        assert_eq!(frames[0].payload.as_ref(), &[9]);
+        broker.shutdown();
+    }
+}

@@ -1,0 +1,667 @@
+//! Client-side transport endpoints: the tracer's socket-backed
+//! [`FrameSink`] and the analyzer's subscribing connection.
+//!
+//! Both ends implement the reconnect invariant cooperatively with the
+//! broker:
+//!
+//! - [`TracerLink`] keeps every data frame in its bounded [`SendQueue`]
+//!   until *fully* written; a connection dying mid-frame rewinds the
+//!   in-flight frame and resends it from byte 0 on the next connection.
+//!   Per-origin sequence numbers persist across reconnects, so the broker
+//!   dedups the overlap.
+//! - [`AnalyzerConn`] reconnects with the resume positions of everything
+//!   it already ingested; the broker replays only what was missed, and a
+//!   local [`SeqDedup`] discards any residual overlap.
+//!
+//! Net effect: as long as connectivity eventually returns, the analyzer
+//! ingests exactly the frames the tracers emitted, once each, in
+//! per-origin order — which is why a faulted run's graphs are bit
+//! identical to an uninterrupted run's.
+
+use crate::frame::{encode_frame_to_vec, FrameDecoder, FrameKind};
+use crate::msg::{encode_announce, encode_hello, encode_subscribe, Role, Subscribe, SubscribeSpec};
+use crate::queue::{QueueStats, SendQueue};
+use crate::registry::{Freshness, SeqDedup};
+use crate::stream::{Dialer, NetStream};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use e2eprof_core::tracer::{FrameSink, TracerFrame};
+use e2eprof_netsim::NodeId;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for a client-side link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Bounded send-queue capacity in frames (drop-oldest beyond it).
+    pub queue_capacity: usize,
+    /// Reconnect attempts a single flush may spend before leaving the
+    /// remaining frames queued for the next flush.
+    pub max_flush_redials: u32,
+    /// First reconnect delay; doubles per consecutive failure. Zero in
+    /// tests keeps the fault suite free of wall-clock time.
+    pub backoff_base: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub backoff_cap: Duration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            queue_capacity: 1024,
+            max_flush_redials: 8,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A configuration for deterministic tests: no backoff sleeps.
+    pub fn immediate() -> Self {
+        LinkConfig {
+            backoff_base: Duration::ZERO,
+            ..LinkConfig::default()
+        }
+    }
+}
+
+/// Exponential backoff state.
+#[derive(Debug)]
+struct Backoff {
+    base: Duration,
+    cap: Duration,
+    consecutive: u32,
+}
+
+impl Backoff {
+    fn new(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base,
+            cap,
+            consecutive: 0,
+        }
+    }
+
+    /// Sleeps for the current delay and doubles it (saturating at the
+    /// cap). A zero base never sleeps.
+    fn wait(&mut self) {
+        let delay = self
+            .base
+            .saturating_mul(1u32 << self.consecutive.min(16))
+            .min(self.cap);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        self.consecutive = self.consecutive.saturating_add(1);
+    }
+
+    fn reset(&mut self) {
+        self.consecutive = 0;
+    }
+}
+
+/// Lifetime counters of a [`TracerLink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Send-queue counters (enqueued / sent / dropped-oldest).
+    pub queue: QueueStats,
+    /// Connections dialed beyond the first (i.e. reconnects).
+    pub redials: u64,
+}
+
+/// A socket-backed [`FrameSink`] for one tracer agent.
+///
+/// Single-threaded by design: the agent's `poll` both enqueues and
+/// flushes, so the capture loop's only exposure to the network is bounded
+/// by the flush's redial budget.
+pub struct TracerLink {
+    origin: u32,
+    dialer: Box<dyn Dialer>,
+    config: LinkConfig,
+    conn: Option<Box<dyn NetStream>>,
+    queue: SendQueue,
+    /// Next data sequence number (starts at 1; 0 means "none yet" in
+    /// resume maps). Persists across reconnects.
+    next_seq: u64,
+    /// Latest announced edge set, replayed on every (re)connect.
+    announce: Option<Vec<u8>>,
+    /// Announce changed since last successfully written.
+    announce_dirty: bool,
+    backoff: Backoff,
+    dials: u64,
+    /// Data frames *fully written* to a connection — shared so the
+    /// pipeline driver can count what crossed the transport without
+    /// reaching through the agent that owns this sink. A fully written
+    /// frame is delivered: connections fail by rejecting bytes, never by
+    /// losing accepted ones (TCP semantics, mirrored by the in-memory
+    /// pipe's drain-then-EOF close).
+    delivered: Arc<AtomicU64>,
+}
+
+impl TracerLink {
+    /// Creates a link for the tracer on node `origin`. Nothing is dialed
+    /// until the first flush.
+    pub fn new(origin: u32, dialer: Box<dyn Dialer>, config: LinkConfig) -> Self {
+        TracerLink {
+            origin,
+            dialer,
+            backoff: Backoff::new(config.backoff_base, config.backoff_cap),
+            queue: SendQueue::new(config.queue_capacity),
+            config,
+            conn: None,
+            next_seq: 1,
+            announce: None,
+            announce_dirty: false,
+            dials: 0,
+            delivered: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A shared handle to the count of data frames fully written to the
+    /// broker. Counts exactly the frames the broker will ingest (net of
+    /// its dedup), so a driver can block an analyzer with
+    /// `ingest_expected` on the sum across links — deterministic
+    /// synchronization with no sleeps.
+    pub fn delivered_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.delivered)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            queue: self.queue.stats(),
+            redials: self.dials.saturating_sub(1),
+        }
+    }
+
+    /// Frames queued but not yet fully written.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Writes the connection preamble (Hello, then the current Announce)
+    /// on a fresh connection.
+    fn handshake(&mut self, conn: &mut Box<dyn NetStream>) -> std::io::Result<()> {
+        let hello = encode_frame_to_vec(
+            FrameKind::Hello,
+            self.origin,
+            0,
+            &encode_hello(Role::Tracer { node: self.origin }),
+        );
+        conn.write_all(&hello)?;
+        if let Some(payload) = &self.announce {
+            let frame = encode_frame_to_vec(FrameKind::Announce, self.origin, 0, payload);
+            conn.write_all(&frame)?;
+            self.announce_dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Drains the queue onto the connection, redialing on failure up to
+    /// the configured budget. Frames that cannot be flushed stay queued —
+    /// and a frame interrupted mid-write is rewound, to be resent whole on
+    /// the next connection (the peer discarded the partial bytes with the
+    /// stream).
+    fn flush(&mut self) {
+        let mut redials = 0u32;
+        loop {
+            if self.conn.is_none() {
+                match self.dialer.dial() {
+                    Ok(mut conn) => {
+                        self.dials += 1;
+                        if self.handshake(&mut conn).is_err() {
+                            redials += 1;
+                            if redials > self.config.max_flush_redials {
+                                return;
+                            }
+                            self.backoff.wait();
+                            continue;
+                        }
+                        self.backoff.reset();
+                        self.queue.rewind_front();
+                        self.conn = Some(conn);
+                    }
+                    Err(_) => {
+                        redials += 1;
+                        if redials > self.config.max_flush_redials {
+                            return;
+                        }
+                        self.backoff.wait();
+                        continue;
+                    }
+                }
+            }
+            if self.announce_dirty {
+                if let Some(payload) = &self.announce {
+                    let frame = encode_frame_to_vec(FrameKind::Announce, self.origin, 0, payload);
+                    let conn = self.conn.as_mut().expect("connected above");
+                    if conn.write_all(&frame).is_err() {
+                        self.conn = None;
+                        self.queue.rewind_front();
+                        redials += 1;
+                        if redials > self.config.max_flush_redials {
+                            return;
+                        }
+                        self.backoff.wait();
+                        continue;
+                    }
+                    self.announce_dirty = false;
+                }
+            }
+            while !self.queue.is_empty() {
+                let conn = self.conn.as_mut().expect("connected above");
+                let written = {
+                    let (frame, at) = self.queue.front().expect("non-empty queue");
+                    conn.write(&frame[at..])
+                };
+                match written {
+                    Ok(0) | Err(_) => {
+                        self.conn = None;
+                        self.queue.rewind_front();
+                        break;
+                    }
+                    Ok(n) => {
+                        if self.queue.advance(n) {
+                            self.delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            if self.conn.is_some() && self.queue.is_empty() && !self.announce_dirty {
+                return;
+            }
+            if self.conn.is_none() {
+                redials += 1;
+                if redials > self.config.max_flush_redials {
+                    return;
+                }
+                self.backoff.wait();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TracerLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerLink")
+            .field("origin", &self.origin)
+            .field("backlog", &self.queue.len())
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FrameSink for TracerLink {
+    fn send_frame(&mut self, frame: TracerFrame) -> u64 {
+        let (kind, payload) = match frame {
+            TracerFrame::Batch { payload } => (FrameKind::DataBatch, payload.to_vec()),
+            TracerFrame::Series { edge, payload } => {
+                // DataSeries payloads carry the edge in an 8-byte prefix
+                // (v1 wire frames identify edges out of band).
+                let mut v = Vec::with_capacity(8 + payload.len());
+                v.extend_from_slice(&(edge.0.index() as u32).to_be_bytes());
+                v.extend_from_slice(&(edge.1.index() as u32).to_be_bytes());
+                v.extend_from_slice(&payload);
+                (FrameKind::DataSeries, v)
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = encode_frame_to_vec(kind, self.origin, seq, &payload);
+        let dropped = self.queue.push(bytes);
+        self.flush();
+        dropped
+    }
+
+    fn announce(&mut self, edges: &[(u32, u32)]) {
+        self.announce = Some(encode_announce(edges));
+        self.announce_dirty = true;
+        self.flush();
+    }
+}
+
+/// Counters of an [`AnalyzerConn`].
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    /// Data frames forwarded to the analyzer channel.
+    pub delivered: AtomicU64,
+    /// Replayed frames discarded by the per-origin dedup.
+    pub duplicates: AtomicU64,
+    /// Connections dialed beyond the first.
+    pub reconnects: AtomicU64,
+    /// Framing/decode errors observed (each costs one reconnect).
+    pub decode_errors: AtomicU64,
+}
+
+/// The analyzer's subscribing connection: a background reader that dials
+/// the broker, subscribes, decodes data frames into [`TracerFrame`]s, and
+/// feeds them to the channel an [`OnlineAnalyzer`] ingests from —
+/// reconnecting with resume positions whenever the connection dies.
+///
+/// [`OnlineAnalyzer`]: e2eprof_core::analyzer::OnlineAnalyzer
+pub struct AnalyzerConn {
+    stop: Arc<AtomicBool>,
+    stats: Arc<ConnStats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AnalyzerConn {
+    /// Spawns the reader. `shard`/`of` identify this analyzer shard to the
+    /// broker; frames arrive on the returned channel's receiver.
+    pub fn spawn(
+        dialer: Box<dyn Dialer>,
+        shard: u32,
+        of: u32,
+        config: LinkConfig,
+    ) -> (AnalyzerConn, Receiver<TracerFrame>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ConnStats::default());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                reader_loop(&*dialer, shard, of, &config, &stop, &stats, &tx)
+            })
+        };
+        (
+            AnalyzerConn {
+                stop,
+                stats,
+                thread: Some(thread),
+            },
+            rx,
+        )
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    /// Signals the reader to exit at the next connection boundary and
+    /// joins it. (Tear the broker down first so a blocked read wakes.)
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AnalyzerConn {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Don't join in drop: the reader may be blocked on a live broker
+        // with no traffic. `stop()` is the orderly path.
+        let _ = self.thread.take();
+    }
+}
+
+fn reader_loop(
+    dialer: &dyn Dialer,
+    shard: u32,
+    of: u32,
+    config: &LinkConfig,
+    stop: &AtomicBool,
+    stats: &ConnStats,
+    tx: &Sender<TracerFrame>,
+) {
+    let mut dedup = SeqDedup::new();
+    let mut backoff = Backoff::new(config.backoff_base, config.backoff_cap);
+    let mut dials = 0u64;
+    let mut dial_failures = 0u32;
+    while !stop.load(Ordering::Relaxed) {
+        let mut conn = match dialer.dial() {
+            Ok(c) => c,
+            Err(_) => {
+                dial_failures += 1;
+                if dial_failures > config.max_flush_redials {
+                    return;
+                }
+                backoff.wait();
+                continue;
+            }
+        };
+        dial_failures = 0;
+        dials += 1;
+        if dials > 1 {
+            stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        if subscribe(&mut conn, shard, of, &dedup).is_err() {
+            backoff.wait();
+            continue;
+        }
+        backoff.reset();
+        let mut dec = FrameDecoder::new();
+        let mut buf = vec![0u8; 16 * 1024];
+        'conn: loop {
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) if frame.kind.is_data() => {
+                        if dedup.offer(frame.origin, frame.seq) == Freshness::Duplicate {
+                            stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let Some(tracer_frame) = to_tracer_frame(frame.kind, &frame.payload) else {
+                            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            conn.shutdown_stream();
+                            break 'conn;
+                        };
+                        if tx.send(tracer_frame).is_err() {
+                            return; // analyzer gone: nothing left to feed
+                        }
+                        stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(Some(_)) => {} // control frames are not expected; ignore
+                    Ok(None) => break,
+                    Err(_) => {
+                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.shutdown_stream();
+                        break 'conn;
+                    }
+                }
+            }
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => dec.feed(&buf[..n]),
+            }
+        }
+    }
+}
+
+/// Writes Hello + Subscribe(All, resume positions) on a fresh connection.
+fn subscribe(
+    conn: &mut Box<dyn NetStream>,
+    shard: u32,
+    of: u32,
+    dedup: &SeqDedup,
+) -> std::io::Result<()> {
+    let mut bytes = encode_frame_to_vec(
+        FrameKind::Hello,
+        0,
+        0,
+        &encode_hello(Role::Analyzer { shard, of }),
+    );
+    let sub = Subscribe {
+        spec: SubscribeSpec::All,
+        resume: dedup.resume_positions(),
+    };
+    bytes.extend_from_slice(&encode_frame_to_vec(
+        FrameKind::Subscribe,
+        0,
+        0,
+        &encode_subscribe(&sub),
+    ));
+    conn.write_all(&bytes)
+}
+
+/// Reverses [`TracerLink::send_frame`]'s payload mapping.
+fn to_tracer_frame(kind: FrameKind, payload: &[u8]) -> Option<TracerFrame> {
+    match kind {
+        FrameKind::DataBatch => Some(TracerFrame::Batch {
+            payload: Bytes::copy_from_slice(payload),
+        }),
+        FrameKind::DataSeries => {
+            if payload.len() < 8 {
+                return None;
+            }
+            let src = u32::from_be_bytes(payload[..4].try_into().expect("4 bytes"));
+            let dst = u32::from_be_bytes(payload[4..8].try_into().expect("4 bytes"));
+            Some(TracerFrame::Series {
+                edge: (NodeId::new(src), NodeId::new(dst)),
+                payload: Bytes::copy_from_slice(&payload[8..]),
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::{BrokerConfig, BrokerHandle};
+    use crate::fault::{FaultPlan, FaultyDialer};
+    use crate::mem::MemListener;
+
+    fn batch(bytes: &[u8]) -> TracerFrame {
+        TracerFrame::Batch {
+            payload: Bytes::copy_from_slice(bytes),
+        }
+    }
+
+    #[test]
+    fn frames_flow_end_to_end() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let (mut conn, rx) =
+            AnalyzerConn::spawn(Box::new(listener.dialer()), 0, 1, LinkConfig::immediate());
+
+        let mut link = TracerLink::new(3, Box::new(listener.dialer()), LinkConfig::immediate());
+        FrameSink::announce(&mut link, &[(3, 4)]);
+        link.send_frame(batch(b"alpha"));
+        link.send_frame(batch(b"beta"));
+
+        let got: Vec<TracerFrame> = (0..2).map(|_| rx.recv().expect("frame")).collect();
+        assert_eq!(got, vec![batch(b"alpha"), batch(b"beta")]);
+        assert_eq!(link.backlog(), 0);
+        broker.shutdown();
+        conn.stop();
+    }
+
+    #[test]
+    fn series_frames_carry_their_edge() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let (mut conn, rx) =
+            AnalyzerConn::spawn(Box::new(listener.dialer()), 0, 1, LinkConfig::immediate());
+        let mut link = TracerLink::new(1, Box::new(listener.dialer()), LinkConfig::immediate());
+        let frame = TracerFrame::Series {
+            edge: (NodeId::new(4), NodeId::new(7)),
+            payload: Bytes::copy_from_slice(b"rle"),
+        };
+        link.send_frame(frame.clone());
+        assert_eq!(rx.recv().expect("frame"), frame);
+        broker.shutdown();
+        conn.stop();
+    }
+
+    #[test]
+    fn mid_frame_cut_is_resent_without_loss_or_duplication() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let (mut conn, rx) =
+            AnalyzerConn::spawn(Box::new(listener.dialer()), 0, 1, LinkConfig::immediate());
+
+        // First connection dies 10 bytes into the second data frame
+        // (handshake ≈ hello 31 + announce 38 bytes; first data frame is
+        // fully written, the second is interrupted).
+        let hello_len = 31u64;
+        let announce_len = 38u64;
+        let data_len = 26 + 5; // header + payload "alpha"
+        let cut_at = hello_len + announce_len + data_len + 10;
+        let dialer = FaultyDialer::new(listener.dialer(), vec![FaultPlan::cut_write_at(cut_at)]);
+        let mut link = TracerLink::new(9, Box::new(dialer), LinkConfig::immediate());
+        FrameSink::announce(&mut link, &[(9, 1)]);
+        link.send_frame(batch(b"alpha"));
+        link.send_frame(batch(b"bravo"));
+        link.send_frame(batch(b"gamma"));
+
+        let got: Vec<TracerFrame> = (0..3).map(|_| rx.recv().expect("frame")).collect();
+        assert_eq!(
+            got,
+            vec![batch(b"alpha"), batch(b"bravo"), batch(b"gamma")],
+            "exactly-once, in order, across the cut"
+        );
+        assert_eq!(link.stats().redials, 1, "one reconnect");
+        assert_eq!(link.backlog(), 0);
+        broker.shutdown();
+        conn.stop();
+    }
+
+    #[test]
+    fn jittered_connection_still_delivers_everything() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let (mut conn, rx) =
+            AnalyzerConn::spawn(Box::new(listener.dialer()), 0, 1, LinkConfig::immediate());
+        let dialer = FaultyDialer::new(listener.dialer(), vec![FaultPlan::jitter(77, 3)]);
+        let mut link = TracerLink::new(2, Box::new(dialer), LinkConfig::immediate());
+        for i in 0..5u8 {
+            link.send_frame(batch(&[i; 7]));
+        }
+        for i in 0..5u8 {
+            assert_eq!(rx.recv().expect("frame"), batch(&[i; 7]));
+        }
+        broker.shutdown();
+        conn.stop();
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest_and_counts_when_unreachable() {
+        // A dialer that always fails: frames pile up in the bounded queue.
+        struct DeadDialer;
+        impl Dialer for DeadDialer {
+            fn dial(&self) -> std::io::Result<Box<dyn NetStream>> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "down",
+                ))
+            }
+        }
+        let mut config = LinkConfig::immediate();
+        config.queue_capacity = 2;
+        config.max_flush_redials = 0;
+        let mut link = TracerLink::new(1, Box::new(DeadDialer), config);
+        let mut dropped = 0;
+        for i in 0..5u8 {
+            dropped += link.send_frame(batch(&[i]));
+        }
+        assert_eq!(dropped, 3, "capacity 2: three oldest frames evicted");
+        assert_eq!(link.stats().queue.dropped_oldest, 3);
+        assert_eq!(link.backlog(), 2);
+    }
+
+    #[test]
+    fn analyzer_reconnect_resumes_without_duplicates() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        // Subscriber's first connection dies after ~1.5 data frames read.
+        let dialer =
+            FaultyDialer::new(listener.dialer(), vec![FaultPlan::cut_read_at(26 + 5 + 10)]);
+        let (mut conn, rx) = AnalyzerConn::spawn(Box::new(dialer), 0, 1, LinkConfig::immediate());
+        let mut link = TracerLink::new(6, Box::new(listener.dialer()), LinkConfig::immediate());
+        link.send_frame(batch(b"first"));
+        link.send_frame(batch(b"again"));
+        link.send_frame(batch(b"third"));
+        let got: Vec<TracerFrame> = (0..3).map(|_| rx.recv().expect("frame")).collect();
+        assert_eq!(got, vec![batch(b"first"), batch(b"again"), batch(b"third")]);
+        assert_eq!(conn.stats().reconnects.load(Ordering::Relaxed), 1);
+        broker.shutdown();
+        conn.stop();
+    }
+}

@@ -1,0 +1,227 @@
+//! Control-plane payloads carried inside [`frame`](crate::frame)
+//! envelopes: peer introduction, edge announcement, and subscription.
+//!
+//! Encodings are fixed-width big-endian with explicit counts, and every
+//! decoded count is capped against the bytes actually present before any
+//! allocation — the same hardening discipline as the series wire format.
+
+use crate::frame::FrameError;
+
+/// Who is on the other end of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A tracer agent running on the given node.
+    Tracer {
+        /// Node index the agent runs on.
+        node: u32,
+    },
+    /// An analyzer shard.
+    Analyzer {
+        /// Shard index in `0..of`.
+        shard: u32,
+        /// Total shard count.
+        of: u32,
+    },
+}
+
+/// The `Hello` payload: first frame on every connection.
+pub fn encode_hello(role: Role) -> Vec<u8> {
+    match role {
+        Role::Tracer { node } => {
+            let mut v = vec![0u8];
+            v.extend_from_slice(&node.to_be_bytes());
+            v
+        }
+        Role::Analyzer { shard, of } => {
+            let mut v = vec![1u8];
+            v.extend_from_slice(&shard.to_be_bytes());
+            v.extend_from_slice(&of.to_be_bytes());
+            v
+        }
+    }
+}
+
+/// Decodes a `Hello` payload.
+pub fn decode_hello(payload: &[u8]) -> Result<Role, FrameError> {
+    match payload.first() {
+        Some(0) if payload.len() == 5 => Ok(Role::Tracer {
+            node: u32::from_be_bytes(payload[1..5].try_into().expect("4 bytes")),
+        }),
+        Some(1) if payload.len() == 9 => Ok(Role::Analyzer {
+            shard: u32::from_be_bytes(payload[1..5].try_into().expect("4 bytes")),
+            of: u32::from_be_bytes(payload[5..9].try_into().expect("4 bytes")),
+        }),
+        _ => Err(FrameError::BadKind(0xFF)),
+    }
+}
+
+/// Encodes an `Announce` payload: the directed edges a tracer owns.
+pub fn encode_announce(edges: &[(u32, u32)]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(4 + edges.len() * 8);
+    v.extend_from_slice(&(edges.len() as u32).to_be_bytes());
+    for &(src, dst) in edges {
+        v.extend_from_slice(&src.to_be_bytes());
+        v.extend_from_slice(&dst.to_be_bytes());
+    }
+    v
+}
+
+/// Decodes an `Announce` payload.
+pub fn decode_announce(payload: &[u8]) -> Result<Vec<(u32, u32)>, FrameError> {
+    let (count, rest) = split_count(payload)?;
+    if rest.len() != count * 8 {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    Ok((0..count)
+        .map(|i| {
+            let at = i * 8;
+            (
+                u32::from_be_bytes(rest[at..at + 4].try_into().expect("4 bytes")),
+                u32::from_be_bytes(rest[at + 4..at + 8].try_into().expect("4 bytes")),
+            )
+        })
+        .collect())
+}
+
+/// What an analyzer subscribes to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscribeSpec {
+    /// Every edge any tracer announces (the sharded-analyzer default:
+    /// shards partition *roots*, but every shard correlates against every
+    /// edge signal).
+    All,
+    /// Only streams whose announced edges intersect this set.
+    Edges(Vec<(u32, u32)>),
+}
+
+/// The `Subscribe` payload: the spec, plus per-origin resume positions —
+/// the highest sequence number the analyzer fully ingested from each
+/// origin, so a reconnecting subscriber is replayed only what it missed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscribe {
+    /// Which streams to receive.
+    pub spec: SubscribeSpec,
+    /// `(origin, last fully received seq)` pairs.
+    pub resume: Vec<(u32, u64)>,
+}
+
+/// Encodes a `Subscribe` payload.
+pub fn encode_subscribe(sub: &Subscribe) -> Vec<u8> {
+    let mut v = Vec::new();
+    match &sub.spec {
+        SubscribeSpec::All => v.extend_from_slice(&u32::MAX.to_be_bytes()),
+        SubscribeSpec::Edges(edges) => {
+            v.extend_from_slice(&(edges.len() as u32).to_be_bytes());
+            for &(src, dst) in edges {
+                v.extend_from_slice(&src.to_be_bytes());
+                v.extend_from_slice(&dst.to_be_bytes());
+            }
+        }
+    }
+    v.extend_from_slice(&(sub.resume.len() as u32).to_be_bytes());
+    for &(origin, seq) in &sub.resume {
+        v.extend_from_slice(&origin.to_be_bytes());
+        v.extend_from_slice(&seq.to_be_bytes());
+    }
+    v
+}
+
+/// Decodes a `Subscribe` payload.
+pub fn decode_subscribe(payload: &[u8]) -> Result<Subscribe, FrameError> {
+    let raw = payload
+        .get(..4)
+        .ok_or(FrameError::ChecksumMismatch)
+        .map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))?;
+    let (spec, rest) = if raw == u32::MAX {
+        (SubscribeSpec::All, &payload[4..])
+    } else {
+        let (count, rest) = split_count(payload)?;
+        if rest.len() < count * 8 {
+            return Err(FrameError::ChecksumMismatch);
+        }
+        let edges = (0..count)
+            .map(|i| {
+                let at = i * 8;
+                (
+                    u32::from_be_bytes(rest[at..at + 4].try_into().expect("4 bytes")),
+                    u32::from_be_bytes(rest[at + 4..at + 8].try_into().expect("4 bytes")),
+                )
+            })
+            .collect();
+        (SubscribeSpec::Edges(edges), &rest[count * 8..])
+    };
+    let (count, rest) = split_count(rest)?;
+    if rest.len() != count * 12 {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    let resume = (0..count)
+        .map(|i| {
+            let at = i * 12;
+            (
+                u32::from_be_bytes(rest[at..at + 4].try_into().expect("4 bytes")),
+                u64::from_be_bytes(rest[at + 4..at + 12].try_into().expect("8 bytes")),
+            )
+        })
+        .collect();
+    Ok(Subscribe { spec, resume })
+}
+
+/// Reads a BE u32 count and caps it against the remaining byte budget
+/// (each counted element occupies at least one byte).
+fn split_count(payload: &[u8]) -> Result<(usize, &[u8]), FrameError> {
+    let bytes = payload.get(..4).ok_or(FrameError::ChecksumMismatch)?;
+    let count = u32::from_be_bytes(bytes.try_into().expect("4 bytes")) as usize;
+    let rest = &payload[4..];
+    if count > rest.len() {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    Ok((count, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        for role in [Role::Tracer { node: 9 }, Role::Analyzer { shard: 2, of: 4 }] {
+            assert_eq!(decode_hello(&encode_hello(role)), Ok(role));
+        }
+        assert!(decode_hello(&[]).is_err());
+        assert!(decode_hello(&[7, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        let edges = vec![(1, 2), (3, 4), (0, u32::MAX)];
+        assert_eq!(decode_announce(&encode_announce(&edges)), Ok(edges));
+        assert_eq!(decode_announce(&encode_announce(&[])), Ok(vec![]));
+        // Truncated body.
+        let enc = encode_announce(&[(1, 2)]);
+        assert!(decode_announce(&enc[..enc.len() - 1]).is_err());
+        // Absurd count with no bytes behind it.
+        assert!(decode_announce(&u32::MAX.to_be_bytes()).is_err());
+    }
+
+    #[test]
+    fn subscribe_roundtrip() {
+        for sub in [
+            Subscribe {
+                spec: SubscribeSpec::All,
+                resume: vec![],
+            },
+            Subscribe {
+                spec: SubscribeSpec::All,
+                resume: vec![(3, 77), (9, u64::MAX)],
+            },
+            Subscribe {
+                spec: SubscribeSpec::Edges(vec![(1, 2), (2, 1)]),
+                resume: vec![(1, 5)],
+            },
+        ] {
+            assert_eq!(decode_subscribe(&encode_subscribe(&sub)), Ok(sub));
+        }
+        assert!(decode_subscribe(&[]).is_err());
+        assert!(decode_subscribe(&u32::MAX.to_be_bytes()).is_err());
+    }
+}

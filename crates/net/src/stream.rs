@@ -1,0 +1,114 @@
+//! Stream and listener abstractions the transport runs over.
+//!
+//! The broker and links are generic over byte streams so the same code
+//! serves TCP sockets, Unix-domain sockets, and the in-memory pipes the
+//! deterministic fault harness uses ([`mem`](crate::mem)).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A bidirectional byte stream a link or broker connection runs over.
+pub trait NetStream: Read + Write + Send {
+    /// Tears the connection down so the peer observes EOF (after draining
+    /// any bytes already in flight) — used on framing errors and injected
+    /// cuts.
+    fn shutdown_stream(&mut self);
+}
+
+/// A [`NetStream`] that can be cloned into a second handle sharing the
+/// underlying connection — the broker reads and writes a subscriber
+/// connection from different threads.
+pub trait SplitStream: NetStream {
+    /// Clones a handle to the same connection.
+    fn try_clone_stream(&self) -> io::Result<Box<dyn SplitStream>>;
+}
+
+impl NetStream for TcpStream {
+    fn shutdown_stream(&mut self) {
+        let _ = TcpStream::shutdown(self, std::net::Shutdown::Both);
+    }
+}
+
+impl SplitStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn SplitStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl NetStream for UnixStream {
+    fn shutdown_stream(&mut self) {
+        let _ = UnixStream::shutdown(self, std::net::Shutdown::Both);
+    }
+}
+
+impl SplitStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn SplitStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+/// Something that can open fresh connections to a peer — the reconnect
+/// loop's dependency, kept abstract so tests can hand out faulty or
+/// in-memory connections.
+pub trait Dialer: Send {
+    /// Opens a new connection.
+    fn dial(&self) -> io::Result<Box<dyn NetStream>>;
+}
+
+impl Dialer for Box<dyn Dialer> {
+    fn dial(&self) -> io::Result<Box<dyn NetStream>> {
+        (**self).dial()
+    }
+}
+
+/// Dials a TCP address.
+#[derive(Debug, Clone)]
+pub struct TcpDialer(pub SocketAddr);
+
+impl Dialer for TcpDialer {
+    fn dial(&self) -> io::Result<Box<dyn NetStream>> {
+        let stream = TcpStream::connect(self.0)?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(stream))
+    }
+}
+
+/// Dials a Unix-domain socket path.
+#[derive(Debug, Clone)]
+pub struct UnixDialer(pub PathBuf);
+
+impl Dialer for UnixDialer {
+    fn dial(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(UnixStream::connect(&self.0)?))
+    }
+}
+
+/// A connection acceptor the broker runs on.
+pub trait Acceptor: Send + Sync {
+    /// Blocks for the next inbound connection.
+    fn accept_conn(&self) -> io::Result<Box<dyn SplitStream>>;
+
+    /// Stops accepting, unblocking a pending [`accept_conn`](Self::accept_conn)
+    /// where the platform allows it. The default is a
+    /// no-op: kernel TCP/Unix listeners cannot be interrupted portably, so
+    /// a broker on a real socket parks its accept thread until process
+    /// exit.
+    fn close_acceptor(&self) {}
+}
+
+impl Acceptor for TcpListener {
+    fn accept_conn(&self) -> io::Result<Box<dyn SplitStream>> {
+        let (stream, _) = self.accept()?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(stream))
+    }
+}
+
+impl Acceptor for UnixListener {
+    fn accept_conn(&self) -> io::Result<Box<dyn SplitStream>> {
+        let (stream, _) = self.accept()?;
+        Ok(Box::new(stream))
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests of the broker's routing/dedup state machine:
+//! arbitrary interleavings of announce, subscribe, tracer disconnect,
+//! re-announce, and subscriber churn must never lose an edge
+//! subscription, and the sequence-number dedup must deliver every
+//! published frame exactly once — no losses, no double delivery — no
+//! matter how publishes interleave with replays.
+
+use e2eprof_net::registry::{Freshness, Registry, SeqDedup};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scripted operation against the registry.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Tracer `origin` announces edges derived from the seed list.
+    Announce { origin: u32, edges: Vec<(u32, u32)> },
+    /// Tracer `origin` disconnects (its announcements are forgotten).
+    TracerGone { origin: u32 },
+    /// Peer subscribes to everything.
+    SubscribeAll { peer: u64 },
+    /// Peer subscribes to the given edges only.
+    SubscribeEdges { peer: u64, edges: Vec<(u32, u32)> },
+    /// Subscriber disconnects.
+    SubscriberGone { peer: u64 },
+}
+
+fn edge_strategy() -> impl Strategy<Value = (u32, u32)> {
+    (0u32..4, 0u32..4)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u32..3, prop::collection::vec(edge_strategy(), 0..4))
+            .prop_map(|(origin, edges)| Op::Announce { origin, edges }),
+        1 => (0u32..3).prop_map(|origin| Op::TracerGone { origin }),
+        2 => (0u64..4).prop_map(|peer| Op::SubscribeAll { peer }),
+        2 => (0u64..4, prop::collection::vec(edge_strategy(), 1..4))
+            .prop_map(|(peer, edges)| Op::SubscribeEdges { peer, edges }),
+        1 => (0u64..4).prop_map(|peer| Op::SubscriberGone { peer }),
+    ]
+}
+
+/// A naive model of what the registry must guarantee, updated in
+/// lockstep with the real one.
+#[derive(Default)]
+struct Model {
+    announced: BTreeMap<u32, BTreeSet<(u32, u32)>>,
+    /// peer -> None = all, Some(set) = edge filter.
+    subs: BTreeMap<u64, Option<BTreeSet<(u32, u32)>>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Subscriptions survive any interleaving of tracer churn: after any
+    /// op sequence, `route` delivers to exactly the peers the model says
+    /// should receive each origin's data.
+    #[test]
+    fn subscriptions_are_never_lost_under_churn(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut reg = Registry::new();
+        let mut model = Model::default();
+        for op in &ops {
+            match op.clone() {
+                Op::Announce { origin, edges } => {
+                    reg.announce(origin, &edges);
+                    model.announced.insert(origin, edges.into_iter().collect());
+                }
+                Op::TracerGone { origin } => {
+                    reg.tracer_disconnected(origin);
+                    model.announced.remove(&origin);
+                }
+                Op::SubscribeAll { peer } => {
+                    reg.subscribe(peer, e2eprof_net::msg::SubscribeSpec::All);
+                    model.subs.insert(peer, None);
+                }
+                Op::SubscribeEdges { peer, edges } => {
+                    reg.subscribe(
+                        peer,
+                        e2eprof_net::msg::SubscribeSpec::Edges(edges.clone()),
+                    );
+                    model.subs.insert(peer, Some(edges.into_iter().collect()));
+                }
+                Op::SubscriberGone { peer } => {
+                    reg.subscriber_disconnected(peer);
+                    model.subs.remove(&peer);
+                }
+            }
+            // After *every* op, routing must match the model exactly for
+            // every possible origin.
+            for origin in 0u32..3 {
+                let got: BTreeSet<u64> = reg.route(origin).into_iter().collect();
+                let announced = model.announced.get(&origin);
+                let want: BTreeSet<u64> = model
+                    .subs
+                    .iter()
+                    .filter(|(_, spec)| match spec {
+                        None => true,
+                        Some(filter) => announced.is_some_and(|edges| {
+                            edges.iter().any(|e| filter.contains(e))
+                        }),
+                    })
+                    .map(|(&peer, _)| peer)
+                    .collect();
+                prop_assert_eq!(
+                    got, want,
+                    "origin {} after {:?}", origin, op
+                );
+            }
+        }
+        // Routing order must be deterministic (peer-id order) — the
+        // broker's delivery order must not depend on map iteration
+        // accidents.
+        for origin in 0u32..3 {
+            let order = reg.route(origin);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(order, sorted);
+        }
+    }
+
+    /// Exactly-once: an arbitrary interleaving of fresh publishes and
+    /// replayed prefixes (what reconnecting tracers produce) passes each
+    /// sequence number through the dedup exactly once, in order, per
+    /// origin.
+    #[test]
+    fn dedup_delivers_every_frame_exactly_once(
+        publishes in prop::collection::vec((0u32..3, 1u64..30), 1..60),
+        replay_points in prop::collection::vec(0usize..60, 0..6),
+    ) {
+        // Build per-origin monotone sequence streams from the raw pairs:
+        // each (origin, _) pair becomes that origin's next seq.
+        let mut next: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut stream: Vec<(u32, u64)> = Vec::new();
+        for &(origin, _) in &publishes {
+            let seq = next.entry(origin).or_insert(0);
+            *seq += 1;
+            stream.push((origin, *seq));
+        }
+        // Splice in replays: at each chosen point, re-publish the last
+        // few frames of that origin (a reconnecting tracer resending).
+        let mut with_replays: Vec<(u32, u64)> = Vec::new();
+        for (i, &(origin, seq)) in stream.iter().enumerate() {
+            with_replays.push((origin, seq));
+            if replay_points.contains(&i) {
+                for back in (1..=seq.min(3)).rev() {
+                    with_replays.push((origin, seq - back + 1));
+                }
+            }
+        }
+        let mut dedup = SeqDedup::new();
+        let mut delivered: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for &(origin, seq) in &with_replays {
+            if dedup.offer(origin, seq) == Freshness::Fresh {
+                delivered.entry(origin).or_default().push(seq);
+            }
+        }
+        // Every origin's delivered stream is exactly 1..=max, once each.
+        for (&origin, seqs) in &delivered {
+            let max = *next.get(&origin).expect("origin published");
+            let want: Vec<u64> = (1..=max).collect();
+            prop_assert_eq!(
+                seqs.clone(), want,
+                "origin {}: delivered {:?}", origin, seqs
+            );
+        }
+        prop_assert_eq!(delivered.len(), next.len());
+        // The duplicate counter accounts for every suppressed frame.
+        let total = with_replays.len() as u64;
+        let fresh: u64 = delivered.values().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(dedup.duplicates, total - fresh);
+    }
+
+    /// Resume positions round-trip: a dedup rebuilt from another's resume
+    /// positions accepts exactly the frames the original would.
+    #[test]
+    fn resume_positions_transfer_the_dedup_frontier(
+        publishes in prop::collection::vec(0u32..3, 1..40),
+        probes in prop::collection::vec((0u32..3, 1u64..20), 1..20),
+    ) {
+        let mut next: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut dedup = SeqDedup::new();
+        for &origin in &publishes {
+            let seq = next.entry(origin).or_insert(0);
+            *seq += 1;
+            assert_eq!(dedup.offer(origin, *seq), Freshness::Fresh);
+        }
+        let mut resumed = SeqDedup::new();
+        for (origin, seq) in dedup.resume_positions() {
+            assert_eq!(resumed.offer(origin, seq), Freshness::Fresh);
+        }
+        for &(origin, seq) in &probes {
+            prop_assert_eq!(
+                resumed.would_be_fresh(origin, seq),
+                dedup.would_be_fresh(origin, seq),
+                "origin {} seq {}", origin, seq
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`xcorr`] | `e2eprof-xcorr` | cross-correlation engines (direct, bounded, sparse, RLE, FFT, incremental); Eq. 1 normalization; spike detection |
 //! | [`netsim`] | `e2eprof-netsim` | discrete-event multi-tier system simulator: the evaluation substrate (queueing stations, links, routing, workloads, capture taps, clocks, ground truth) |
 //! | [`core`] | `e2eprof-core` | the pathmap algorithm, service graphs, online tracer/analyzer pipeline, change detection, clock-skew estimation, convolution baseline, accuracy validation |
+//! | [`net`] | `e2eprof-net` | real-network transport: framed wire streaming over TCP/Unix sockets, broker, backpressure, reconnect, fault injection, and the sharded analyzer tier |
 //! | [`apps`] | `e2eprof-apps` | the paper's evaluation applications: RUBiS, the Delta Revenue Pipeline, the SLA scheduler, and every experiment driver |
 //!
 //! # Quickstart
@@ -58,6 +59,7 @@
 
 pub use e2eprof_apps as apps;
 pub use e2eprof_core as core;
+pub use e2eprof_net as net;
 pub use e2eprof_netsim as netsim;
 pub use e2eprof_timeseries as timeseries;
 pub use e2eprof_xcorr as xcorr;

@@ -4,6 +4,8 @@
 //! ```sh
 //! e2eprof analyze trace.csv --window 60s --tau 1ms --format text
 //! e2eprof demo
+//! e2eprof distributed --transport tcp --shards 4
+//! e2eprof broker --listen 127.0.0.1:7070
 //! ```
 //!
 //! The log format is one message per line: `timestamp_ns,src,dst`
@@ -22,8 +24,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("demo") => demo(),
+        Some("distributed") => distributed(&args[1..]),
+        Some("broker") => broker(&args[1..]),
         _ => {
-            eprintln!("usage: e2eprof <analyze|demo> [options]");
+            eprintln!("usage: e2eprof <analyze|demo|distributed|broker> [options]");
             eprintln!();
             eprintln!("  analyze <log.csv> [options]   discover service paths from a log");
             eprintln!("      --window <dur>      sliding window W       (default 60s)");
@@ -34,6 +38,15 @@ fn main() -> ExitCode {
             eprintln!("      durations: 500us, 250ms, 30s, 5m");
             eprintln!();
             eprintln!("  demo                          simulate a system and analyze it");
+            eprintln!();
+            eprintln!("  distributed [options]         demo over the network transport");
+            eprintln!("      --transport <t>     inproc | tcp | unix (default from");
+            eprintln!("                          E2EPROF_TRANSPORT, else inproc pipes)");
+            eprintln!("      --shards <n>        analyzer shards        (default 2)");
+            eprintln!();
+            eprintln!("  broker [options]              run a standalone broker");
+            eprintln!("      --listen <addr>     TCP listen address (default 127.0.0.1:7070)");
+            eprintln!("      --unix <path>       listen on a Unix socket path instead");
             ExitCode::from(2)
         }
     }
@@ -177,10 +190,11 @@ fn analyze(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn demo() -> ExitCode {
+/// Builds the three-tier demo topology shared by `demo` and
+/// `distributed`.
+fn demo_topology() -> e2eprof::netsim::Topology {
     use e2eprof::netsim::prelude::*;
     use e2eprof::netsim::Route;
-    println!("simulating a three-tier system for 90 seconds...\n");
     let mut t = TopologyBuilder::new();
     let class = t.service_class("browse");
     let web = t.service(
@@ -202,7 +216,156 @@ fn demo() -> ExitCode {
     t.route(web, class, Route::fixed(app));
     t.route(app, class, Route::fixed(db));
     t.route(db, class, Route::terminal());
-    let mut sim = Simulation::new(t.build().expect("demo topology"), 7);
+    t.build().expect("demo topology")
+}
+
+/// Runs the demo system through the real network transport: broker +
+/// socket-backed tracer links + a sharded analyzer tier, all in this
+/// process, on the selected transport.
+fn distributed(args: &[String]) -> ExitCode {
+    use e2eprof::net::pipeline::{Endpoint, PipelineBuilder};
+    use e2eprof::netsim::Simulation;
+
+    let mut transport: Option<String> = None;
+    let mut shards = 2usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--transport" => value("--transport").map(|v| transport = Some(v)),
+            "--shards" => value("--shards").and_then(|v| {
+                v.parse()
+                    .map(|n: usize| shards = n.max(1))
+                    .map_err(|_| "bad --shards (expected a count)".into())
+            }),
+            flag => Err(format!("unknown option {flag:?}")),
+        };
+        if let Err(e) = result {
+            eprintln!("e2eprof: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let cfg = PathmapConfig::builder()
+        .window(Nanos::from_secs(60))
+        .refresh(Nanos::from_secs(15))
+        .max_delay(Nanos::from_secs(2))
+        .env_overrides()
+        .build();
+    let selected = match transport.as_deref() {
+        Some("tcp") => Transport::Tcp,
+        Some("unix") => Transport::Unix,
+        Some("inproc") => Transport::InProcess,
+        Some(other) => {
+            eprintln!("e2eprof: unknown transport {other:?} (inproc | tcp | unix)");
+            return ExitCode::from(2);
+        }
+        None => cfg.transport(),
+    };
+    let endpoint = match selected {
+        Transport::Tcp => Endpoint::Tcp,
+        Transport::Unix => Endpoint::Unix,
+        // The in-process demo still exercises the full broker/framing
+        // stack — just over deterministic in-memory pipes.
+        Transport::InProcess => Endpoint::Mem,
+    };
+    let bound = match endpoint.bind() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("e2eprof: cannot bind {endpoint:?} endpoint: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("transport: {bound:?}, {shards} analyzer shard(s)\n");
+
+    let mut sim = Simulation::new(demo_topology(), 7);
+    let mut pipeline = PipelineBuilder::new(cfg, shards).build(sim.topology(), &bound);
+    let mut graphs = Vec::new();
+    for step in 1..=6u64 {
+        let now = Nanos::from_secs(15 * step);
+        graphs = pipeline.step(&mut sim, now, Nanos::from_secs(1));
+    }
+    for g in &graphs {
+        println!("{g}");
+    }
+    println!(
+        "frames: {} emitted, {} dropped; broker delivered {}, rejected {} duplicates",
+        pipeline.frames_emitted(),
+        pipeline.frames_dropped(),
+        pipeline.broker().delivered(),
+        pipeline.broker().duplicates_rejected(),
+    );
+    pipeline.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Runs a standalone broker until killed: tracers connect and publish,
+/// analyzers subscribe — the process is the deployment's rendezvous
+/// point.
+fn broker(args: &[String]) -> ExitCode {
+    use e2eprof::net::{Acceptor, BrokerConfig, BrokerHandle};
+    use std::sync::Arc;
+
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut unix: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--listen" => value("--listen").map(|v| listen = v),
+            "--unix" => value("--unix").map(|v| unix = Some(v)),
+            flag => Err(format!("unknown option {flag:?}")),
+        };
+        if let Err(e) = result {
+            eprintln!("e2eprof: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let acceptor: Arc<dyn Acceptor> = if let Some(path) = unix {
+        let _ = std::fs::remove_file(&path);
+        match std::os::unix::net::UnixListener::bind(&path) {
+            Ok(l) => {
+                println!("broker listening on unix socket {path}");
+                Arc::new(l)
+            }
+            Err(e) => {
+                eprintln!("e2eprof: cannot bind {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        match std::net::TcpListener::bind(&listen) {
+            Ok(l) => {
+                println!(
+                    "broker listening on {}",
+                    l.local_addr().map_or(listen.clone(), |a| a.to_string())
+                );
+                Arc::new(l)
+            }
+            Err(e) => {
+                eprintln!("e2eprof: cannot bind {listen}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+    let _broker = BrokerHandle::spawn(acceptor, BrokerConfig::default());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn demo() -> ExitCode {
+    use e2eprof::netsim::Simulation;
+    println!("simulating a three-tier system for 90 seconds...\n");
+    let mut sim = Simulation::new(demo_topology(), 7);
     sim.run_until(Nanos::from_secs(90));
 
     let cfg = PathmapConfig::builder()
