@@ -182,10 +182,14 @@ fn main() {
     let flushes = workload();
     let total_records = records(&flushes);
     let encoded = frames(&flushes);
-    let bytes_on_wire: usize = encoded.iter().map(bytes::Bytes::len).sum();
+    let payload_bytes: usize = encoded.iter().map(bytes::Bytes::len).sum();
+    // What the stream costs on the socket: every batch payload travels in
+    // one transport envelope of HEADER_LEN framing bytes.
+    let bytes_on_wire = payload_bytes + encoded.len() * e2eprof_net::frame::HEADER_LEN;
     println!(
         "transport_throughput: {EDGES} edges x {FLUSHES} flushes = {total_records} records, \
-         {} KiB of wire-v2 batches",
+         {} KiB of wire-v2 batches ({} KiB framed)",
+        payload_bytes / 1024,
         bytes_on_wire / 1024
     );
 
@@ -225,7 +229,8 @@ fn main() {
         ("edges".into(), JsonValue::Int(EDGES as u64)),
         ("flushes".into(), JsonValue::Int(FLUSHES)),
         ("records".into(), JsonValue::Int(total_records)),
-        ("wire_bytes".into(), JsonValue::Int(bytes_on_wire as u64)),
+        ("wire_bytes".into(), JsonValue::Int(payload_bytes as u64)),
+        ("bytes_on_wire".into(), JsonValue::Int(bytes_on_wire as u64)),
         (
             "inproc_ns".into(),
             JsonValue::Int(inproc.as_nanos().try_into().unwrap_or(u64::MAX)),

@@ -18,11 +18,12 @@
 //! [`TracerAgent`]: crate::tracer::TracerAgent
 
 use crate::change::ChangeTracker;
-use crate::config::PathmapConfig;
+use crate::config::{PathmapConfig, ReductionConfig};
 use crate::graph::{NodeLabels, ServiceGraph};
 use crate::hashing::FxHashMap;
 use crate::parallel;
 use crate::pathmap::{CorrelationProvider, Pathmap, ScreeningStats};
+use crate::reduction::HintState;
 use crate::signals::EdgeSignals;
 use crate::tracer::TracerFrame;
 use crossbeam::channel::{Receiver, Sender};
@@ -64,6 +65,112 @@ struct ScreeningState {
     stats: ScreeningStats,
 }
 
+/// Per-edge reduction status on the analyzer side. Absence from the status
+/// map means the edge streams at full resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeStatus {
+    /// The tracer was asked to ship only coarse blocks of `level` fine
+    /// ticks (√(block count) amplitudes).
+    Demoted {
+        /// Fine ticks per coarse block.
+        level: u64,
+    },
+    /// A promote hint is on its way to the tracer; the edge leaves this
+    /// state when its fine stream (backfill first) resumes.
+    Promoting,
+}
+
+/// Coarse image of one demoted edge. Fed from level-tagged wire entries
+/// once the tracer applies the hint, and from decimated still-arriving
+/// fine chunks in the interim — [`screen::coarse_overlap`] only reads the
+/// support, so the two amplitude conventions may mix freely.
+#[derive(Debug)]
+struct CoarseStore {
+    level: u64,
+    win: DecimatedWindow,
+}
+
+impl CoarseStore {
+    fn new(level: u64, fine_capacity: u64) -> Self {
+        CoarseStore {
+            level,
+            win: DecimatedWindow::new(fine_capacity, level),
+        }
+    }
+}
+
+/// Counters of the edge-side reduction tier (see
+/// [`OnlineAnalyzer::reduction_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Edges demoted to coarse streaming over the analyzer's lifetime.
+    pub demotions: u64,
+    /// Demoted edges promoted back to full resolution over the analyzer's
+    /// lifetime.
+    pub promotions: u64,
+    /// Edges currently demoted (or awaiting their promote backfill).
+    pub reduced_now: usize,
+}
+
+/// Online state of the edge-side data-reduction tier
+/// ([`PathmapConfig::reduction`]): the analyzer half of the
+/// analyzer→tracer feedback loop.
+#[derive(Debug)]
+struct ReductionState {
+    cfg: ReductionConfig,
+    /// This analyzer's shard index and tier width, stamped into every
+    /// [`HintState`] snapshot (tracer-side merge intersects across shards).
+    shard: u32,
+    of: u32,
+    status: FxHashMap<(NodeId, NodeId), EdgeStatus>,
+    /// Consecutive refreshes each candidate edge has been fully
+    /// screened-dead (demotion fires at `cfg.patience`).
+    cold: FxHashMap<(NodeId, NodeId), u32>,
+    /// Coarse image per demoted edge, for the promote-overlap check.
+    stores: FxHashMap<(NodeId, NodeId), CoarseStore>,
+    /// Whether the demoted-edge set changed since the last
+    /// [`OnlineAnalyzer::take_hints`].
+    dirty: bool,
+    demotions: u64,
+    promotions: u64,
+}
+
+impl ReductionState {
+    /// Folds a still-arriving fine chunk of a demoted edge into its coarse
+    /// store (the tracer has not applied the demote hint yet).
+    fn feed_fine(&mut self, edge: (NodeId, NodeId), chunk: &RleSeries, fine_capacity: u64) {
+        let level = match self.status.get(&edge) {
+            Some(EdgeStatus::Demoted { level }) => *level,
+            _ => return,
+        };
+        let store = self
+            .stores
+            .entry(edge)
+            .or_insert_with(|| CoarseStore::new(level, fine_capacity));
+        store.win.append_or_reset(chunk);
+    }
+
+    /// Appends one wire-ingested coarse chunk (already decimated by
+    /// `level`) to the edge's store. A level mismatch — the tracer caught
+    /// up with a newer hint — resets the store to the new resolution.
+    fn feed_coarse(
+        &mut self,
+        edge: (NodeId, NodeId),
+        level: u64,
+        chunk: &RleSeries,
+        fine_capacity: u64,
+    ) {
+        let store = self
+            .stores
+            .entry(edge)
+            .or_insert_with(|| CoarseStore::new(level, fine_capacity));
+        if store.level != level {
+            *store = CoarseStore::new(level, fine_capacity);
+        }
+        store.win.append_coarse_or_reset(chunk);
+    }
+}
+
 /// Counters for the refresh maintenance path's correlation-series buffers:
 /// how many per-pair advances copied into a buffer retained from the
 /// previous refresh versus having to grow (or first-allocate) one. In
@@ -98,6 +205,8 @@ pub struct OnlineAnalyzer {
     subscribers: Vec<Sender<GraphUpdate>>,
     /// Coarse screening tier, when configured.
     screening: Option<ScreeningState>,
+    /// Edge-side data-reduction tier, when configured.
+    reduction: Option<ReductionState>,
     /// Per-pair correlation-series buffers retained across refreshes: the
     /// sharded advance phase copies each pair's products into last
     /// refresh's buffer instead of cloning a fresh allocation.
@@ -156,6 +265,17 @@ impl OnlineAnalyzer {
             active: FxHashMap::default(),
             stats: ScreeningStats::default(),
         });
+        let reduction = config.reduction().map(|&cfg| ReductionState {
+            cfg,
+            shard: 0,
+            of: 1,
+            status: FxHashMap::default(),
+            cold: FxHashMap::default(),
+            stores: FxHashMap::default(),
+            dirty: false,
+            demotions: 0,
+            promotions: 0,
+        });
         OnlineAnalyzer {
             config,
             pathmap,
@@ -169,6 +289,7 @@ impl OnlineAnalyzer {
             capacity,
             subscribers: Vec::new(),
             screening,
+            reduction,
             corr_cache: FxHashMap::default(),
             scratch: ScratchCounters::default(),
         }
@@ -266,10 +387,36 @@ impl OnlineAnalyzer {
                     self.invalidate_correlators(*edge);
                 }
             }
-            TracerFrame::Batch { payload } => {
+            // A backfill is ingested exactly like a batch: the promoted
+            // edge's retained fine window arrives as one (possibly
+            // gap-healing) chunk.
+            TracerFrame::Batch { payload } | TracerFrame::Backfill { payload } => {
                 let mut cursor = wire::FrameCursor::new(payload).expect("undecodable tracer frame");
                 while let Some(entry) = cursor.next_entry().expect("undecodable tracer frame") {
                     let edge = (NodeId::new(entry.key.0), NodeId::new(entry.key.1));
+                    if entry.level > 0 {
+                        // Level-tagged coarse entry of a demoted edge:
+                        // stream it into the edge's coarse store, never
+                        // into the fine window.
+                        scratch_runs.clear();
+                        while let Some(run) = cursor.next_run().expect("undecodable tracer frame") {
+                            scratch_runs.push(run);
+                        }
+                        let chunk = RleSeries::from_parts(
+                            entry.start,
+                            entry.len,
+                            std::mem::take(scratch_runs),
+                        );
+                        if let Some(red) = &mut self.reduction {
+                            red.feed_coarse(edge, entry.level, &chunk, capacity);
+                        }
+                        *scratch_runs = {
+                            let mut v = chunk.into_runs();
+                            v.clear();
+                            v
+                        };
+                        continue;
+                    }
                     let healed = if self.screening.is_some() {
                         scratch_runs.clear();
                         while let Some(run) = cursor.next_run().expect("undecodable tracer frame") {
@@ -312,6 +459,23 @@ impl OnlineAnalyzer {
     /// a gap.
     fn apply_chunk(&mut self, edge: (NodeId, NodeId), chunk: &RleSeries) -> bool {
         let capacity = self.capacity;
+        if let Some(red) = &mut self.reduction {
+            match red.status.get(&edge) {
+                Some(EdgeStatus::Promoting) => {
+                    // The fine stream resumed (backfill or first live
+                    // chunk): the promote round-trip is complete.
+                    red.status.remove(&edge);
+                    red.stores.remove(&edge);
+                }
+                Some(EdgeStatus::Demoted { .. }) => {
+                    // The tracer has not applied the demote hint yet (or
+                    // another shard keeps the edge fine): keep the coarse
+                    // image warm so the promote check sees activity.
+                    red.feed_fine(edge, chunk, capacity);
+                }
+                None => {}
+            }
+        }
         let healed = self
             .windows
             .entry(edge)
@@ -343,8 +507,17 @@ impl OnlineAnalyzer {
 
     /// The newest tick for which *every* stream has data (streams drained
     /// to different points can only be analyzed up to the common prefix).
+    ///
+    /// Edges demoted by the reduction tier are excluded: their fine
+    /// windows stop advancing once the tracer applies the hint, and the
+    /// analysis frontier must not stall on them.
     pub fn common_end(&self) -> Option<Tick> {
-        self.windows.values().map(|w| w.end()).min()
+        let reduced = self.reduction.as_ref().map(|red| &red.status);
+        self.windows
+            .iter()
+            .filter(|(edge, _)| reduced.is_none_or(|status| !status.contains_key(edge)))
+            .map(|(_, w)| w.end())
+            .min()
     }
 
     /// Runs one refresh: discovers the current service graphs from the
@@ -365,9 +538,16 @@ impl OnlineAnalyzer {
         let end = data_end.saturating_sub(max_lag);
         let start = end.saturating_sub(window_ticks);
 
-        // Materialize the per-edge signal views.
+        // Materialize the per-edge signal views. Edges demoted by the
+        // reduction tier are invisible to discovery — their fine windows
+        // are stale by design and their coarse image only serves the
+        // promote-overlap check.
+        let reduced = self.reduction.as_ref().map(|red| &red.status);
         let mut signals_map = HashMap::new();
         for (&edge, window) in &self.windows {
+            if reduced.is_some_and(|status| status.contains_key(&edge)) {
+                continue;
+            }
             signals_map.insert(edge, window.view(start, data_end));
         }
         let signals =
@@ -546,6 +726,26 @@ impl OnlineAnalyzer {
             pruned_set
         });
 
+        // Phase 0.5 — edge-side reduction decisions (when configured):
+        // promote demoted edges whose coarse image overlaps a root signal
+        // within the lag horizon, and demote edges whose every owned
+        // (client, edge) pair screening has kept pruned for `patience`
+        // consecutive refreshes. The resulting hint snapshot is picked up
+        // by the driver via [`take_hints`](Self::take_hints).
+        if let (Some(red), Some(scr)) = (self.reduction.as_mut(), self.screening.as_mut()) {
+            reduction_pass(
+                red,
+                scr,
+                &self.windows,
+                &mut self.incs,
+                &mut self.corr_cache,
+                &fronts,
+                window_ticks,
+                max_lag,
+                self.capacity,
+            );
+        }
+
         // Phase 1 — advance every tracked correlator by the window delta,
         // sharded over the worker pool in stable key order. Each pair owns
         // its accumulator and only *reads* the shared windows, so its
@@ -698,6 +898,238 @@ impl OnlineAnalyzer {
     pub fn scratch_counters(&self) -> ScratchCounters {
         self.scratch
     }
+
+    /// Declares this analyzer's position in a sharded tier: `shard` of
+    /// `of`. Stamped into every hint snapshot so tracers can intersect the
+    /// verdicts of all shards (an edge is only decimated once every shard
+    /// agrees). The default is `0` of `1` — a lone analyzer's hints take
+    /// effect directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= of` or `of == 0`.
+    pub fn set_reduction_shard(&mut self, shard: u32, of: u32) {
+        assert!(of > 0 && shard < of, "invalid shard {shard} of {of}");
+        if let Some(red) = &mut self.reduction {
+            red.shard = shard;
+            red.of = of;
+        }
+    }
+
+    /// Takes the pending hint snapshot, if the demoted-edge set changed
+    /// since the last call (or [`refresh`](Self::refresh) never demoted
+    /// anything — then always `None`). The snapshot is full-state and
+    /// idempotent; the driver routes it to every tracer agent, directly
+    /// in process or as a `Hint` control frame over the transport.
+    pub fn take_hints(&mut self) -> Option<HintState> {
+        let red = self.reduction.as_mut()?;
+        if !red.dirty {
+            return None;
+        }
+        red.dirty = false;
+        let mut edges: Vec<((u32, u32), u64)> = red
+            .status
+            .iter()
+            .filter_map(|(&(a, b), &status)| match status {
+                EdgeStatus::Demoted { level } => {
+                    Some(((a.index() as u32, b.index() as u32), level))
+                }
+                // Promoting edges leave the snapshot — that is exactly
+                // what tells the tracer to backfill and resume fine.
+                EdgeStatus::Promoting => None,
+            })
+            .collect();
+        edges.sort_unstable();
+        Some(HintState {
+            shard: red.shard,
+            of: red.of,
+            edges,
+        })
+    }
+
+    /// Counters of the edge-side reduction tier; `None` when
+    /// [`PathmapConfig::reduction`] is off.
+    pub fn reduction_stats(&self) -> Option<ReductionStats> {
+        self.reduction.as_ref().map(|red| ReductionStats {
+            demotions: red.demotions,
+            promotions: red.promotions,
+            reduced_now: red.status.len(),
+        })
+    }
+}
+
+/// One refresh's reduction decisions (see the Phase 0.5 comment in
+/// [`OnlineAnalyzer::refresh`]): promote-by-overlap first, then
+/// demote-by-screening, with each verdict extended to the edge's
+/// response stream (the reverse direction is never a screening pair, so
+/// it rides its request stream's status both ways). A free function
+/// over the analyzer's disjoint fields so it can run while `refresh`
+/// holds the engine borrow.
+///
+/// Promotion is sound by the screening cover bound: zero support overlap
+/// between a root's coarse image and the edge's coarse image across the
+/// admissible coarse lags certifies every fine product in the window is
+/// zero (see [`screen::coarse_overlap`]) — overlap is the *only* event
+/// that could make a demoted edge correlate again, so firing on any
+/// overlap can never leave a true edge demoted.
+#[allow(clippy::too_many_arguments)]
+fn reduction_pass(
+    red: &mut ReductionState,
+    scr: &mut ScreeningState,
+    windows: &FxHashMap<(NodeId, NodeId), SlidingWindow>,
+    incs: &mut FxHashMap<PairKey, IncrementalCorrelator>,
+    corr_cache: &mut FxHashMap<PairKey, CorrSeries>,
+    fronts: &HashMap<NodeId, NodeId>,
+    window_ticks: u64,
+    max_lag: u64,
+    capacity: u64,
+) {
+    // Promote: any support overlap between a root's coarse source image
+    // and a demoted edge's coarse store revives the edge.
+    let mut demoted: Vec<((NodeId, NodeId), u64)> = red
+        .status
+        .iter()
+        .filter_map(|(&edge, &status)| match status {
+            EdgeStatus::Demoted { level } => Some((edge, level)),
+            EdgeStatus::Promoting => None,
+        })
+        .collect();
+    demoted.sort_unstable();
+    // Root sources decimated once per (client, level), not per edge.
+    let mut src_cache: HashMap<(NodeId, u64), RleSeries> = HashMap::new();
+    for (edge, level) in demoted {
+        let Some(store) = red.stores.get(&edge) else {
+            continue;
+        };
+        let y = store.win.coarse().series();
+        if y.support() == 0 {
+            continue;
+        }
+        let coarse_lags = screen::coarse_lag_bound(max_lag, level);
+        let hit = fronts.iter().any(|(&client, &front)| {
+            let x = src_cache.entry((client, level)).or_insert_with(|| {
+                windows
+                    .get(&(client, front))
+                    .map(|w| w.series().decimate(level))
+                    .unwrap_or_else(|| RleSeries::empty(Tick::ZERO, 0))
+            });
+            screen::coarse_overlap(x, &y, coarse_lags)
+        });
+        if hit {
+            red.status.insert(edge, EdgeStatus::Promoting);
+            red.dirty = true;
+            red.promotions += 1;
+            // The response stream was demoted with this edge (see the
+            // demote pass below); its density is the request's shifted by
+            // the service time, so the overlap that revives the request
+            // revives the conversation — promote both sides together
+            // rather than waiting for the reverse image to clear the
+            // coarse-lag test on its own.
+            let rev = (edge.1, edge.0);
+            if matches!(red.status.get(&rev), Some(EdgeStatus::Demoted { .. })) {
+                red.status.insert(rev, EdgeStatus::Promoting);
+                red.promotions += 1;
+            }
+        }
+    }
+
+    // Demote: an edge is a candidate when screening currently prunes the
+    // (client, edge) pair of *every* root this shard owns — and the edge
+    // carries no root signal itself. Candidates must stay cold for
+    // `patience` consecutive refreshes before the hint fires.
+    if fronts.is_empty() {
+        return;
+    }
+    let mut edges: Vec<(NodeId, NodeId)> = windows.keys().copied().collect();
+    edges.sort_unstable();
+    for edge in edges {
+        if red.status.contains_key(&edge) {
+            continue;
+        }
+        let is_root_signal = fronts.contains_key(&edge.0);
+        let all_dead = !is_root_signal
+            && fronts
+                .keys()
+                .all(|&client| scr.active.get(&(client, edge)) == Some(&false));
+        if !all_dead {
+            red.cold.remove(&edge);
+            continue;
+        }
+        let cold = red.cold.entry(edge).or_insert(0);
+        *cold += 1;
+        if *cold < red.cfg.patience {
+            continue;
+        }
+        red.cold.remove(&edge);
+        // Adaptive level: denser edges cost more bytes, so decimate them
+        // harder; sparse edges keep the base factor (their coarse image
+        // is nearly free either way).
+        let support = windows
+            .get(&edge)
+            .map(|w| w.series().support())
+            .unwrap_or(0);
+        let frac = support as f64 / window_ticks.max(1) as f64;
+        let level = if frac >= 0.2 {
+            4 * red.cfg.base_level
+        } else if frac >= 0.05 {
+            2 * red.cfg.base_level
+        } else {
+            red.cfg.base_level
+        };
+        demote_edge(red, scr, incs, corr_cache, edge, level, capacity);
+        // A reduction verdict is about the conversation, not one
+        // direction of it: the response stream `(b, a)` is never a
+        // screening pair (discovery correlates roots against request
+        // edges only), so it inherits the request stream's demotion —
+        // otherwise every pruned edge keeps shipping its return path at
+        // full resolution forever. The reverse edge stays fine when it
+        // carries a root signal or is itself screened active for any
+        // root (mutual-traffic topologies).
+        let rev = (edge.1, edge.0);
+        if rev != edge
+            && !red.status.contains_key(&rev)
+            && !fronts.contains_key(&rev.0)
+            && !fronts
+                .keys()
+                .any(|&client| scr.active.get(&(client, rev)) == Some(&true))
+        {
+            if let Some(w) = windows.get(&rev) {
+                let frac = w.series().support() as f64 / window_ticks.max(1) as f64;
+                let level = if frac >= 0.2 {
+                    4 * red.cfg.base_level
+                } else if frac >= 0.05 {
+                    2 * red.cfg.base_level
+                } else {
+                    red.cfg.base_level
+                };
+                demote_edge(red, scr, incs, corr_cache, rev, level, capacity);
+            }
+        }
+    }
+}
+
+/// Flips one edge to [`EdgeStatus::Demoted`] and drops every fine and
+/// coarse pair state touching it — the fresh [`CoarseStore`] is the
+/// edge's only remaining footprint.
+fn demote_edge(
+    red: &mut ReductionState,
+    scr: &mut ScreeningState,
+    incs: &mut FxHashMap<PairKey, IncrementalCorrelator>,
+    corr_cache: &mut FxHashMap<PairKey, CorrSeries>,
+    edge: (NodeId, NodeId),
+    level: u64,
+    capacity: u64,
+) {
+    red.status.insert(edge, EdgeStatus::Demoted { level });
+    red.stores.insert(edge, CoarseStore::new(level, capacity));
+    red.cold.remove(&edge);
+    red.dirty = true;
+    red.demotions += 1;
+    incs.retain(|&(_, e), _| e != edge);
+    scr.coarse.retain(|&(_, e), _| e != edge);
+    scr.active.retain(|&(_, e), _| e != edge);
+    scr.decimated.remove(&edge);
+    corr_cache.retain(|&(_, e), _| e != edge);
 }
 
 /// Advances one `(client, edge)` correlator to the source window `window`;
@@ -870,6 +1302,24 @@ mod tests {
         config: PathmapConfig,
         total_secs: u64,
     ) -> (Vec<ServiceGraph>, OnlineAnalyzer) {
+        let roots = roots_from_topology(sim.topology());
+        let universe = roots.iter().map(|&(c, _)| c).collect();
+        let (graphs, analyzer, _) =
+            drive_online_among(&mut sim, config, total_secs, roots, universe);
+        (graphs, analyzer)
+    }
+
+    /// Like [`drive_online`] but with an explicit owned-root subset and
+    /// client universe (the sharded-analyzer shape), returning the agents
+    /// too. Routes analyzer hint snapshots back to every agent after each
+    /// refresh — the in-process form of the reduction feedback loop.
+    fn drive_online_among(
+        sim: &mut Simulation,
+        config: PathmapConfig,
+        total_secs: u64,
+        roots: Vec<(NodeId, NodeId)>,
+        universe: HashSet<NodeId>,
+    ) -> (Vec<ServiceGraph>, OnlineAnalyzer, Vec<TracerAgent>) {
         let (tx, rx) = unbounded();
         let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
         let mut agents: Vec<TracerAgent> = sim
@@ -878,9 +1328,10 @@ mod tests {
             .into_iter()
             .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
             .collect();
-        let mut analyzer = OnlineAnalyzer::new(
+        let mut analyzer = OnlineAnalyzer::with_universe(
             config.clone(),
-            roots_from_topology(sim.topology()),
+            roots,
+            universe,
             NodeLabels::from_topology(sim.topology()),
             rx,
         );
@@ -895,11 +1346,16 @@ mod tests {
             }
             analyzer.ingest();
             let graphs = analyzer.refresh(now);
+            if let Some(hint) = analyzer.take_hints() {
+                for a in &mut agents {
+                    a.apply_hint_state(&hint);
+                }
+            }
             if !graphs.is_empty() {
                 last = graphs;
             }
         }
-        (last, analyzer)
+        (last, analyzer, agents)
     }
 
     fn run_online(seed: u64, total_secs: u64) -> (Vec<ServiceGraph>, OnlineAnalyzer) {
@@ -1167,6 +1623,90 @@ mod tests {
             after.reused > warm.reused,
             "no buffer reuse recorded: {warm:?} -> {after:?}"
         );
+    }
+
+    /// Fanout-test config: V2 wire + screening, optionally with the
+    /// edge-reduction tier on top.
+    fn fanout_cfg(reduction: Option<crate::config::ReductionConfig>) -> PathmapConfig {
+        let mut b = PathmapConfig::builder()
+            .window(Nanos::from_secs(20))
+            .refresh(Nanos::from_secs(5))
+            .max_delay(Nanos::from_millis(500))
+            .wire(crate::config::WireVersion::V2)
+            .screening(crate::config::ScreeningConfig {
+                decimation: 8,
+                hysteresis: 0.5,
+            });
+        if let Some(red) = reduction {
+            b = b.reduction(red);
+        }
+        b.build()
+    }
+
+    /// Runs a fanout sim owning only the first root (`cli`) — the sharded
+    /// shape under which the noise tier's edges are dead for every owned
+    /// root and hence demotable.
+    fn run_fanout_owning_cli(
+        mut sim: Simulation,
+        config: PathmapConfig,
+        total_secs: u64,
+    ) -> (Vec<ServiceGraph>, OnlineAnalyzer, Vec<TracerAgent>) {
+        let mut roots = roots_from_topology(sim.topology());
+        roots.sort_unstable();
+        let universe: HashSet<NodeId> = roots.iter().map(|&(c, _)| c).collect();
+        roots.truncate(1);
+        drive_online_among(&mut sim, config, total_secs, roots, universe)
+    }
+
+    #[test]
+    fn reduction_demotes_dead_fanout_and_matches_graphs() {
+        let (plain, ..) = run_fanout_owning_cli(
+            crate::testutil::wide_fanout_sim(8, 17),
+            fanout_cfg(None),
+            36,
+        );
+        let (reduced, analyzer, agents) = run_fanout_owning_cli(
+            crate::testutil::wide_fanout_sim(8, 17),
+            fanout_cfg(Some(crate::config::ReductionConfig::default())),
+            36,
+        );
+        assert_graphs_equivalent(&plain, &reduced);
+        let stats = analyzer.reduction_stats().expect("reduction enabled");
+        assert!(
+            stats.demotions > 0,
+            "dead backends never demoted: {stats:?}"
+        );
+        assert!(stats.reduced_now > 0, "stats: {stats:?}");
+        assert_eq!(stats.promotions, 0, "disjoint noise must stay demoted");
+        // The hints actually reached the agents: at least one stream runs
+        // decimated at the end of the run.
+        let decimating = agents
+            .iter()
+            .any(|a| (0..12u32).any(|i| (0..12u32).any(|j| a.effective_level((i, j)) > 0)));
+        assert!(decimating, "no agent applied a nonzero decimation level");
+    }
+
+    #[test]
+    fn reduction_promotes_on_overlap_and_backfills() {
+        let (plain, ..) = run_fanout_owning_cli(
+            crate::testutil::shifting_fanout_sim(4, 23, 60.0),
+            fanout_cfg(None),
+            56,
+        );
+        let (reduced, analyzer, agents) = run_fanout_owning_cli(
+            crate::testutil::shifting_fanout_sim(4, 23, 60.0),
+            fanout_cfg(Some(crate::config::ReductionConfig::default())),
+            56,
+        );
+        assert_graphs_equivalent(&plain, &reduced);
+        let stats = analyzer.reduction_stats().expect("reduction enabled");
+        assert!(stats.demotions > 0, "stats: {stats:?}");
+        assert!(
+            stats.promotions > 0,
+            "overlapping noise must promote: {stats:?}"
+        );
+        let backfills: u64 = agents.iter().map(|a| a.backfills_emitted()).sum();
+        assert!(backfills > 0, "promotes must trigger a fine backfill");
     }
 
     #[test]

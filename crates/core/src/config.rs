@@ -96,6 +96,44 @@ impl Default for ScreeningConfig {
     }
 }
 
+/// Edge-side data-reduction parameters (the analyzer→tracer feedback
+/// loop).
+///
+/// With reduction enabled, the analyzer pushes per-edge *hints* back to
+/// tracer agents: edges whose every `(client, edge)` screening pair has
+/// stayed pruned for `patience` consecutive refreshes are **demoted** and
+/// ship only a `√(block count)` decimated image at an adaptively chosen
+/// level (denser edges decimate harder), cutting bytes on the wire before
+/// they are ever sent. When a demoted edge's coarse image overlaps any
+/// client signal within the lag horizon again, the analyzer **promotes**
+/// it; the tracer then backfills the retained fine window over the wire so
+/// the fine correlators re-warm without waiting a full window. Demotion is
+/// sound (the PR 2 cover bound proves the pruned pairs causally dead) and
+/// promotion fires on the only event that could revive one, so the
+/// discovered strong-edge set is unchanged. `reduction: None` (the
+/// default) keeps every byte and every code path bit-for-bit identical.
+///
+/// Requires screening and the v2 wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReductionConfig {
+    /// Base decimation level for demoted edges: one coarse tick aggregates
+    /// `base_level` fine ticks. Dense edges are decimated at up to
+    /// `4 × base_level`.
+    pub base_level: u64,
+    /// Consecutive refreshes an edge's pairs must all stay pruned before
+    /// the edge is demoted (debounces transient quiet spells).
+    pub patience: u32,
+}
+
+impl Default for ReductionConfig {
+    fn default() -> Self {
+        ReductionConfig {
+            base_level: 16,
+            patience: 2,
+        }
+    }
+}
+
 /// The knobs of the pathmap algorithm (paper Sections 3.3–3.5).
 ///
 /// Defaults match the paper's RUBiS configuration: `τ` = 1 ms, `ω` = 50·τ,
@@ -131,6 +169,7 @@ pub struct PathmapConfig {
     auto_cost_model: Option<CostModel>,
     wire: WireVersion,
     transport: Transport,
+    reduction: Option<ReductionConfig>,
 }
 
 impl Default for PathmapConfig {
@@ -244,6 +283,14 @@ impl PathmapConfig {
         self.transport
     }
 
+    /// The edge-side data-reduction configuration, if enabled.
+    ///
+    /// `None` (the default) ships every edge at full resolution and keeps
+    /// the pipeline bit-for-bit identical to previous releases.
+    pub fn reduction(&self) -> Option<&ReductionConfig> {
+        self.reduction.as_ref()
+    }
+
     /// Instantiates the configured correlation engine.
     ///
     /// For [`CorrelationBackend::Auto`] without an explicit cost model
@@ -293,6 +340,7 @@ pub struct PathmapConfigBuilder {
     auto_cost_model: Option<CostModel>,
     wire: WireVersion,
     transport: Transport,
+    reduction: Option<ReductionConfig>,
 }
 
 impl Default for PathmapConfigBuilder {
@@ -312,6 +360,7 @@ impl Default for PathmapConfigBuilder {
             auto_cost_model: None,
             wire: WireVersion::default(),
             transport: Transport::default(),
+            reduction: None,
         }
     }
 }
@@ -410,6 +459,14 @@ impl PathmapConfigBuilder {
         self
     }
 
+    /// Enables the edge-side data-reduction feedback loop with the given
+    /// parameters. The default (`None`) ships every edge at full
+    /// resolution. Requires screening and the v2 wire format.
+    pub fn reduction(mut self, reduction: ReductionConfig) -> Self {
+        self.reduction = Some(reduction);
+        self
+    }
+
     /// Applies environment-variable overrides (the CI configuration-matrix
     /// hook; tests opting in call this last, so a plain build is
     /// unaffected):
@@ -421,6 +478,14 @@ impl PathmapConfigBuilder {
     /// * `E2EPROF_WIRE` ∈ `v1 | v2` — selects the tracer wire format.
     /// * `E2EPROF_TRANSPORT` ∈ `inproc | tcp | unix` — selects the
     ///   tracer-to-analyzer transport.
+    /// * `E2EPROF_REDUCTION` — `off` disables edge-side data reduction;
+    ///   `on` enables it with defaults; an integer `k` enables it with
+    ///   base decimation level `k`. Enabling reduction pulls in its
+    ///   prerequisites (default screening, the v2 wire) unless the
+    ///   environment explicitly disables them — an explicit
+    ///   `E2EPROF_SCREENING=off` or `E2EPROF_WIRE=v1` alongside an
+    ///   enabled reduction still fails the [`build`](Self::build)
+    ///   invariants loudly.
     ///
     /// # Panics
     ///
@@ -469,6 +534,38 @@ impl PathmapConfigBuilder {
                 other => panic!("E2EPROF_TRANSPORT has unknown value {other:?}"),
             };
         }
+        if let Ok(v) = std::env::var("E2EPROF_REDUCTION") {
+            match v.as_str() {
+                "" | "off" => self.reduction = None,
+                "on" => self.reduction = Some(ReductionConfig::default()),
+                k => {
+                    let base_level = k
+                        .parse::<u64>()
+                        .unwrap_or_else(|_| panic!("E2EPROF_REDUCTION has unknown value {k:?}"));
+                    self.reduction = Some(ReductionConfig {
+                        base_level,
+                        ..ReductionConfig::default()
+                    });
+                }
+            }
+            if self.reduction.is_some() {
+                // Reduction implies its prerequisites. Only an *explicit*
+                // contradiction in the same environment is left in place so
+                // build() rejects it loudly.
+                let screening_env_off = matches!(
+                    std::env::var("E2EPROF_SCREENING").as_deref(),
+                    Ok("") | Ok("off")
+                );
+                if !screening_env_off {
+                    self.screening.get_or_insert_with(ScreeningConfig::default);
+                }
+                let wire_env_v1 =
+                    matches!(std::env::var("E2EPROF_WIRE").as_deref(), Ok("") | Ok("v1"));
+                if !wire_env_v1 {
+                    self.wire = WireVersion::V2;
+                }
+            }
+        }
         self
     }
 
@@ -495,6 +592,7 @@ impl PathmapConfigBuilder {
             auto_cost_model: self.auto_cost_model,
             wire: self.wire,
             transport: self.transport,
+            reduction: self.reduction,
         };
         assert!(cfg.window_ticks() > 0, "window must span at least one tick");
         assert!(
@@ -524,6 +622,23 @@ impl PathmapConfigBuilder {
                 cfg.min_spike_value > 0.0,
                 "screening needs a positive spike floor to prune against"
             );
+        }
+        if let Some(rc) = &cfg.reduction {
+            assert!(
+                cfg.screening.is_some(),
+                "reduction requires screening (demotion is justified by the \
+                 screening tier's pruning proof)"
+            );
+            assert!(
+                cfg.wire == WireVersion::V2,
+                "reduction requires the v2 wire format (coarse entries carry \
+                 a per-series decimation-level tag)"
+            );
+            assert!(
+                rc.base_level >= 2,
+                "reduction base level must be at least 2"
+            );
+            assert!(rc.patience >= 1, "reduction patience must be at least 1");
         }
         cfg
     }

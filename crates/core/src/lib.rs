@@ -83,6 +83,7 @@ pub mod ingest;
 pub mod nesting;
 pub mod parallel;
 pub mod pathmap;
+pub mod reduction;
 pub mod signals;
 pub mod skew;
 pub mod sla;
@@ -97,17 +98,21 @@ pub mod prelude {
     pub use crate::analyzer::ScratchCounters;
     pub use crate::change::ChangeTracker;
     pub use crate::config::{
-        CorrelationBackend, PathmapConfig, ScreeningConfig, Transport, WireVersion,
+        CorrelationBackend, PathmapConfig, ReductionConfig, ScreeningConfig, Transport, WireVersion,
     };
     pub use crate::graph::{NodeLabels, ServiceGraph};
     pub use crate::pathmap::{roots_from_topology, Pathmap, ScreeningStats};
+    pub use crate::reduction::HintState;
     pub use crate::signals::EdgeSignals;
     pub use crate::tracer::{ChannelSink, FrameSink, PollOutcome, TracerAgent};
 }
 
 pub use analyzer::{OnlineAnalyzer, ScratchCounters};
-pub use config::{CorrelationBackend, PathmapConfig, ScreeningConfig, Transport, WireVersion};
+pub use config::{
+    CorrelationBackend, PathmapConfig, ReductionConfig, ScreeningConfig, Transport, WireVersion,
+};
 pub use graph::{NodeLabels, ServiceGraph};
 pub use pathmap::{roots_from_topology, Pathmap, ScreeningStats};
+pub use reduction::HintState;
 pub use signals::EdgeSignals;
 pub use tracer::{ChannelSink, FrameSink, PollOutcome, TracerAgent};

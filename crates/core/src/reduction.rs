@@ -1,0 +1,138 @@
+//! Analyzer→tracer data-reduction control state (the feedback direction).
+//!
+//! When [`PathmapConfig::reduction`](crate::config::PathmapConfig::reduction)
+//! is enabled, each analyzer shard derives per-edge decimation verdicts from
+//! its screening state: edges whose every (client, edge) pair screening has
+//! proven causally dead are *demoted* and ship only a coarse decimated
+//! image; edges that show renewed coarse activity are *promoted* back to
+//! full resolution. A shard publishes its complete verdict as a
+//! [`HintState`] snapshot — idempotent by construction, so replaying the
+//! latest snapshot after a reconnect converges to the same tracer state.
+//!
+//! Tracer agents keep the latest snapshot per shard and merge them with
+//! [`effective_levels`]; the transport layer carries snapshots broker→tracer
+//! as `Hint` control frames with the same exactly-once seq/dedup machinery
+//! as data frames.
+
+use crate::hashing::FxHashMap;
+
+/// One analyzer shard's complete reduction verdict.
+///
+/// A snapshot lists **every** edge the shard currently wants demoted, with
+/// its decimation level. Snapshots are full-state and idempotent: applying
+/// the latest one per shard — in any order, any number of times — yields
+/// the same tracer-side levels, which is what makes hint replay after a
+/// connection cut safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintState {
+    /// The analyzer shard that produced this snapshot.
+    pub shard: u32,
+    /// Total number of analyzer shards in the tier.
+    pub of: u32,
+    /// Every currently demoted edge (as node-index pairs) with its
+    /// decimation level — fine ticks per coarse block, always ≥ 2. Edges
+    /// absent from every shard's snapshot stream at full resolution.
+    pub edges: Vec<((u32, u32), u64)>,
+}
+
+/// Merges the latest [`HintState`] per shard into effective per-edge
+/// decimation levels.
+///
+/// Analyzer shards partition *roots*, not edges: every shard ingests every
+/// edge stream, so an edge may only be decimated once **every** shard has
+/// declared it dead for its own roots. The merge is therefore an
+/// intersection — an edge's effective level is the minimum across all
+/// shards' snapshots, and an edge missing from *any* shard's snapshot
+/// (including shards that have not reported yet) streams at full
+/// resolution. Erring toward full resolution can cost bytes but never
+/// graph fidelity.
+pub fn effective_levels(states: &FxHashMap<u32, HintState>) -> FxHashMap<(u32, u32), u64> {
+    let mut out: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    let Some(of) = states.values().map(|s| s.of as usize).max() else {
+        return out;
+    };
+    if states.len() < of {
+        return out; // some shard has not reported yet: everything fine
+    }
+    let mut seen: FxHashMap<(u32, u32), (u64, usize)> = FxHashMap::default();
+    for state in states.values() {
+        for &(edge, level) in &state.edges {
+            let slot = seen.entry(edge).or_insert((level, 0));
+            slot.0 = slot.0.min(level);
+            slot.1 += 1;
+        }
+    }
+    let quorum = states.len();
+    for (edge, (level, count)) in seen {
+        if count == quorum {
+            out.insert(edge, level);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_intersect_across_shards_with_min_level() {
+        let mut states = FxHashMap::default();
+        states.insert(
+            0,
+            HintState {
+                shard: 0,
+                of: 2,
+                edges: vec![((1, 2), 16), ((3, 4), 32)],
+            },
+        );
+        states.insert(
+            1,
+            HintState {
+                shard: 1,
+                of: 2,
+                edges: vec![((5, 6), 8), ((3, 4), 16)],
+            },
+        );
+        let levels = effective_levels(&states);
+        assert_eq!(
+            levels.get(&(1, 2)),
+            None,
+            "edge shard 1 still needs stays fine"
+        );
+        assert_eq!(levels.get(&(5, 6)), None);
+        assert_eq!(levels.get(&(3, 4)), Some(&16), "unanimous edge takes min");
+        assert_eq!(levels.get(&(9, 9)), None, "unmentioned edges stay fine");
+    }
+
+    #[test]
+    fn no_decimation_until_every_shard_reports() {
+        let mut states = FxHashMap::default();
+        states.insert(
+            0,
+            HintState {
+                shard: 0,
+                of: 2,
+                edges: vec![((1, 2), 16)],
+            },
+        );
+        assert!(
+            effective_levels(&states).is_empty(),
+            "one of two shards reported: everything must stay fine"
+        );
+    }
+
+    #[test]
+    fn replacing_a_shard_snapshot_is_idempotent() {
+        let mut states = FxHashMap::default();
+        let snap = HintState {
+            shard: 0,
+            of: 1,
+            edges: vec![((1, 2), 16)],
+        };
+        states.insert(0, snap.clone());
+        let once = effective_levels(&states);
+        states.insert(0, snap);
+        assert_eq!(effective_levels(&states), once);
+    }
+}

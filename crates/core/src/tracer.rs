@@ -13,12 +13,13 @@
 
 use crate::config::{PathmapConfig, WireVersion};
 use crate::hashing::FxHashMap;
+use crate::reduction::{effective_levels, HintState};
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use e2eprof_netsim::capture::TraceKey;
 use e2eprof_netsim::{CaptureStore, NodeId};
 use e2eprof_timeseries::density::DensityEstimator;
-use e2eprof_timeseries::{wire, Nanos, RleSeries, Tick};
+use e2eprof_timeseries::{pyramid, wire, Nanos, RleSeries, Tick};
 use std::collections::HashSet;
 
 /// One message on the tracer→analyzer channel.
@@ -37,6 +38,15 @@ pub enum TracerFrame {
     /// indices.
     Batch {
         /// Wire-encoded batch frame.
+        payload: Bytes,
+    },
+    /// Promote-triggered backfill: the retained fine window of an edge that
+    /// just left decimation, batch-encoded like [`TracerFrame::Batch`]. The
+    /// analyzer ingests it exactly like a batch; the distinct variant lets
+    /// the transport and diagnostics tell warm-up traffic from steady-state
+    /// streaming.
+    Backfill {
+        /// Wire-encoded batch frame carrying the fine retention window.
         payload: Bytes,
     },
 }
@@ -86,11 +96,25 @@ pub enum PollOutcome {
     Dropped(u64),
 }
 
+/// Sentinel for [`StreamState::coarse_sent`]: no coarse block shipped yet
+/// since this stream was last demoted.
+const COARSE_UNSET: u64 = u64::MAX;
+
 #[derive(Debug)]
 struct StreamState {
     estimator: DensityEstimator,
     cursor: usize,
     drained_to: Tick,
+    /// Effective decimation level from the latest analyzer hints: 0 means
+    /// full resolution, `k ≥ 2` means ship √(count)-amplitude blocks of
+    /// `k` fine ticks.
+    level: u64,
+    /// Contiguous fine runs retained while demoted, bounded to the
+    /// retention span — the payload of a promote-triggered backfill.
+    ring: Option<RleSeries>,
+    /// Fine-tick watermark (block aligned) up to which coarse blocks have
+    /// been shipped; [`COARSE_UNSET`] right after a demotion.
+    coarse_sent: u64,
 }
 
 /// A tracer agent for one service node.
@@ -110,6 +134,12 @@ pub struct TracerAgent {
     frames_emitted: u64,
     /// Older frames the sink reported evicted under backpressure.
     frames_dropped: u64,
+    /// Latest reduction snapshot per analyzer shard.
+    hints: FxHashMap<u32, HintState>,
+    /// Per-edge decimation levels merged from `hints`.
+    levels: FxHashMap<(u32, u32), u64>,
+    /// Backfill frames emitted on promote transitions.
+    backfills_emitted: u64,
 }
 
 impl std::fmt::Debug for TracerAgent {
@@ -154,6 +184,9 @@ impl TracerAgent {
             announced: Vec::new(),
             frames_emitted: 0,
             frames_dropped: 0,
+            hints: FxHashMap::default(),
+            levels: FxHashMap::default(),
+            backfills_emitted: 0,
         }
     }
 
@@ -170,6 +203,86 @@ impl TracerAgent {
     /// Older queued frames the sink reported dropped under backpressure.
     pub fn frames_dropped(&self) -> u64 {
         self.frames_dropped
+    }
+
+    /// Backfill frames emitted on promote transitions over the agent's
+    /// lifetime.
+    pub fn backfills_emitted(&self) -> u64 {
+        self.backfills_emitted
+    }
+
+    /// The effective decimation level this agent currently applies to
+    /// `edge` (node-index pair): 0 = full resolution.
+    pub fn effective_level(&self, edge: (u32, u32)) -> u64 {
+        self.levels.get(&edge).copied().unwrap_or(0)
+    }
+
+    /// Fine ticks the retention ring spans: one analysis window plus the
+    /// lag horizon, plus two refresh intervals of slack so the unshipped
+    /// coarse tail never falls off before it is decimated.
+    fn retention_ticks(&self) -> u64 {
+        self.config.window_ticks() + self.config.max_lag() + 2 * self.config.refresh_ticks()
+    }
+
+    /// Applies one analyzer shard's reduction snapshot.
+    ///
+    /// Stores the snapshot (replacing this shard's previous one), merges
+    /// all shards' snapshots into per-edge effective levels, and
+    /// reconciles every live stream:
+    ///
+    /// * fine → demoted: the stream starts retaining fine runs and ships
+    ///   only coarse blocks from the next [`poll`](TracerAgent::poll) on;
+    /// * demoted → fine (*promote*): the retained fine window is shipped
+    ///   immediately as one [`TracerFrame::Backfill`] so the analyzer's
+    ///   fine correlator warms without waiting a full window;
+    /// * level change while demoted: the coarse watermark realigns to the
+    ///   new block size (the analyzer resets its coarse window on a level
+    ///   mismatch anyway).
+    ///
+    /// Snapshots are full-state and idempotent — replaying the latest one
+    /// after a reconnect converges to the same levels and emits no
+    /// duplicate backfills.
+    pub fn apply_hint_state(&mut self, state: &HintState) {
+        self.hints.insert(state.shard, state.clone());
+        self.levels = effective_levels(&self.hints);
+        let mut emitted = 0u64;
+        let mut dropped = 0u64;
+        for (key, st) in self.streams.iter_mut() {
+            let edge = (key.src.index() as u32, key.dst.index() as u32);
+            let new_level = self.levels.get(&edge).copied().unwrap_or(0);
+            if new_level == st.level {
+                continue;
+            }
+            if new_level == 0 {
+                // Promote: backfill the retained fine window, resume fine.
+                if let Some(ring) = st.ring.take() {
+                    if ring.support() > 0 {
+                        let batch = [(edge, ring)];
+                        wire::encode_batch_into(&batch, true, &mut self.frame_buf);
+                        dropped += self.sink.send_frame(TracerFrame::Backfill {
+                            payload: Bytes::copy_from_slice(&self.frame_buf),
+                        });
+                        emitted += 1;
+                        self.backfills_emitted += 1;
+                    }
+                }
+                st.coarse_sent = COARSE_UNSET;
+            } else if st.level == 0 {
+                // Fresh demotion: start retaining from the next poll.
+                st.ring = None;
+                st.coarse_sent = COARSE_UNSET;
+            } else {
+                // Demoted at a different factor: realign the watermark up
+                // to the new block size; the skipped partial block is
+                // never shipped mis-summed.
+                if st.coarse_sent != COARSE_UNSET {
+                    st.coarse_sent = st.coarse_sent.div_ceil(new_level) * new_level;
+                }
+            }
+            st.level = new_level;
+        }
+        self.frames_emitted += emitted;
+        self.frames_dropped += dropped;
     }
 
     /// Streams all series this agent owns up to tick `drain_to`.
@@ -217,12 +330,24 @@ impl TracerAgent {
                 + omega * quanta.duration().as_nanos() / 2,
         );
         let batched = self.config.wire() == WireVersion::V2;
+        let reduction = self.config.reduction().is_some();
+        let retention = self.retention_ticks();
         let mut batch: Vec<((u32, u32), RleSeries)> = Vec::new();
+        let mut leveled: Vec<((u32, u32), u64, RleSeries)> = Vec::new();
         for key in owned {
+            let edge = (key.src.index() as u32, key.dst.index() as u32);
+            let initial_level = if reduction {
+                self.levels.get(&edge).copied().unwrap_or(0)
+            } else {
+                0
+            };
             let state = self.streams.entry(key).or_insert_with(|| StreamState {
                 estimator: DensityEstimator::new(quanta, omega),
                 cursor: 0,
                 drained_to: Tick::ZERO,
+                level: initial_level,
+                ring: None,
+                coarse_sent: COARSE_UNSET,
             });
             if drain_to <= state.drained_to && state.drained_to > Tick::ZERO {
                 continue; // nothing new to drain for this stream
@@ -239,9 +364,45 @@ impl TracerAgent {
             state.cursor += pushed;
             let chunk = state.estimator.drain_chunk(drain_to);
             state.drained_to = drain_to;
+            if reduction && state.level > 0 {
+                // Demoted: retain the fine chunk locally, ship only the
+                // newly completed coarse blocks (if any are non-zero).
+                let fine = chunk.to_rle();
+                match &mut state.ring {
+                    Some(ring) => ring.append_chunk(&fine),
+                    None => state.ring = Some(fine),
+                }
+                let ring = state.ring.as_mut().expect("ring populated above");
+                if ring.len() > retention {
+                    let end = ring.end();
+                    *ring = ring.slice(Tick::new(end.index() - retention), end);
+                }
+                let level = state.level;
+                if state.coarse_sent == COARSE_UNSET || state.coarse_sent < ring.start().index() {
+                    // Align up: a partial first block is skipped rather
+                    // than shipped under-counted.
+                    state.coarse_sent = ring.start().index().div_ceil(level) * level;
+                }
+                let complete_end = (drain_to.index() / level) * level;
+                if complete_end > state.coarse_sent {
+                    let fine_slice =
+                        ring.slice(Tick::new(state.coarse_sent), Tick::new(complete_end));
+                    state.coarse_sent = complete_end;
+                    let coarse = pyramid::decimate_counts(&fine_slice, level);
+                    // All-zero coarse chunks are suppressed outright; the
+                    // analyzer's coarse store heals the gap by resetting.
+                    if coarse.support() > 0 {
+                        leveled.push((edge, level, coarse));
+                    }
+                }
+                continue;
+            }
             if batched {
-                let edge = (key.src.index() as u32, key.dst.index() as u32);
-                batch.push((edge, chunk.to_rle()));
+                if reduction {
+                    leveled.push((edge, 0, chunk.to_rle()));
+                } else {
+                    batch.push((edge, chunk.to_rle()));
+                }
                 continue;
             }
             wire::encode_into(&chunk.to_rle(), &mut self.frame_buf);
@@ -257,6 +418,16 @@ impl TracerAgent {
             // Density amplitudes are √count, so the integer-amplitude
             // encoding is lossless here.
             wire::encode_batch_into(&batch, true, &mut self.frame_buf);
+            dropped += self.sink.send_frame(TracerFrame::Batch {
+                payload: Bytes::copy_from_slice(&self.frame_buf),
+            });
+            emitted += 1;
+        }
+        if !leveled.is_empty() {
+            // Reduction path: fine (level 0) and coarse entries share one
+            // level-tagged batch frame. Coarse amplitudes are √(block
+            // count), so integer-amplitude coding stays lossless.
+            wire::encode_batch_leveled_into(&leveled, true, &mut self.frame_buf);
             dropped += self.sink.send_frame(TracerFrame::Batch {
                 payload: Bytes::copy_from_slice(&self.frame_buf),
             });
@@ -308,11 +479,13 @@ mod tests {
             TracerFrame::Series { edge, payload } => {
                 vec![(*edge, wire::decode(payload).expect("decodable frame"))]
             }
-            TracerFrame::Batch { payload } => wire::decode_batch(payload)
-                .expect("decodable batch frame")
-                .into_iter()
-                .map(|((src, dst), chunk)| ((NodeId::new(src), NodeId::new(dst)), chunk))
-                .collect(),
+            TracerFrame::Batch { payload } | TracerFrame::Backfill { payload } => {
+                wire::decode_batch(payload)
+                    .expect("decodable batch frame")
+                    .into_iter()
+                    .map(|((src, dst), chunk)| ((NodeId::new(src), NodeId::new(dst)), chunk))
+                    .collect()
+            }
         }
     }
 

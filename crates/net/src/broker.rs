@@ -44,10 +44,33 @@ impl Default for BrokerConfig {
     }
 }
 
+/// The broker's hint-routing state: the latest full-state reduction
+/// snapshot per analyzer shard (keyed by the shard's synthetic hint
+/// origin) plus the live tracer-side hint subscribers.
+///
+/// Because snapshots are full-state and idempotent, retaining only the
+/// latest per shard suffices: a late or reconnecting subscriber replayed
+/// just the latest snapshots converges to exactly the state an
+/// uninterrupted subscriber holds.
+#[derive(Default)]
+struct HintHub {
+    /// Hint origin → (seq, fully encoded `Hint` envelope).
+    latest: BTreeMap<u32, (u64, Arc<Vec<u8>>)>,
+    /// Live hint subscribers (write halves), keyed by peer.
+    subs: Vec<(PeerId, Box<dyn SplitStream>)>,
+    /// Set on broker shutdown. A hint subscription arriving afterwards is
+    /// rejected (its connection closed) instead of registered: the accept
+    /// thread may outlive shutdown on kernel listeners, and a sub
+    /// registered after the shutdown sweep would block its reader on a
+    /// stream nobody will ever write to or close.
+    closed: bool,
+}
+
 struct Shared {
     registry: Mutex<Registry>,
     ring: ReplayRing,
     dedup: Mutex<SeqDedup>,
+    hints: Mutex<HintHub>,
     /// Data frames written to subscriber connections.
     delivered: AtomicU64,
     next_peer: AtomicU64,
@@ -66,6 +89,7 @@ impl BrokerHandle {
             registry: Mutex::new(Registry::new()),
             ring: ReplayRing::new(config.ring_capacity),
             dedup: Mutex::new(SeqDedup::new()),
+            hints: Mutex::new(HintHub::default()),
             delivered: AtomicU64::new(0),
             next_peer: AtomicU64::new(1),
         });
@@ -82,6 +106,12 @@ impl BrokerHandle {
     pub fn shutdown(&self) {
         self.acceptor.close_acceptor();
         self.shared.ring.close();
+        let mut hub = self.shared.hints.lock().expect("hint lock");
+        hub.closed = true;
+        for (_, sub) in hub.subs.iter_mut() {
+            sub.shutdown_stream();
+        }
+        hub.subs.clear();
     }
 
     /// Frames evicted from the replay ring under backpressure.
@@ -154,10 +184,23 @@ fn serve_conn(mut conn: Box<dyn SplitStream>, peer: PeerId, shared: &Arc<Shared>
             Err(_) => break,
         }
     }
-    let mut registry = shared.registry.lock().expect("registry lock");
     match role {
-        Some(Role::Tracer { node }) => registry.tracer_disconnected(node),
-        Some(Role::Analyzer { .. }) => registry.subscriber_disconnected(peer),
+        Some(Role::Tracer { node }) => shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .tracer_disconnected(node),
+        Some(Role::Analyzer { .. }) => shared
+            .registry
+            .lock()
+            .expect("registry lock")
+            .subscriber_disconnected(peer),
+        Some(Role::HintSub { .. }) => shared
+            .hints
+            .lock()
+            .expect("hint lock")
+            .subs
+            .retain(|(p, _)| *p != peer),
         None => {}
     }
     // Wake a writer blocked on this connection, if any.
@@ -188,26 +231,47 @@ fn handle_frame(
                 .announce(node, &edges);
             Ok(())
         }
-        FrameKind::Subscribe => {
-            let Some(Role::Analyzer { .. }) = *role else {
-                return Err(());
-            };
-            let sub = decode_subscribe(&frame.payload).map_err(|_| ())?;
-            shared
-                .registry
-                .lock()
-                .expect("registry lock")
-                .subscribe(peer, sub.spec.clone());
-            let cursor = shared.ring.cursor_resuming(&sub.resume);
-            let writer = conn.try_clone_stream().map_err(|_| ())?;
-            let resume: BTreeMap<u32, u64> = sub.resume.iter().copied().collect();
-            let shared = Arc::clone(shared);
-            thread::spawn(move || {
-                subscriber_writer(writer, cursor, resume, sub.spec, &shared);
-            });
-            Ok(())
-        }
-        FrameKind::DataBatch | FrameKind::DataSeries => {
+        FrameKind::Subscribe => match *role {
+            Some(Role::Analyzer { .. }) => {
+                let sub = decode_subscribe(&frame.payload).map_err(|_| ())?;
+                shared
+                    .registry
+                    .lock()
+                    .expect("registry lock")
+                    .subscribe(peer, sub.spec.clone());
+                let cursor = shared.ring.cursor_resuming(&sub.resume);
+                let writer = conn.try_clone_stream().map_err(|_| ())?;
+                let resume: BTreeMap<u32, u64> = sub.resume.iter().copied().collect();
+                let shared = Arc::clone(shared);
+                thread::spawn(move || {
+                    subscriber_writer(writer, cursor, resume, sub.spec, &shared);
+                });
+                Ok(())
+            }
+            Some(Role::HintSub { .. }) => {
+                // A tracer subscribing to reduction hints: replay the
+                // latest stored snapshot per shard (skipping what the
+                // subscriber already holds), then keep the write half for
+                // live fan-out.
+                let sub = decode_subscribe(&frame.payload).map_err(|_| ())?;
+                let resume: BTreeMap<u32, u64> = sub.resume.iter().copied().collect();
+                let mut writer = conn.try_clone_stream().map_err(|_| ())?;
+                let mut hub = shared.hints.lock().expect("hint lock");
+                if hub.closed {
+                    return Err(());
+                }
+                for (origin, (seq, bytes)) in &hub.latest {
+                    if *seq <= resume.get(origin).copied().unwrap_or(0) {
+                        continue;
+                    }
+                    writer.write_all(bytes).map_err(|_| ())?;
+                }
+                hub.subs.push((peer, writer));
+                Ok(())
+            }
+            _ => Err(()),
+        },
+        FrameKind::DataBatch | FrameKind::DataSeries | FrameKind::Backfill => {
             let Some(Role::Tracer { .. }) = *role else {
                 return Err(());
             };
@@ -224,6 +288,32 @@ fn handle_frame(
                     seq: frame.seq,
                     bytes: Arc::new(bytes),
                 });
+            }
+            Ok(())
+        }
+        FrameKind::Hint => {
+            let Some(Role::Analyzer { .. }) = *role else {
+                return Err(());
+            };
+            let fresh = shared
+                .dedup
+                .lock()
+                .expect("dedup lock")
+                .offer(frame.origin, frame.seq);
+            if fresh == Freshness::Fresh {
+                let bytes = Arc::new(encode_frame_to_vec(
+                    FrameKind::Hint,
+                    frame.origin,
+                    frame.seq,
+                    &frame.payload,
+                ));
+                let mut hub = shared.hints.lock().expect("hint lock");
+                hub.latest
+                    .insert(frame.origin, (frame.seq, Arc::clone(&bytes)));
+                // Dead subscribers are dropped here; they re-subscribe
+                // with resume positions and get the latest snapshot back.
+                hub.subs
+                    .retain_mut(|(_, sub)| sub.write_all(&bytes).is_ok());
             }
             Ok(())
         }

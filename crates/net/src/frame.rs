@@ -53,6 +53,15 @@ pub enum FrameKind {
     DataBatch = 4,
     /// A wire-v1 `E2EP` series frame, prefixed by its 8-byte edge key.
     DataSeries = 5,
+    /// An analyzer shard's full-state reduction snapshot, routed
+    /// broker→tracer (the feedback direction). Origin is the shard's
+    /// synthetic hint origin; seq is per-shard monotonic so stale
+    /// snapshots can never overwrite fresher ones.
+    Hint = 6,
+    /// A promoted edge's retained fine window, resent by a tracer on a
+    /// promote hint. Data-kinded: it rides the same replay ring, dedup,
+    /// and resume machinery as ordinary batches.
+    Backfill = 7,
 }
 
 impl FrameKind {
@@ -63,13 +72,18 @@ impl FrameKind {
             3 => Some(FrameKind::Subscribe),
             4 => Some(FrameKind::DataBatch),
             5 => Some(FrameKind::DataSeries),
+            6 => Some(FrameKind::Hint),
+            7 => Some(FrameKind::Backfill),
             _ => None,
         }
     }
 
     /// Whether this kind carries tracer series data (vs. control).
     pub fn is_data(self) -> bool {
-        matches!(self, FrameKind::DataBatch | FrameKind::DataSeries)
+        matches!(
+            self,
+            FrameKind::DataBatch | FrameKind::DataSeries | FrameKind::Backfill
+        )
     }
 }
 

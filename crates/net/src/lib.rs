@@ -44,6 +44,8 @@ pub mod stream;
 pub use broker::{BrokerConfig, BrokerHandle};
 pub use fault::{FaultPlan, FaultyDialer, FaultyStream};
 pub use frame::{Frame, FrameDecoder, FrameError, FrameKind};
-pub use link::{AnalyzerConn, LinkConfig, LinkStats, TracerLink};
+pub use link::{
+    AnalyzerConn, HintConn, HintSender, LinkConfig, LinkStats, TracerLink, HINT_ORIGIN_BIT,
+};
 pub use pipeline::{BoundEndpoint, DistributedPipeline, Endpoint, PipelineBuilder};
 pub use stream::{Acceptor, Dialer, NetStream, TcpDialer, UnixDialer};

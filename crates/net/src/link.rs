@@ -19,12 +19,16 @@
 //! identical to an uninterrupted run's.
 
 use crate::frame::{encode_frame_to_vec, FrameDecoder, FrameKind};
-use crate::msg::{encode_announce, encode_hello, encode_subscribe, Role, Subscribe, SubscribeSpec};
+use crate::msg::{
+    decode_hint, encode_announce, encode_hello, encode_hint, encode_subscribe, Role, Subscribe,
+    SubscribeSpec,
+};
 use crate::queue::{QueueStats, SendQueue};
 use crate::registry::{Freshness, SeqDedup};
 use crate::stream::{Dialer, NetStream};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
+use e2eprof_core::reduction::HintState;
 use e2eprof_core::tracer::{FrameSink, TracerFrame};
 use e2eprof_netsim::NodeId;
 use std::io::{Read, Write};
@@ -32,6 +36,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// High bit marking an envelope origin as a synthetic analyzer hint
+/// origin (`HINT_ORIGIN_BIT | shard`) rather than a tracer node index.
+/// Keeps hint sequence spaces disjoint from data sequence spaces in
+/// every dedup map they share.
+pub const HINT_ORIGIN_BIT: u32 = 0x8000_0000;
 
 /// Tuning for a client-side link.
 #[derive(Debug, Clone)]
@@ -133,6 +143,10 @@ pub struct TracerLink {
     announce_dirty: bool,
     backoff: Backoff,
     dials: u64,
+    /// Reconnects (dials beyond the first), shared so the pipeline can
+    /// surface per-link reconnect counts after the link has been boxed
+    /// into its agent.
+    redials: Arc<AtomicU64>,
     /// Data frames *fully written* to a connection — shared so the
     /// pipeline driver can count what crossed the transport without
     /// reaching through the agent that owns this sink. A fully written
@@ -157,8 +171,15 @@ impl TracerLink {
             announce: None,
             announce_dirty: false,
             dials: 0,
+            redials: Arc::new(AtomicU64::new(0)),
             delivered: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// A shared handle to the link's reconnect count (dials beyond the
+    /// first).
+    pub fn redials_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.redials)
     }
 
     /// A shared handle to the count of data frames fully written to the
@@ -213,6 +234,9 @@ impl TracerLink {
                 match self.dialer.dial() {
                     Ok(mut conn) => {
                         self.dials += 1;
+                        if self.dials > 1 {
+                            self.redials.fetch_add(1, Ordering::Relaxed);
+                        }
                         if self.handshake(&mut conn).is_err() {
                             redials += 1;
                             if redials > self.config.max_flush_redials {
@@ -299,6 +323,7 @@ impl FrameSink for TracerLink {
     fn send_frame(&mut self, frame: TracerFrame) -> u64 {
         let (kind, payload) = match frame {
             TracerFrame::Batch { payload } => (FrameKind::DataBatch, payload.to_vec()),
+            TracerFrame::Backfill { payload } => (FrameKind::Backfill, payload.to_vec()),
             TracerFrame::Series { edge, payload } => {
                 // DataSeries payloads carry the edge in an 8-byte prefix
                 // (v1 wire frames identify edges out of band).
@@ -506,6 +531,9 @@ fn to_tracer_frame(kind: FrameKind, payload: &[u8]) -> Option<TracerFrame> {
         FrameKind::DataBatch => Some(TracerFrame::Batch {
             payload: Bytes::copy_from_slice(payload),
         }),
+        FrameKind::Backfill => Some(TracerFrame::Backfill {
+            payload: Bytes::copy_from_slice(payload),
+        }),
         FrameKind::DataSeries => {
             if payload.len() < 8 {
                 return None;
@@ -519,6 +547,316 @@ fn to_tracer_frame(kind: FrameKind, payload: &[u8]) -> Option<TracerFrame> {
         }
         _ => None,
     }
+}
+
+/// The analyzer shard's hint-publishing connection: a synchronous,
+/// driver-owned sender that pushes each [`HintState`] snapshot to the
+/// broker as a `Hint` frame with origin `HINT_ORIGIN_BIT | shard` and a
+/// per-shard monotonic sequence.
+///
+/// Retries with the *same* sequence number across redials (like
+/// [`TracerLink`]): a connection dying mid-frame discards the partial
+/// bytes with the stream, and the broker's dedup absorbs any resend of a
+/// frame that did land whole.
+pub struct HintSender {
+    shard: u32,
+    of: u32,
+    dialer: Box<dyn Dialer>,
+    config: LinkConfig,
+    conn: Option<Box<dyn NetStream>>,
+    next_seq: u64,
+    backoff: Backoff,
+    dials: u64,
+}
+
+impl HintSender {
+    /// Creates a sender for analyzer shard `shard` of `of`. Nothing is
+    /// dialed until the first send.
+    pub fn new(shard: u32, of: u32, dialer: Box<dyn Dialer>, config: LinkConfig) -> Self {
+        HintSender {
+            shard,
+            of,
+            backoff: Backoff::new(config.backoff_base, config.backoff_cap),
+            config,
+            dialer,
+            conn: None,
+            next_seq: 1,
+            dials: 0,
+        }
+    }
+
+    /// The synthetic envelope origin this shard's hints carry.
+    pub fn origin(&self) -> u32 {
+        HINT_ORIGIN_BIT | self.shard
+    }
+
+    /// Publishes one snapshot; returns the sequence number it was written
+    /// under, or `None` if the redial budget ran out (the snapshot is
+    /// dropped — harmless, because the next snapshot is full-state and
+    /// supersedes it).
+    pub fn send(&mut self, state: &HintState) -> Option<u64> {
+        let seq = self.next_seq;
+        let frame = encode_frame_to_vec(FrameKind::Hint, self.origin(), seq, &encode_hint(state));
+        let mut redials = 0u32;
+        loop {
+            if self.conn.is_none() {
+                match self.dialer.dial() {
+                    Ok(mut conn) => {
+                        self.dials += 1;
+                        let hello = encode_frame_to_vec(
+                            FrameKind::Hello,
+                            self.origin(),
+                            0,
+                            &encode_hello(Role::Analyzer {
+                                shard: self.shard,
+                                of: self.of,
+                            }),
+                        );
+                        if conn.write_all(&hello).is_err() {
+                            redials += 1;
+                            if redials > self.config.max_flush_redials {
+                                return None;
+                            }
+                            self.backoff.wait();
+                            continue;
+                        }
+                        self.backoff.reset();
+                        self.conn = Some(conn);
+                    }
+                    Err(_) => {
+                        redials += 1;
+                        if redials > self.config.max_flush_redials {
+                            return None;
+                        }
+                        self.backoff.wait();
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connected above");
+            if conn.write_all(&frame).is_ok() {
+                self.next_seq += 1;
+                return Some(seq);
+            }
+            self.conn = None;
+            redials += 1;
+            if redials > self.config.max_flush_redials {
+                return None;
+            }
+            self.backoff.wait();
+        }
+    }
+}
+
+impl std::fmt::Debug for HintSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HintSender")
+            .field("shard", &self.shard)
+            .field("next_seq", &self.next_seq)
+            .field("dials", &self.dials)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The tracer's hint-subscription connection: a background reader that
+/// subscribes to reduction hints, decodes fresh snapshots onto a channel
+/// for the agent to apply, and reconnects with per-shard resume
+/// positions so the broker replays only snapshots it has not seen.
+///
+/// The per-shard high-water marks are published through an atomic vector:
+/// once `hint_seq(shard) >= s`, the snapshot written under sequence `s`
+/// is already in the channel — which is the barrier the deterministic
+/// pipeline spins on after each refresh.
+pub struct HintConn {
+    stop: Arc<AtomicBool>,
+    latest: Arc<Vec<AtomicU64>>,
+    reconnects: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HintConn {
+    /// Spawns the reader for the tracer on node `node`, expecting hints
+    /// from `shards` analyzer shards. Snapshots arrive on the returned
+    /// receiver in publish order per shard.
+    pub fn spawn(
+        dialer: Box<dyn Dialer>,
+        node: u32,
+        shards: u32,
+        config: LinkConfig,
+    ) -> (HintConn, Receiver<HintState>) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let latest: Arc<Vec<AtomicU64>> =
+            Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
+        let reconnects = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let latest = Arc::clone(&latest);
+            let reconnects = Arc::clone(&reconnects);
+            std::thread::spawn(move || {
+                hint_reader_loop(&*dialer, node, &config, &stop, &latest, &reconnects, &tx)
+            })
+        };
+        (
+            HintConn {
+                stop,
+                latest,
+                reconnects,
+                thread: Some(thread),
+            },
+            rx,
+        )
+    }
+
+    /// Highest hint sequence received (and enqueued) from `shard`.
+    pub fn hint_seq(&self, shard: u32) -> u64 {
+        self.latest[shard as usize].load(Ordering::Acquire)
+    }
+
+    /// Connections dialed beyond the first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Signals the reader to exit at the next connection boundary without
+    /// joining it. Set this *before* tearing the broker down: a reader
+    /// woken by the broker closing its stream then exits instead of
+    /// redialing a listener whose accept thread may outlive the broker.
+    pub fn signal_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Signals the reader to exit at the next connection boundary and
+    /// joins it. (Tear the broker down first so a blocked read wakes.)
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HintConn {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Don't join in drop: the reader may be blocked on a live broker
+        // with no traffic. `stop()` is the orderly path.
+        let _ = self.thread.take();
+    }
+}
+
+impl std::fmt::Debug for HintConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HintConn")
+            .field("shards", &self.latest.len())
+            .field("reconnects", &self.reconnects())
+            .finish_non_exhaustive()
+    }
+}
+
+fn hint_reader_loop(
+    dialer: &dyn Dialer,
+    node: u32,
+    config: &LinkConfig,
+    stop: &AtomicBool,
+    latest: &[AtomicU64],
+    reconnects: &AtomicU64,
+    tx: &Sender<HintState>,
+) {
+    let mut backoff = Backoff::new(config.backoff_base, config.backoff_cap);
+    let mut dials = 0u64;
+    let mut dial_failures = 0u32;
+    while !stop.load(Ordering::Relaxed) {
+        let mut conn = match dialer.dial() {
+            Ok(c) => c,
+            Err(_) => {
+                dial_failures += 1;
+                if dial_failures > config.max_flush_redials {
+                    return;
+                }
+                backoff.wait();
+                continue;
+            }
+        };
+        dial_failures = 0;
+        dials += 1;
+        if dials > 1 {
+            reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        if hint_subscribe(&mut conn, node, latest).is_err() {
+            backoff.wait();
+            continue;
+        }
+        backoff.reset();
+        let mut dec = FrameDecoder::new();
+        let mut buf = vec![0u8; 16 * 1024];
+        'conn: loop {
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) if frame.kind == FrameKind::Hint => {
+                        let shard = (frame.origin & !HINT_ORIGIN_BIT) as usize;
+                        if shard >= latest.len() {
+                            conn.shutdown_stream();
+                            break 'conn;
+                        }
+                        if frame.seq <= latest[shard].load(Ordering::Acquire) {
+                            continue; // replay overlap after a reconnect
+                        }
+                        let Ok(state) = decode_hint(&frame.payload) else {
+                            conn.shutdown_stream();
+                            break 'conn;
+                        };
+                        if tx.send(state).is_err() {
+                            return; // agent gone: nothing left to feed
+                        }
+                        // Publish *after* the send so a reader observing
+                        // this mark finds the snapshot already enqueued.
+                        latest[shard].store(frame.seq, Ordering::Release);
+                    }
+                    Ok(Some(_)) => {} // other kinds are not expected; ignore
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.shutdown_stream();
+                        break 'conn;
+                    }
+                }
+            }
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => dec.feed(&buf[..n]),
+            }
+        }
+    }
+}
+
+/// Writes Hello(HintSub) + Subscribe(All, per-shard hint resume
+/// positions) on a fresh hint connection.
+fn hint_subscribe(
+    conn: &mut Box<dyn NetStream>,
+    node: u32,
+    latest: &[AtomicU64],
+) -> std::io::Result<()> {
+    let mut bytes = encode_frame_to_vec(
+        FrameKind::Hello,
+        node,
+        0,
+        &encode_hello(Role::HintSub { node }),
+    );
+    let sub = Subscribe {
+        spec: SubscribeSpec::All,
+        resume: latest
+            .iter()
+            .enumerate()
+            .map(|(s, seq)| (HINT_ORIGIN_BIT | s as u32, seq.load(Ordering::Acquire)))
+            .collect(),
+    };
+    bytes.extend_from_slice(&encode_frame_to_vec(
+        FrameKind::Subscribe,
+        node,
+        0,
+        &encode_subscribe(&sub),
+    ));
+    conn.write_all(&bytes)
 }
 
 #[cfg(test)]
@@ -644,6 +982,102 @@ mod tests {
         assert_eq!(dropped, 3, "capacity 2: three oldest frames evicted");
         assert_eq!(link.stats().queue.dropped_oldest, 3);
         assert_eq!(link.backlog(), 2);
+    }
+
+    /// The seq mark is published *after* the snapshot is enqueued (that
+    /// direction is the pipeline's barrier invariant), so a test that
+    /// recv()s a snapshot may observe the mark a beat later.
+    fn await_hint_seq(conn: &HintConn, shard: u32, want: u64) {
+        for _ in 0..1_000_000 {
+            if conn.hint_seq(shard) >= want {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(conn.hint_seq(shard), want, "hint seq mark never arrived");
+    }
+
+    #[test]
+    fn hints_reach_live_and_late_subscribers() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let mut sender =
+            HintSender::new(0, 1, Box::new(listener.dialer()), LinkConfig::immediate());
+        let s1 = HintState {
+            shard: 0,
+            of: 1,
+            edges: vec![((1, 2), 16)],
+        };
+        assert_eq!(sender.send(&s1), Some(1));
+        // A subscriber arriving *after* the publish still gets the latest
+        // stored snapshot replayed.
+        let (mut conn, rx) =
+            HintConn::spawn(Box::new(listener.dialer()), 3, 1, LinkConfig::immediate());
+        assert_eq!(rx.recv().expect("replayed hint"), s1);
+        await_hint_seq(&conn, 0, 1);
+        // And live updates flow through.
+        let s2 = HintState {
+            shard: 0,
+            of: 1,
+            edges: vec![],
+        };
+        assert_eq!(sender.send(&s2), Some(2));
+        assert_eq!(rx.recv().expect("live hint"), s2);
+        await_hint_seq(&conn, 0, 2);
+        broker.shutdown();
+        conn.stop();
+    }
+
+    #[test]
+    fn hint_conn_cut_replays_latest_snapshot_exactly_once() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let mut sender =
+            HintSender::new(0, 1, Box::new(listener.dialer()), LinkConfig::immediate());
+        // One-edge snapshot: 26-byte envelope + (12 + 16) payload bytes.
+        let frame_len = 26 + 28;
+        let dialer = FaultyDialer::new(
+            listener.dialer(),
+            vec![FaultPlan::cut_read_at(frame_len as u64 + 10)],
+        );
+        let (mut conn, rx) = HintConn::spawn(Box::new(dialer), 5, 1, LinkConfig::immediate());
+        let s1 = HintState {
+            shard: 0,
+            of: 1,
+            edges: vec![((1, 2), 16)],
+        };
+        let s2 = HintState {
+            shard: 0,
+            of: 1,
+            edges: vec![((1, 2), 16), ((3, 4), 8)],
+        };
+        assert_eq!(sender.send(&s1), Some(1));
+        assert_eq!(rx.recv().expect("first hint"), s1);
+        // The second snapshot lands while the subscriber's connection is
+        // dying mid-read; the reconnect's resume position (1) makes the
+        // broker replay exactly the missed latest snapshot.
+        assert_eq!(sender.send(&s2), Some(2));
+        assert_eq!(rx.recv().expect("replayed second hint"), s2);
+        await_hint_seq(&conn, 0, 2);
+        assert!(rx.try_recv().is_err(), "no duplicate replay");
+        broker.shutdown();
+        conn.stop();
+    }
+
+    #[test]
+    fn backfill_frames_round_trip_like_batches() {
+        let listener = Arc::new(MemListener::new());
+        let broker = BrokerHandle::spawn(listener.clone(), BrokerConfig::default());
+        let (mut conn, rx) =
+            AnalyzerConn::spawn(Box::new(listener.dialer()), 0, 1, LinkConfig::immediate());
+        let mut link = TracerLink::new(4, Box::new(listener.dialer()), LinkConfig::immediate());
+        let frame = TracerFrame::Backfill {
+            payload: Bytes::copy_from_slice(b"fine-window"),
+        };
+        link.send_frame(frame.clone());
+        assert_eq!(rx.recv().expect("frame"), frame);
+        broker.shutdown();
+        conn.stop();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! allocation — the same hardening discipline as the series wire format.
 
 use crate::frame::FrameError;
+use e2eprof_core::reduction::HintState;
 
 /// Who is on the other end of a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +22,13 @@ pub enum Role {
         shard: u32,
         /// Total shard count.
         of: u32,
+    },
+    /// A tracer's hint-subscription connection (the feedback direction).
+    /// Distinct from [`Role::Tracer`] so its disconnect cannot disturb
+    /// the data link's announce state in the registry.
+    HintSub {
+        /// Node index of the tracer subscribing to reduction hints.
+        node: u32,
     },
 }
 
@@ -38,6 +46,11 @@ pub fn encode_hello(role: Role) -> Vec<u8> {
             v.extend_from_slice(&of.to_be_bytes());
             v
         }
+        Role::HintSub { node } => {
+            let mut v = vec![2u8];
+            v.extend_from_slice(&node.to_be_bytes());
+            v
+        }
     }
 }
 
@@ -50,6 +63,9 @@ pub fn decode_hello(payload: &[u8]) -> Result<Role, FrameError> {
         Some(1) if payload.len() == 9 => Ok(Role::Analyzer {
             shard: u32::from_be_bytes(payload[1..5].try_into().expect("4 bytes")),
             of: u32::from_be_bytes(payload[5..9].try_into().expect("4 bytes")),
+        }),
+        Some(2) if payload.len() == 5 => Ok(Role::HintSub {
+            node: u32::from_be_bytes(payload[1..5].try_into().expect("4 bytes")),
         }),
         _ => Err(FrameError::BadKind(0xFF)),
     }
@@ -166,6 +182,47 @@ pub fn decode_subscribe(payload: &[u8]) -> Result<Subscribe, FrameError> {
     Ok(Subscribe { spec, resume })
 }
 
+/// Encodes a `Hint` payload: one analyzer shard's full-state reduction
+/// snapshot (see [`HintState`]).
+pub fn encode_hint(state: &HintState) -> Vec<u8> {
+    let mut v = Vec::with_capacity(12 + state.edges.len() * 16);
+    v.extend_from_slice(&state.shard.to_be_bytes());
+    v.extend_from_slice(&state.of.to_be_bytes());
+    v.extend_from_slice(&(state.edges.len() as u32).to_be_bytes());
+    for &((src, dst), level) in &state.edges {
+        v.extend_from_slice(&src.to_be_bytes());
+        v.extend_from_slice(&dst.to_be_bytes());
+        v.extend_from_slice(&level.to_be_bytes());
+    }
+    v
+}
+
+/// Decodes a `Hint` payload.
+pub fn decode_hint(payload: &[u8]) -> Result<HintState, FrameError> {
+    if payload.len() < 12 {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    let shard = u32::from_be_bytes(payload[..4].try_into().expect("4 bytes"));
+    let of = u32::from_be_bytes(payload[4..8].try_into().expect("4 bytes"));
+    let (count, rest) = split_count(&payload[8..])?;
+    if rest.len() != count * 16 {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    let edges = (0..count)
+        .map(|i| {
+            let at = i * 16;
+            (
+                (
+                    u32::from_be_bytes(rest[at..at + 4].try_into().expect("4 bytes")),
+                    u32::from_be_bytes(rest[at + 4..at + 8].try_into().expect("4 bytes")),
+                ),
+                u64::from_be_bytes(rest[at + 8..at + 16].try_into().expect("8 bytes")),
+            )
+        })
+        .collect();
+    Ok(HintState { shard, of, edges })
+}
+
 /// Reads a BE u32 count and caps it against the remaining byte budget
 /// (each counted element occupies at least one byte).
 fn split_count(payload: &[u8]) -> Result<(usize, &[u8]), FrameError> {
@@ -184,11 +241,45 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        for role in [Role::Tracer { node: 9 }, Role::Analyzer { shard: 2, of: 4 }] {
+        for role in [
+            Role::Tracer { node: 9 },
+            Role::Analyzer { shard: 2, of: 4 },
+            Role::HintSub { node: 5 },
+        ] {
             assert_eq!(decode_hello(&encode_hello(role)), Ok(role));
         }
         assert!(decode_hello(&[]).is_err());
         assert!(decode_hello(&[7, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn hint_roundtrip() {
+        for state in [
+            HintState {
+                shard: 0,
+                of: 1,
+                edges: vec![],
+            },
+            HintState {
+                shard: 2,
+                of: 4,
+                edges: vec![((1, 2), 16), ((3, u32::MAX), u64::MAX)],
+            },
+        ] {
+            assert_eq!(decode_hint(&encode_hint(&state)), Ok(state));
+        }
+        assert!(decode_hint(&[]).is_err());
+        // Truncated edge list.
+        let enc = encode_hint(&HintState {
+            shard: 0,
+            of: 1,
+            edges: vec![((1, 2), 16)],
+        });
+        assert!(decode_hint(&enc[..enc.len() - 1]).is_err());
+        // Absurd count with no bytes behind it.
+        let mut bad = vec![0u8; 8];
+        bad.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_hint(&bad).is_err());
     }
 
     #[test]

@@ -112,6 +112,24 @@ impl DecimatedWindow {
         }
     }
 
+    /// Ingests an *already decimated* chunk — coarse ticks of `k` fine
+    /// ticks each — straight into the coarse window, bypassing the fold.
+    /// This is the wire-ingest path for level-tagged reduction entries,
+    /// where the tracer decimated the blocks before shipping.
+    ///
+    /// Discontinuity semantics follow [`SlidingWindow::append_or_reset`]
+    /// on the *coarse* axis: a gap (for example after suppressed all-zero
+    /// chunks) resets the coarse window to this chunk and returns `true`.
+    /// Any buffered fine tail is discarded — once the source streams
+    /// coarse, buffered fine ticks can never complete their block.
+    pub fn append_coarse_or_reset(&mut self, chunk: &RleSeries) -> bool {
+        self.tail = Some(RleSeries::empty(
+            Tick::new(chunk.end().index() * self.factor),
+            0,
+        ));
+        self.coarse.append_or_reset(chunk)
+    }
+
     /// Folds every complete coarse block out of the tail into the coarse
     /// window, leaving the sub-block remainder buffered.
     fn fold(&mut self) {
@@ -127,6 +145,90 @@ impl DecimatedWindow {
         self.coarse.append_chunk(&chunk);
         self.tail = Some(tail.slice(boundary, tail.end()));
     }
+}
+
+/// Decimates a density series by `k` in the *count* domain: amplitudes are
+/// read as `√(message count)` per tick (the density estimator's encoding),
+/// counts are summed per coarse block, and each coarse tick carries
+/// `√(block count)` — so the coarse image is itself a density series at
+/// resolution `k·τ` whose amplitudes stay integer-count codable on the
+/// wire. Blocks are aligned to absolute multiples of `k`, exactly like
+/// [`RleSeries::decimate`].
+///
+/// Amplitudes that are not `√n` for an integer `n` (never produced by the
+/// estimator) degrade gracefully: their squared value joins the block sum
+/// and the result is `√(Σ v²)` — a root-sum-square coarse amplitude.
+///
+/// The edge-reduction tracer path feeds this block-aligned slices of
+/// retained fine chunks; a partial edge block would simply under-count.
+///
+/// # Example
+///
+/// ```
+/// use e2eprof_timeseries::{pyramid, RleSeries, Run, Tick};
+/// // Four ticks of count 4 (amp 2.0) in block 0, one tick of count 9 in block 1.
+/// let s = RleSeries::from_parts(Tick::new(0), 8, vec![
+///     Run::new(Tick::new(0), 4, 2.0),
+///     Run::new(Tick::new(5), 1, 3.0),
+/// ]);
+/// let c = pyramid::decimate_counts(&s, 4);
+/// assert_eq!(c.value_at(Tick::new(0)), 16f64.sqrt());
+/// assert_eq!(c.value_at(Tick::new(1)), 9f64.sqrt());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn decimate_counts(series: &RleSeries, k: u64) -> RleSeries {
+    assert!(k > 0, "decimation factor must be positive");
+    let cstart = Tick::new(series.start().index() / k);
+    let cend = Tick::new(series.end().index().div_ceil(k));
+    let mut runs: Vec<crate::rle::Run> = Vec::new();
+    let mut flush = |block: u64, sum: f64| {
+        if sum <= 0.0 {
+            return;
+        }
+        // Snap to √n for the integer block count so the amplitude stays
+        // losslessly int-codable on the wire.
+        let n = sum.round();
+        let value = if n >= 1.0 && (sum - n).abs() <= 1e-6 * n {
+            n.sqrt()
+        } else {
+            sum.sqrt()
+        };
+        let at = Tick::new(block);
+        if let Some(last) = runs.last_mut() {
+            if last.end() == at && last.value().to_bits() == value.to_bits() {
+                last.extend(1);
+                return;
+            }
+        }
+        runs.push(crate::rle::Run::new(at, 1, value));
+    };
+    let mut block = u64::MAX;
+    let mut sum = 0.0f64;
+    for r in series.runs() {
+        let v2 = r.value() * r.value();
+        let mut s = r.start().index();
+        let e = r.end().index();
+        while s < e {
+            let b = s / k;
+            if b != block {
+                if block != u64::MAX {
+                    flush(block, sum);
+                }
+                block = b;
+                sum = 0.0;
+            }
+            let take = e.min((b + 1) * k) - s;
+            sum += take as f64 * v2;
+            s += take;
+        }
+    }
+    if block != u64::MAX {
+        flush(block, sum);
+    }
+    RleSeries::from_parts(cstart, cend - cstart, runs)
 }
 
 #[cfg(test)]
@@ -222,5 +324,55 @@ mod tests {
     fn coarse_capacity_covers_fine_retention() {
         let dec = DecimatedWindow::new(100, 8);
         assert!(dec.coarse().capacity() > 100u64.div_ceil(8));
+    }
+
+    #[test]
+    fn decimate_counts_sums_counts_per_absolute_block() {
+        // Counts 2,2,2 in block 1 ([4,8)), count 5 in block 2.
+        let s = chunk(
+            3,
+            8,
+            vec![
+                Run::new(Tick::new(4), 3, 2f64.sqrt()),
+                Run::new(Tick::new(9), 1, 5f64.sqrt()),
+            ],
+        );
+        let c = decimate_counts(&s, 4);
+        assert_eq!(c.start(), Tick::new(0));
+        assert_eq!(c.end(), Tick::new(3));
+        assert_eq!(c.value_at(Tick::new(0)), 0.0);
+        assert_eq!(c.value_at(Tick::new(1)).to_bits(), 6f64.sqrt().to_bits());
+        assert_eq!(c.value_at(Tick::new(2)).to_bits(), 5f64.sqrt().to_bits());
+    }
+
+    #[test]
+    fn decimate_counts_amplitudes_stay_sqrt_of_integers() {
+        // √2 squares to 2.0000000000000004 in f64; the block sum must snap
+        // back to the exact integer count so wire int-amp coding applies.
+        let s = chunk(0, 16, vec![Run::new(Tick::new(0), 16, 2f64.sqrt())]);
+        let c = decimate_counts(&s, 8);
+        for t in [0u64, 1] {
+            assert_eq!(c.value_at(Tick::new(t)).to_bits(), 16f64.sqrt().to_bits());
+        }
+    }
+
+    #[test]
+    fn decimate_counts_merges_equal_blocks_and_skips_empty_ones() {
+        let s = chunk(0, 32, vec![Run::new(Tick::new(0), 16, 1.0)]);
+        let c = decimate_counts(&s, 8);
+        assert_eq!(c.num_runs(), 1);
+        assert_eq!(c.runs()[0], Run::new(Tick::new(0), 2, 8f64.sqrt()));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn decimate_counts_long_run_spanning_many_blocks() {
+        let s = chunk(0, 4096, vec![Run::new(Tick::new(3), 4000, 1.0)]);
+        let c = decimate_counts(&s, 64);
+        let mut total = 0.0;
+        for r in c.runs() {
+            total += r.len() as f64 * r.value() * r.value();
+        }
+        assert!((total - 4000.0).abs() < 1e-9);
     }
 }

@@ -32,6 +32,12 @@ const WIRE_VERSION_V2: u8 = 2;
 const WIRE_MAGIC: &[u8; 4] = b"E2EP";
 /// v2 flags-byte bit: run amplitudes use the integer-count encoding.
 const FLAG_INT_AMP: u8 = 0b0000_0001;
+/// v2 flags-byte bit: each entry header carries a decimation-level tag.
+/// Level `0` is a fine series exactly as in an untagged frame; level `k > 0`
+/// means the entry's span and runs are in *coarse* ticks of `k` fine ticks
+/// each (the edge-side data-reduction path). Absent the flag, the frame is
+/// byte-identical to the pre-reduction format.
+const FLAG_LEVELS: u8 = 0b0000_0010;
 /// Smallest possible encoded run: 1-byte gap + 1-byte length + 1-byte
 /// amplitude code (integer-amplitude mode). Used to cap declared run
 /// counts against the bytes actually present before any allocation.
@@ -287,27 +293,77 @@ pub fn encode_batch_into<S: std::borrow::Borrow<RleSeries>>(
     out.push(if int_amp { FLAG_INT_AMP } else { 0 });
     put_varint(out, entries.len() as u64);
     for ((src, dst), series) in entries {
-        let series = series.borrow();
-        put_varint(out, u64::from(*src));
-        put_varint(out, u64::from(*dst));
-        put_varint(out, series.start().index());
-        put_varint(out, series.len());
-        put_varint(out, series.num_runs() as u64);
-        let mut prev_end = series.start().index();
-        for r in series.runs() {
-            put_varint(out, r.start().index() - prev_end);
-            put_varint(out, r.len());
-            prev_end = r.end().index();
-            match int_amp_code(r.value()).filter(|_| int_amp) {
-                Some(n) => put_varint(out, n),
-                None => {
-                    if int_amp {
-                        put_varint(out, 0); // escape: raw f64 follows
-                    }
-                    out.extend_from_slice(&r.value().to_be_bytes());
+        put_entry(out, (*src, *dst), None, series.borrow(), int_amp);
+    }
+}
+
+/// Encodes one batch entry: the header varints followed by the runs.
+/// `level: Some(l)` emits the decimation-level tag of a [`FLAG_LEVELS`]
+/// frame; `None` emits the untagged (pre-reduction) header.
+fn put_entry(
+    out: &mut Vec<u8>,
+    key: (u32, u32),
+    level: Option<u64>,
+    series: &RleSeries,
+    int_amp: bool,
+) {
+    put_varint(out, u64::from(key.0));
+    put_varint(out, u64::from(key.1));
+    if let Some(l) = level {
+        put_varint(out, l);
+    }
+    put_varint(out, series.start().index());
+    put_varint(out, series.len());
+    put_varint(out, series.num_runs() as u64);
+    let mut prev_end = series.start().index();
+    for r in series.runs() {
+        put_varint(out, r.start().index() - prev_end);
+        put_varint(out, r.len());
+        prev_end = r.end().index();
+        match int_amp_code(r.value()).filter(|_| int_amp) {
+            Some(n) => put_varint(out, n),
+            None => {
+                if int_amp {
+                    put_varint(out, 0); // escape: raw f64 follows
                 }
+                out.extend_from_slice(&r.value().to_be_bytes());
             }
         }
+    }
+}
+
+/// Encodes a batch whose entries carry a per-series decimation level into
+/// one v2 frame with the `FLAG_LEVELS` tag set.
+///
+/// Level `0` entries are fine series (spans and runs in fine ticks);
+/// level `k > 0` entries are coarse images whose span and runs are in
+/// coarse ticks of `k` fine ticks each. Only the reduction-aware tracer
+/// path emits this form — untagged frames stay byte-identical to the
+/// pre-reduction encoder, and decoders that predate the flag reject the
+/// tagged frame outright instead of misreading coarse ticks as fine.
+pub fn encode_batch_leveled<S: std::borrow::Borrow<RleSeries>>(
+    entries: &[((u32, u32), u64, S)],
+    int_amp: bool,
+) -> Bytes {
+    let mut buf = Vec::new();
+    encode_batch_leveled_into(entries, int_amp, &mut buf);
+    Bytes::from(buf)
+}
+
+/// Encodes a leveled batch into `out`, clearing it first (byte-for-byte
+/// identical to [`encode_batch_leveled`]).
+pub fn encode_batch_leveled_into<S: std::borrow::Borrow<RleSeries>>(
+    entries: &[((u32, u32), u64, S)],
+    int_amp: bool,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.extend_from_slice(WIRE_MAGIC);
+    out.push(WIRE_VERSION_V2);
+    out.push(if int_amp { FLAG_INT_AMP } else { 0 } | FLAG_LEVELS);
+    put_varint(out, entries.len() as u64);
+    for (key, level, series) in entries {
+        put_entry(out, *key, Some(*level), series.borrow(), int_amp);
     }
 }
 
@@ -316,9 +372,13 @@ pub fn encode_batch_into<S: std::borrow::Borrow<RleSeries>>(
 pub struct BatchEntry {
     /// The opaque series key (the analyzer's directed-edge node indices).
     pub key: (u32, u32),
-    /// First tick of the series span.
+    /// Decimation level: `0` for a fine series, `k > 0` when the entry's
+    /// span and runs are in coarse ticks of `k` fine ticks each. Always
+    /// `0` in frames without the level tag.
+    pub level: u64,
+    /// First tick of the series span (coarse ticks when `level > 0`).
     pub start: Tick,
-    /// Span length in ticks.
+    /// Span length in ticks (coarse ticks when `level > 0`).
     pub len: u64,
     /// Number of runs that follow, already capped against the bytes
     /// actually remaining in the frame.
@@ -347,6 +407,8 @@ impl BatchEntry {
 pub struct FrameCursor<'a> {
     buf: &'a [u8],
     int_amp: bool,
+    /// Entry headers carry a decimation-level tag ([`FLAG_LEVELS`]).
+    levels: bool,
     /// Entries not yet returned by `next_entry`.
     entries_left: u64,
     /// Runs of the current entry not yet returned by `next_run`.
@@ -372,7 +434,7 @@ impl<'a> FrameCursor<'a> {
             return Err(DecodeError::Truncated);
         };
         buf = rest;
-        if flags & !FLAG_INT_AMP != 0 {
+        if flags & !(FLAG_INT_AMP | FLAG_LEVELS) != 0 {
             return Err(DecodeError::Corrupt("unknown flag bits"));
         }
         let entries_left = get_varint(&mut buf)?;
@@ -385,6 +447,7 @@ impl<'a> FrameCursor<'a> {
         Ok(FrameCursor {
             buf,
             int_amp: flags & FLAG_INT_AMP != 0,
+            levels: flags & FLAG_LEVELS != 0,
             entries_left,
             runs_left: 0,
             span_end: 0,
@@ -427,6 +490,15 @@ impl<'a> FrameCursor<'a> {
             u32::try_from(src).map_err(|_| DecodeError::Corrupt("series key exceeds u32"))?,
             u32::try_from(dst).map_err(|_| DecodeError::Corrupt("series key exceeds u32"))?,
         );
+        let level = if self.levels {
+            let l = get_varint(&mut self.buf)?;
+            if l > u64::from(u32::MAX) {
+                return Err(DecodeError::Corrupt("decimation level exceeds u32"));
+            }
+            l
+        } else {
+            0
+        };
         let start = get_varint(&mut self.buf)?;
         let len = get_varint(&mut self.buf)?;
         let num_runs = get_varint(&mut self.buf)?;
@@ -449,6 +521,7 @@ impl<'a> FrameCursor<'a> {
         self.prev_end = start;
         Ok(Some(BatchEntry {
             key,
+            level,
             start: Tick::new(start),
             len,
             num_runs,
@@ -520,6 +593,31 @@ pub type DecodedBatch = Vec<((u32, u32), RleSeries)>;
 /// Returns a [`DecodeError`] if the frame is malformed, truncated, or any
 /// series violates its invariants.
 pub fn decode_batch(frame: &[u8]) -> Result<DecodedBatch, DecodeError> {
+    decode_batch_leveled(frame)?
+        .into_iter()
+        .map(|(key, level, series)| {
+            if level != 0 {
+                // A coarse entry misread as fine ticks would silently
+                // stretch time by `k`; force callers onto the leveled API.
+                return Err(DecodeError::Corrupt("leveled entry in unleveled decode"));
+            }
+            Ok((key, series))
+        })
+        .collect()
+}
+
+/// The fully-materialized contents of a leveled v2 batch frame: one
+/// `(key, level, series)` triple per entry, in frame order.
+pub type DecodedLeveledBatch = Vec<((u32, u32), u64, RleSeries)>;
+
+/// Decodes a v2 batch frame, keeping each entry's decimation level
+/// (`0` for every entry of an untagged frame).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the frame is malformed, truncated, or any
+/// series violates its invariants.
+pub fn decode_batch_leveled(frame: &[u8]) -> Result<DecodedLeveledBatch, DecodeError> {
     let mut cursor = FrameCursor::new(frame)?;
     let mut out = Vec::with_capacity(cursor.entries_remaining() as usize);
     while let Some(entry) = cursor.next_entry()? {
@@ -529,6 +627,7 @@ pub fn decode_batch(frame: &[u8]) -> Result<DecodedBatch, DecodeError> {
         }
         out.push((
             entry.key,
+            entry.level,
             RleSeries::from_parts(entry.start, entry.len, runs),
         ));
     }
@@ -815,6 +914,105 @@ mod tests {
             decode_batch(&f),
             Err(DecodeError::Corrupt("unknown flag bits"))
         );
+    }
+
+    fn leveled_batch() -> Vec<((u32, u32), u64, RleSeries)> {
+        vec![
+            ((2, 0), 0, sample()),
+            (
+                // A coarse image: span and runs in coarse ticks, amplitudes
+                // √(block count) so the int-amp path still applies.
+                (0, 3),
+                16,
+                RleSeries::from_parts(
+                    Tick::new(6),
+                    5,
+                    vec![
+                        Run::new(Tick::new(6), 2, 25f64.sqrt()),
+                        Run::new(Tick::new(9), 1, 4f64.sqrt()),
+                    ],
+                ),
+            ),
+            ((7, 1), 32, RleSeries::empty(Tick::new(3), 4)),
+        ]
+    }
+
+    #[test]
+    fn leveled_batch_round_trip() {
+        let entries = leveled_batch();
+        for int_amp in [false, true] {
+            let frame = encode_batch_leveled(&entries, int_amp);
+            assert_eq!(
+                decode_batch_leveled(&frame).unwrap(),
+                entries,
+                "int_amp={int_amp}"
+            );
+        }
+    }
+
+    #[test]
+    fn unleveled_frames_decode_with_level_zero() {
+        let entries = batch();
+        let frame = encode_batch(&entries, true);
+        for (i, (key, level, series)) in decode_batch_leveled(&frame).unwrap().iter().enumerate() {
+            assert_eq!((*key, series.clone()), entries[i], "entry {i}");
+            assert_eq!(*level, 0, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn leveled_entries_rejected_by_unleveled_decode() {
+        let frame = encode_batch_leveled(&leveled_batch(), true);
+        assert_eq!(
+            decode_batch(&frame),
+            Err(DecodeError::Corrupt("leveled entry in unleveled decode"))
+        );
+        // An all-fine leveled frame materializes fine.
+        let fine = vec![((2u32, 0u32), 0u64, sample())];
+        let frame = encode_batch_leveled(&fine, true);
+        assert_eq!(decode_batch(&frame).unwrap(), vec![((2, 0), sample())]);
+    }
+
+    #[test]
+    fn leveled_batch_truncation_detected_at_every_cut() {
+        let frame = encode_batch_leveled(&leveled_batch(), true);
+        for cut in 0..frame.len() {
+            assert!(
+                decode_batch_leveled(&frame[..cut]).is_err(),
+                "cut={cut} silently decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_decimation_level_rejected() {
+        let mut f = Vec::new();
+        f.extend_from_slice(WIRE_MAGIC);
+        f.push(WIRE_VERSION_V2);
+        f.push(FLAG_INT_AMP | FLAG_LEVELS);
+        put_varint(&mut f, 1); // one entry
+        put_varint(&mut f, 0); // src
+        put_varint(&mut f, 1); // dst
+        put_varint(&mut f, u64::from(u32::MAX) + 1); // level: absurd
+        put_varint(&mut f, 0); // start
+        put_varint(&mut f, 0); // len
+        put_varint(&mut f, 0); // num_runs
+        assert_eq!(
+            decode_batch_leveled(&f),
+            Err(DecodeError::Corrupt("decimation level exceeds u32"))
+        );
+    }
+
+    #[test]
+    fn leveled_flag_does_not_change_untagged_bytes() {
+        // The reduction-off encoder must stay byte-identical: the level
+        // tag only ever appears behind its own flag bit.
+        let entries = batch();
+        let frame = encode_batch(&entries, true);
+        assert_eq!(frame[5] & FLAG_LEVELS, 0);
+        let leveled: Vec<_> = entries.iter().map(|(k, s)| (*k, 0u64, s.clone())).collect();
+        let tagged = encode_batch_leveled(&leveled, true);
+        assert_eq!(tagged.len(), frame.len() + entries.len());
     }
 
     #[test]

@@ -148,6 +148,45 @@ pub fn max_rho_bound_until(
     best
 }
 
+/// Whether two non-negative coarse signals overlap at *any* coarse lag
+/// `D ∈ [0, coarse_lags)` — the promote trigger of the edge-side data
+/// reduction loop.
+///
+/// A demoted edge ships only its decimated image, so the analyzer cannot
+/// evaluate the full [`max_rho_bound`]; what it *can* certify is the
+/// converse: by the cover lemma (module docs), zero coarse overlap over
+/// `coarse_lag_bound(max_lag, k)` lags means every fine raw product
+/// `x(t)·y(t+d)`, `d < max_lag`, is zero — the pair provably cannot
+/// correlate, at any normalization. Any overlap is therefore the *only*
+/// event that could make a demoted edge causally live again, and firing
+/// on it (then backfilling fine data and re-running the exact screen)
+/// can never leave a true edge demoted. Scale does not matter here, so
+/// the two signals may use different amplitude conventions (the analyzer
+/// compares a `Σ √count` decimation of the client signal against the
+/// tracer's `√(block count)` coarse image).
+///
+/// Runs are scanned with two pointers in `O(runs(x) + runs(y))`.
+pub fn coarse_overlap(x: &RleSeries, y: &RleSeries, coarse_lags: u64) -> bool {
+    if coarse_lags == 0 {
+        return false;
+    }
+    let xr = x.runs();
+    let yr = y.runs();
+    let mut i = 0usize;
+    for ry in yr {
+        // Drop source runs that end too early to reach this (or any
+        // later) target run at an admissible lag: t + D spans
+        // [rx.start, rx.end + coarse_lags - 1).
+        while i < xr.len() && xr[i].end().index() + coarse_lags - 1 <= ry.start().index() {
+            i += 1;
+        }
+        if i < xr.len() && xr[i].start() < ry.end() {
+            return true;
+        }
+    }
+    false
+}
+
 /// The screening decision rule: a spike floor with promote/demote
 /// hysteresis.
 ///
@@ -330,6 +369,54 @@ mod tests {
             }
         }
         assert_eq!(coarse_lag_bound(0, 4), 0);
+    }
+
+    #[test]
+    fn coarse_overlap_matches_admissible_lag_windows() {
+        // y active only at tick 10: reachable from x's run [2, 5) only
+        // when the lag horizon extends past 10 − 4 = 6.
+        let x = rles(0, {
+            let mut v = vec![0.0; 16];
+            v[2] = 1.0;
+            v[3] = 1.0;
+            v[4] = 2.0;
+            v
+        });
+        let y = rles(0, {
+            let mut v = vec![0.0; 16];
+            v[10] = 3.0;
+            v
+        });
+        assert!(!coarse_overlap(&x, &y, 0));
+        assert!(!coarse_overlap(&x, &y, 6)); // t + D ≤ 4 + 5 = 9 < 10
+        assert!(coarse_overlap(&x, &y, 7)); // t = 4, D = 6 reaches 10
+                                            // Anti-causal activity (target strictly before the source) never
+                                            // triggers: lags are non-negative, however long the horizon.
+        assert!(!coarse_overlap(&y, &x, 4));
+        assert!(!coarse_overlap(&y, &x, 100));
+        // Coincident activity triggers at any positive horizon.
+        assert!(coarse_overlap(&x, &x, 1));
+    }
+
+    #[test]
+    fn zero_coarse_overlap_certifies_zero_rho_bound() {
+        // Consistency with the cover lemma: whenever the decimations do
+        // not overlap within the coarse lag horizon, the full screening
+        // bound is exactly zero.
+        let max_lag = 24;
+        for (sx, sy) in [(11, 12), (13, 14), (15, 16)] {
+            let x = pseudo_signal(120, sx, 5);
+            let y = pseudo_signal(160, sy, 7);
+            for k in [2u64, 4, 8] {
+                let lc = coarse_lag_bound(max_lag, k);
+                let xc = x.decimate(k);
+                let yc = y.decimate(k);
+                if !coarse_overlap(&xc, &yc, lc) {
+                    let coarse = coarse_of(&x, &y, k, max_lag);
+                    assert_eq!(max_rho_bound(&coarse, k, &x, &y, max_lag, 0.0), 0.0);
+                }
+            }
+        }
     }
 
     #[test]
