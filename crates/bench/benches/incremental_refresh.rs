@@ -1,0 +1,239 @@
+//! Per-refresh cost of the activity-gated incremental tier on a wide,
+//! mostly-idle mesh.
+//!
+//! 560 independent client → web → db stacks (1120 services) all warm up
+//! for the first 12 s; afterwards only 24 stacks (~4% of the mesh) keep
+//! receiving traffic. Once the silent stacks' warm-up activity leaves
+//! retention, their windows' change epochs freeze and an activity-gated
+//! analyzer can prove their pairs quiet — skipping the fine advance,
+//! normalization, spike detection, and root discovery for the idle ~90%
+//! of the deployment, while the eager analyzer re-walks everything each
+//! refresh.
+//!
+//! Replays the same captured trace through two analyzers — incremental
+//! off and on — timing only the `refresh` calls over the deep-idle
+//! steady state, and asserts the published graphs are **bit-for-bit
+//! identical** (spike strengths via `to_bits`) at every refresh: the
+//! gate is a pure performance lever, never an accuracy trade. Asserts a
+//! ≥3× refresh speedup. Results go to stdout and
+//! `BENCH_incremental_refresh.json`.
+
+use crossbeam::channel::unbounded;
+use e2eprof_bench::{mesh_sim, write_bench_json, JsonValue};
+use e2eprof_core::analyzer::OnlineAnalyzer;
+use e2eprof_core::graph::{NodeLabels, ServiceGraph};
+use e2eprof_core::pathmap::{roots_from_topology, IncrementalStats};
+use e2eprof_core::tracer::TracerAgent;
+use e2eprof_core::PathmapConfig;
+use e2eprof_netsim::prelude::*;
+use e2eprof_netsim::NodeId;
+use e2eprof_timeseries::{Nanos, Quanta, Tick};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+const STACKS: usize = 560;
+const ACTIVE: usize = 24;
+const STEP_MS: u64 = 100;
+const WARM_SECS: f64 = 12.0;
+const TOTAL_SECS: f64 = 50.0;
+const REFRESH_MS: u64 = 2_000;
+const STEPS: u64 = 24;
+/// First refresh of the measured steady state: the silent stacks' last
+/// warm-up runs (≤ ~12.1 s) leave window retention — bumping each
+/// window's epoch one final time — once the retained span slides past
+/// them (~t = 28 s); from step 16 (t = 32 s) every refresh sees frozen
+/// epochs and run-free boundary regions on the idle 95% of the mesh.
+const MEASURE_FROM: u64 = 16;
+
+fn config(incremental: bool) -> PathmapConfig {
+    PathmapConfig::builder()
+        .quanta(Quanta::from_millis(1))
+        .omega_ticks(50)
+        .window(Nanos::from_secs(10))
+        .refresh(Nanos::from_millis(REFRESH_MS))
+        .max_delay(Nanos::from_secs(1))
+        .incremental(incremental)
+        .build()
+}
+
+/// Replays the finished run's captures through a fresh analyzer,
+/// returning every refresh's graphs, the summed steady-state refresh
+/// time, and the final refresh's incremental statistics (when enabled).
+fn replay(
+    sim: &Simulation,
+    incremental: bool,
+) -> (Vec<Vec<ServiceGraph>>, Duration, Option<IncrementalStats>) {
+    let config = config(incremental);
+    let (tx, rx) = unbounded();
+    let clients: HashSet<NodeId> = sim.topology().clients().into_iter().collect();
+    let mut agents: Vec<TracerAgent> = sim
+        .topology()
+        .services()
+        .into_iter()
+        .map(|node| TracerAgent::new(node, clients.clone(), config.clone(), tx.clone()))
+        .collect();
+    let mut analyzer = OnlineAnalyzer::new(
+        config,
+        roots_from_topology(sim.topology()),
+        NodeLabels::from_topology(sim.topology()),
+        rx,
+    );
+
+    let mut measured = Duration::ZERO;
+    let mut all = Vec::new();
+    for step in 1..=STEPS {
+        let now = Nanos::from_millis(step * REFRESH_MS);
+        let drain = Tick::new(step * REFRESH_MS - 1_000);
+        for a in &mut agents {
+            a.poll(sim.captures(), drain);
+        }
+        analyzer.ingest();
+        let t0 = Instant::now();
+        let graphs = analyzer.refresh(now);
+        let elapsed = t0.elapsed();
+        if step >= MEASURE_FROM {
+            measured += elapsed;
+        }
+        all.push(graphs);
+    }
+    (all, measured, analyzer.incremental_stats())
+}
+
+/// Bitwise comparison: vertex sets, edge sets, hop delays, and spike
+/// strengths via `f64::to_bits` — exact equality, no tolerance.
+fn assert_graphs_identical(eager: &[ServiceGraph], gated: &[ServiceGraph], step: usize) {
+    assert_eq!(eager.len(), gated.len(), "step {step}: graph count differs");
+    let canon = |graphs: &[ServiceGraph]| {
+        let mut v: Vec<_> = graphs
+            .iter()
+            .map(|g| {
+                let mut vertices: Vec<_> = g
+                    .vertices()
+                    .iter()
+                    .map(|v| (v.label.clone(), v.bottleneck))
+                    .collect();
+                vertices.sort();
+                let mut edges: Vec<_> = g
+                    .edges()
+                    .iter()
+                    .map(|e| {
+                        (
+                            (e.from, e.to),
+                            e.hop_delay,
+                            e.spikes
+                                .iter()
+                                .map(|s| (s.delay, s.strength.to_bits()))
+                                .collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect();
+                edges.sort();
+                (g.client_label.clone(), vertices, edges)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        canon(eager),
+        canon(gated),
+        "step {step}: incremental run diverged bitwise"
+    );
+}
+
+fn main() {
+    let mut sim = mesh_sim(STACKS, ACTIVE, STEP_MS, WARM_SECS, TOTAL_SECS, 41);
+    sim.run_until(Nanos::from_secs(STEPS * REFRESH_MS / 1_000 + 2));
+    println!(
+        "incremental_refresh: {STACKS} stacks ({} services), {ACTIVE} active after warm-up \
+         ({:.1}% of the mesh), {STEPS} refreshes ({} measured), {} packets captured",
+        2 * STACKS,
+        100.0 * ACTIVE as f64 / STACKS as f64,
+        STEPS - MEASURE_FROM + 1,
+        sim.captures().total_packets(),
+    );
+
+    let (eager, off, _) = replay(&sim, false);
+    let (gated, on, stats) = replay(&sim, true);
+    for (i, (a, b)) in eager.iter().zip(&gated).enumerate() {
+        assert_graphs_identical(a, b, i + 1);
+    }
+    let productive = eager.iter().filter(|g| !g.is_empty()).count();
+    assert!(
+        productive >= (STEPS as usize) / 2,
+        "mesh produced only {productive} productive refreshes"
+    );
+    let stats = stats.expect("incremental stats present when enabled");
+    assert!(
+        stats.fine_skipped_fraction() >= 0.8,
+        "deep-idle refresh skipped too little: {stats:?}"
+    );
+    assert!(
+        stats.reused_roots > 0,
+        "deep-idle refresh reused no root graph: {stats:?}"
+    );
+
+    let measured_steps = (STEPS - MEASURE_FROM + 1) as f64;
+    let off_ms = off.as_secs_f64() * 1e3;
+    let on_ms = on.as_secs_f64() * 1e3;
+    let speedup = off_ms / on_ms;
+    println!(
+        "  incremental off  steady-state refresh total {off_ms:>8.1} ms  ({:>6.2} ms/refresh)",
+        off_ms / measured_steps
+    );
+    println!(
+        "  incremental on   steady-state refresh total {on_ms:>8.1} ms  ({:>6.2} ms/refresh)  speedup {speedup:.2}x",
+        on_ms / measured_steps
+    );
+    println!(
+        "  last refresh: {}/{} fine pairs skipped ({:.0}%), {}/{} roots reused",
+        stats.fine_skipped,
+        stats.fine_pairs,
+        stats.fine_skipped_fraction() * 100.0,
+        stats.reused_roots,
+        stats.roots,
+    );
+    assert!(
+        speedup >= 3.0,
+        "activity gate under target: {speedup:.2}x < 3x \
+         (off {off_ms:.1} ms vs on {on_ms:.1} ms over {measured_steps} refreshes)"
+    );
+
+    let report = JsonValue::Obj(vec![
+        ("bench".into(), JsonValue::Str("incremental_refresh".into())),
+        ("stacks".into(), JsonValue::Int(STACKS as u64)),
+        ("services".into(), JsonValue::Int(2 * STACKS as u64)),
+        ("active_stacks".into(), JsonValue::Int(ACTIVE as u64)),
+        (
+            "active_fraction".into(),
+            JsonValue::Num(ACTIVE as f64 / STACKS as f64),
+        ),
+        ("refreshes".into(), JsonValue::Int(STEPS)),
+        (
+            "measured_refreshes".into(),
+            JsonValue::Int(STEPS - MEASURE_FROM + 1),
+        ),
+        ("fine_pairs".into(), JsonValue::Int(stats.fine_pairs)),
+        ("fine_skipped".into(), JsonValue::Int(stats.fine_skipped)),
+        (
+            "fine_skipped_fraction".into(),
+            JsonValue::Num(stats.fine_skipped_fraction()),
+        ),
+        ("roots".into(), JsonValue::Int(stats.roots)),
+        ("reused_roots".into(), JsonValue::Int(stats.reused_roots)),
+        ("refresh_total_ms_off".into(), JsonValue::Num(off_ms)),
+        ("refresh_total_ms_on".into(), JsonValue::Num(on_ms)),
+        (
+            "ms_per_refresh_off".into(),
+            JsonValue::Num(off_ms / measured_steps),
+        ),
+        (
+            "ms_per_refresh_on".into(),
+            JsonValue::Num(on_ms / measured_steps),
+        ),
+        ("speedup".into(), JsonValue::Num(speedup)),
+        ("bitwise_identical".into(), JsonValue::Bool(true)),
+    ]);
+    let path = write_bench_json("incremental_refresh", &report).expect("write bench artifact");
+    println!("  wrote {}", path.display());
+}

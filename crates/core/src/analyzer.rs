@@ -22,7 +22,7 @@ use crate::config::{PathmapConfig, ReductionConfig};
 use crate::graph::{NodeLabels, ServiceGraph};
 use crate::hashing::FxHashMap;
 use crate::parallel;
-use crate::pathmap::{CorrelationProvider, Pathmap, ScreeningStats};
+use crate::pathmap::{CorrelationProvider, IncrementalStats, Pathmap, ScreeningStats};
 use crate::reduction::HintState;
 use crate::signals::EdgeSignals;
 use crate::tracer::TracerFrame;
@@ -171,6 +171,43 @@ impl ReductionState {
     }
 }
 
+/// Cross-refresh memory of the activity-gated incremental tier
+/// ([`PathmapConfig::incremental`]): everything the next refresh needs to
+/// *prove* that carrying a pair's accumulated products (or a whole root's
+/// graph) forward unchanged is bitwise identical to recomputing it.
+///
+/// The soundness contract lives in DESIGN.md §6.7. In short, a window is
+/// *quiet* for a refresh when its change epoch is unchanged since the
+/// previous refresh **and** it has no runs in the boundary regions the
+/// window slide adds or evicts (padded by `4k` ticks when the screening
+/// tier's decimated twins are live, to cover coarse block and fold
+/// boundaries). Every append/evict correction term of a quiet pair is a
+/// sum of zero products, so skipping the advance and sliding the recorded
+/// window is a bitwise no-op.
+#[derive(Debug, Default)]
+struct IncrementalState {
+    /// Geometry of the last completed refresh: `(start, end, data_end)`.
+    prev: Option<(Tick, Tick, Tick)>,
+    /// Change-epoch snapshot of every fine window at that refresh.
+    epochs: FxHashMap<(NodeId, NodeId), u64>,
+    /// Cached Phase-0 screen bound per pair, tagged with the
+    /// classification it was computed under (the bound's early-exit
+    /// threshold depends on it, so reuse requires the same tag).
+    bounds: FxHashMap<PairKey, (f64, bool)>,
+    /// Pairs the screening tier pruned in that refresh.
+    pruned: HashSet<PairKey>,
+    /// Cached per-root discovery result and the pair support set the
+    /// root's exploration touched.
+    roots: FxHashMap<(NodeId, NodeId), (Option<ServiceGraph>, Vec<PairKey>)>,
+    /// Sorted signal-edge key set of that refresh. Any change — an edge
+    /// appearing, vanishing, or moving through the reduction tier —
+    /// dirties every root, because exploration enumerates candidate
+    /// edges from this set.
+    fingerprint: Vec<(NodeId, NodeId)>,
+    /// Counters of the most recent refresh.
+    stats: IncrementalStats,
+}
+
 /// Counters for the refresh maintenance path's correlation-series buffers:
 /// how many per-pair advances copied into a buffer retained from the
 /// previous refresh versus having to grow (or first-allocate) one. In
@@ -213,6 +250,8 @@ pub struct OnlineAnalyzer {
     corr_cache: FxHashMap<PairKey, CorrSeries>,
     /// Buffer-reuse counters accumulated across refreshes.
     scratch: ScratchCounters,
+    /// Activity-gated incremental tier, when configured.
+    incremental: Option<IncrementalState>,
 }
 
 /// One published refresh: the paper's envisioned "pluggable" service
@@ -265,6 +304,7 @@ impl OnlineAnalyzer {
             active: FxHashMap::default(),
             stats: ScreeningStats::default(),
         });
+        let incremental = config.incremental().then(IncrementalState::default);
         let reduction = config.reduction().map(|&cfg| ReductionState {
             cfg,
             shard: 0,
@@ -292,6 +332,7 @@ impl OnlineAnalyzer {
             reduction,
             corr_cache: FxHashMap::default(),
             scratch: ScratchCounters::default(),
+            incremental,
         }
     }
 
@@ -503,6 +544,13 @@ impl OnlineAnalyzer {
             scr.active
                 .retain(|&(client, edge), _| edge != reset && client != reset.0);
         }
+        // A healed gap replaces window content wholesale without the
+        // epoch/boundary bookkeeping the quiet predicate relies on; heals
+        // are rare (data loss, promote backfills), so drop the whole
+        // cross-refresh memory rather than reason about partial validity.
+        if let Some(st) = &mut self.incremental {
+            *st = IncrementalState::default();
+        }
     }
 
     /// The newest tick for which *every* stream has data (streams drained
@@ -538,6 +586,50 @@ impl OnlineAnalyzer {
         let end = data_end.saturating_sub(max_lag);
         let start = end.saturating_sub(window_ticks);
 
+        // Activity gate ([`PathmapConfig::incremental`]): take the
+        // cross-refresh memory out of `self` so the phases below can
+        // borrow disjoint fields, and compute each window's *quiet* flag
+        // against the previous refresh's geometry. A window is quiet when
+        // its change epoch is unchanged (no nonzero content entered or
+        // left retention) and it has no runs in the two boundary regions
+        // the slide touches — everything the slide's append/evict
+        // corrections could read. The `4k` padding covers the coarse
+        // twins: their block and fold boundaries move in `k`-tick steps
+        // and their lag bound overshoots the fine horizon by up to `3k`
+        // ticks (see DESIGN.md §6.7).
+        let mut inc_state = self.incremental.take();
+        if let Some(st) = inc_state.as_mut() {
+            st.stats = IncrementalStats::default();
+        }
+        let quiet: FxHashMap<(NodeId, NodeId), bool> = match inc_state
+            .as_ref()
+            .and_then(|st| st.prev.map(|prev| (prev, st)))
+        {
+            Some(((start0, end0, _), st)) => {
+                let pad = self
+                    .screening
+                    .as_ref()
+                    .map(|scr| 4 * scr.screen.factor())
+                    .unwrap_or(0);
+                self.windows
+                    .iter()
+                    .map(|(&edge, w)| {
+                        let q = st.epochs.get(&edge) == Some(&w.epoch())
+                            && !w.has_runs_in(
+                                Tick::new(start0.index().saturating_sub(pad)),
+                                Tick::new(start.index() + max_lag + pad),
+                            )
+                            && !w.has_runs_in(
+                                Tick::new(end0.index().saturating_sub(pad)),
+                                Tick::new(data_end.index() + pad),
+                            );
+                        (edge, q)
+                    })
+                    .collect()
+            }
+            None => FxHashMap::default(),
+        };
+
         // Materialize the per-edge signal views. Edges demoted by the
         // reduction tier are invisible to discovery — their fine windows
         // are stale by design and their coarse image only serves the
@@ -550,6 +642,16 @@ impl OnlineAnalyzer {
             }
             signals_map.insert(edge, window.view(start, data_end));
         }
+        // Sorted signal-edge key set: candidate-edge enumeration is
+        // key-driven, so an unchanged fingerprint plus per-pair quietness
+        // is what certifies a cached root graph (see Phase 2).
+        let fingerprint: Vec<(NodeId, NodeId)> = if inc_state.is_some() {
+            let mut keys: Vec<(NodeId, NodeId)> = signals_map.keys().copied().collect();
+            keys.sort_unstable();
+            keys
+        } else {
+            Vec::new()
+        };
         let signals =
             EdgeSignals::from_parts(self.config.quanta(), (start, end), max_lag, signals_map);
 
@@ -564,6 +666,7 @@ impl OnlineAnalyzer {
         // correlator here and are skipped by discovery below; promoted
         // pairs get a fresh fine correlator that Phase 1 fills by a
         // from-scratch recompute over the retained window.
+        let inc_ref = &mut inc_state;
         let pruned: Option<HashSet<PairKey>> = self.screening.as_mut().map(|scr| {
             let ScreeningState {
                 screen,
@@ -624,25 +727,78 @@ impl OnlineAnalyzer {
                 x: Option<&'a RleSeries>,
                 y: Option<&'a RleSeries>,
                 bound: Option<f64>,
+                /// Activity-gated skip: carry bound and accumulator
+                /// forward verbatim (see DESIGN.md §6.7).
+                skip: bool,
             }
-            let mut items: Vec<CoarseItem<'_>> = centries
-                .into_iter()
-                .map(|(key, inc)| CoarseItem {
-                    key,
-                    inc,
-                    xc: coarse_sources.get(&key.0).and_then(Option::as_ref),
-                    yc: coarse_targets.get(&key.1),
-                    x: fine_sources.get(&key.0).and_then(Option::as_ref),
-                    y: signals.target_signal(key.1 .0, key.1 .1),
-                    bound: None,
-                })
-                .collect();
             let coarse_lookup =
                 |e: (NodeId, NodeId)| decimated.get(&e).map(DecimatedWindow::coarse);
             let fronts_ref = &fronts;
             let screen = *screen;
+            let quiet_ref = &quiet;
+            let mut items: Vec<CoarseItem<'_>> = centries
+                .into_iter()
+                .map(|(key, inc)| {
+                    let xc = coarse_sources.get(&key.0).and_then(Option::as_ref);
+                    let yc = coarse_targets.get(&key.1);
+                    let x = fine_sources.get(&key.0).and_then(Option::as_ref);
+                    let y = signals.target_signal(key.1 .0, key.1 .1);
+                    // A quiet pair whose cached bound was computed under
+                    // the same classification (the bound's early-exit
+                    // threshold depends on it) and whose coarse
+                    // correlator could advance exactly keeps bound and
+                    // accumulator verbatim.
+                    let mut skip = false;
+                    let mut bound = None;
+                    if let Some(st) = inc_ref.as_ref() {
+                        if st.prev.is_some()
+                            && xc.is_some()
+                            && yc.is_some()
+                            && x.is_some()
+                            && y.is_some()
+                            && pair_is_quiet(quiet_ref, fronts_ref, key)
+                        {
+                            if let Some(&(b0, was0)) = st.bounds.get(&key) {
+                                let was = active.get(&key).copied().unwrap_or(true);
+                                if was == was0
+                                    && advance_possible(
+                                        &inc,
+                                        key.0,
+                                        key.1,
+                                        coarse_lag,
+                                        (cs, ce),
+                                        &coarse_lookup,
+                                        fronts_ref,
+                                    )
+                                {
+                                    skip = true;
+                                    bound = Some(b0);
+                                }
+                            }
+                        }
+                    }
+                    CoarseItem {
+                        key,
+                        inc,
+                        xc,
+                        yc,
+                        x,
+                        y,
+                        bound,
+                        skip,
+                    }
+                })
+                .collect();
             let active_ref = &*active;
             parallel::for_each_sharded_mut(&mut items, num_workers, |item| {
+                if item.skip {
+                    // Proven-quiet pair: every append/evict correction
+                    // term is a sum of zero products, so sliding the
+                    // recorded window is bitwise equivalent to the
+                    // advance; the cached bound rides in `item.bound`.
+                    item.inc.slide((cs, ce));
+                    return;
+                }
                 let (Some(xc), Some(yc), Some(x), Some(y)) = (item.xc, item.yc, item.x, item.y)
                 else {
                     // A signal vanished this window: carry the coarse state
@@ -700,12 +856,24 @@ impl OnlineAnalyzer {
             });
 
             // Serial decision pass in stable key order.
+            if let Some(st) = inc_ref.as_mut() {
+                st.bounds.clear();
+            }
             let mut pruned_set = HashSet::new();
             let mut refresh_stats = ScreeningStats::default();
             for item in items {
                 refresh_stats.candidates += 1;
+                if let Some(st) = inc_ref.as_mut() {
+                    st.stats.coarse_pairs += 1;
+                    if item.skip {
+                        st.stats.coarse_skipped += 1;
+                    }
+                }
                 if let Some(bound) = item.bound {
                     let was = active.get(&item.key).copied().unwrap_or(true);
+                    if let Some(st) = inc_ref.as_mut() {
+                        st.bounds.insert(item.key, (bound, was));
+                    }
                     let now = screen.next_active(bound, was);
                     active.insert(item.key, now);
                     if !now {
@@ -775,27 +943,119 @@ impl OnlineAnalyzer {
             advanced: bool,
             /// Whether the output copy had to allocate or grow.
             grew: bool,
+            /// Activity-gated skip: slide the window and keep the cached
+            /// series verbatim (see DESIGN.md §6.7).
+            skipped: bool,
         }
+        let windows = &self.windows;
+        let fronts_ref = &fronts;
+        let fine_lookup = |e: (NodeId, NodeId)| windows.get(&e);
+        let quiet_ref = &quiet;
+        let corr_cache = &mut self.corr_cache;
         let mut items: Vec<AdvanceItem<'_>> = entries
             .into_iter()
-            .map(|(key, inc)| AdvanceItem {
-                key,
-                inc,
-                x: sources.get(&key.0).and_then(Option::as_ref),
-                y: signals.target_signal(key.1 .0, key.1 .1),
-                corr: self.corr_cache.remove(&key),
-                advanced: false,
-                grew: false,
+            .map(|(key, inc)| {
+                let x = sources.get(&key.0).and_then(Option::as_ref);
+                let y = signals.target_signal(key.1 .0, key.1 .1);
+                let corr = corr_cache.remove(&key);
+                // A quiet pair with a cached series whose correlator
+                // could advance exactly is a proven bitwise no-op: both
+                // correction spans lie inside run-free regions.
+                let skipped = inc_state.as_ref().is_some_and(|st| {
+                    st.prev.is_some()
+                        && x.is_some()
+                        && y.is_some()
+                        && corr.is_some()
+                        && pair_is_quiet(quiet_ref, fronts_ref, key)
+                        && advance_possible(
+                            &inc,
+                            key.0,
+                            key.1,
+                            max_lag,
+                            (start, end),
+                            &fine_lookup,
+                            fronts_ref,
+                        )
+                });
+                AdvanceItem {
+                    key,
+                    inc,
+                    x,
+                    y,
+                    corr,
+                    advanced: false,
+                    grew: false,
+                    skipped,
+                }
             })
             .collect();
         // Whatever the item construction did not take back out belongs to
         // pairs no longer tracked; drop it so discovery never reads stale
         // series (re-inserted below for pairs that did advance).
-        self.corr_cache.clear();
-        let windows = &self.windows;
-        let fronts_ref = &fronts;
-        let fine_lookup = |e: (NodeId, NodeId)| windows.get(&e);
+        corr_cache.clear();
+        // Shared-transform batched refill: with the incremental tier on,
+        // pairs needing a from-scratch recompute are grouped per client
+        // (items are in sorted key order, so one client's pairs are
+        // contiguous) and computed by a single `correlate_fanout` call —
+        // an FFT-capable engine forward-transforms the shared source
+        // once per padded size instead of once per pair. The fanout is
+        // bitwise identical to per-pair `correlate` for every engine, so
+        // this only moves work, never results.
+        if inc_state.is_some() {
+            let mut i = 0;
+            while i < items.len() {
+                let client = items[i].key.0;
+                let mut group: Vec<usize> = Vec::new();
+                let mut j = i;
+                while j < items.len() && items[j].key.0 == client {
+                    let it = &items[j];
+                    if !it.skipped
+                        && it.x.is_some()
+                        && it.y.is_some()
+                        && !advance_possible(
+                            &it.inc,
+                            it.key.0,
+                            it.key.1,
+                            max_lag,
+                            (start, end),
+                            &fine_lookup,
+                            fronts_ref,
+                        )
+                    {
+                        group.push(j);
+                    }
+                    j += 1;
+                }
+                if let Some(&g0) = group.first() {
+                    let x = items[g0].x.expect("grouped on Some");
+                    let ys: Vec<&RleSeries> = group
+                        .iter()
+                        .map(|&gi| items[gi].y.expect("grouped on Some"))
+                        .collect();
+                    let corrs = engine.correlate_fanout(x, &ys, max_lag);
+                    for (&gi, corr) in group.iter().zip(corrs) {
+                        let item = &mut items[gi];
+                        if item.inc.max_lag() != max_lag {
+                            item.inc = IncrementalCorrelator::new(max_lag);
+                        }
+                        // Equivalent to `refill` over the same span; the
+                        // sharded advance below then finds the window
+                        // already in place and no-ops.
+                        item.inc.install(corr, (x.start(), x.end()));
+                    }
+                }
+                i = j;
+            }
+        }
         parallel::for_each_sharded_mut(&mut items, num_workers, |item| {
+            if item.skipped {
+                // Proven-quiet pair: sliding the recorded window is
+                // bitwise equivalent to the advance, and the cached
+                // series in `item.corr` already equals the accumulator.
+                item.inc.slide((start, end));
+                item.advanced = true;
+                return;
+            }
             // Pairs whose signals vanished this window are carried over
             // untouched — discovery cannot visit them either.
             if let (Some(x), Some(y)) = (item.x, item.y) {
@@ -817,7 +1077,17 @@ impl OnlineAnalyzer {
                 item.advanced = true;
             }
         });
+        // Pairs skipped this refresh, for the dirty-root partition below:
+        // a clean root's every support pair must have carried bitwise.
+        let mut p1_skipped: HashSet<PairKey> = HashSet::new();
         for item in items {
+            if let Some(st) = inc_state.as_mut() {
+                st.stats.fine_pairs += 1;
+                if item.skipped {
+                    st.stats.fine_skipped += 1;
+                    p1_skipped.insert(item.key);
+                }
+            }
             if item.advanced {
                 if item.grew {
                     self.scratch.allocated += 1;
@@ -836,22 +1106,92 @@ impl OnlineAnalyzer {
         // first reached this refresh belongs to exactly one client (hence
         // one worker), so its correlator is created in the worker's local
         // map — no lock — and merged back in stable root order.
-        let (graphs, providers) = self.pathmap.discover_pooled_among(
-            &signals,
-            &self.roots,
-            &self.universe,
-            &self.labels,
-            num_workers,
-            || CachedProvider {
-                cache: &self.corr_cache,
-                engine,
-                windows: &self.windows,
-                fronts: &fronts,
-                window: (start, end),
-                fresh: HashMap::new(),
-                screened: pruned.as_ref(),
-            },
-        );
+        // With the incremental tier on, roots are first partitioned into
+        // clean and dirty: a root is clean when the signal-edge
+        // fingerprint is unchanged and every pair its last exploration
+        // touched either stayed screened-out or carried its series
+        // bitwise (Phase-1 skip). Exploration is deterministic in those
+        // inputs, so a clean root's recompute would reproduce last
+        // refresh's graph bit for bit — splice in the cached clone
+        // instead and discover only the dirty subset.
+        let record_touched = inc_state.is_some();
+        let make_provider = || CachedProvider {
+            cache: &self.corr_cache,
+            engine,
+            windows: &self.windows,
+            fronts: &fronts,
+            window: (start, end),
+            fresh: HashMap::new(),
+            screened: pruned.as_ref(),
+            touched: record_touched.then(Vec::new),
+        };
+        let mut providers: Vec<CachedProvider<'_>> = Vec::new();
+        let graphs: Vec<ServiceGraph> = if let Some(st) = inc_state.as_mut() {
+            let reusable = st.prev.is_some() && st.fingerprint == fingerprint;
+            let clean: Vec<bool> = self
+                .roots
+                .iter()
+                .map(|root| {
+                    reusable
+                        && st.roots.get(root).is_some_and(|(_, support)| {
+                            support.iter().all(|p| {
+                                p1_skipped.contains(p)
+                                    || (st.pruned.contains(p)
+                                        && pruned.as_ref().is_some_and(|s| s.contains(p)))
+                            })
+                        })
+                })
+                .collect();
+            st.stats.roots = self.roots.len() as u64;
+            st.stats.reused_roots = clean.iter().filter(|&&c| c).count() as u64;
+            let dirty_roots: Vec<(NodeId, NodeId)> = self
+                .roots
+                .iter()
+                .zip(&clean)
+                .filter(|&(_, &c)| !c)
+                .map(|(&r, _)| r)
+                .collect();
+            let results = self.pathmap.discover_each_among(
+                &signals,
+                &dirty_roots,
+                &self.universe,
+                &self.labels,
+                num_workers,
+                make_provider,
+            );
+            // Reassemble in stable root order and rebuild the cache.
+            let mut graphs = Vec::new();
+            let mut cache = FxHashMap::default();
+            let mut results = results.into_iter();
+            for (&root, &is_clean) in self.roots.iter().zip(&clean) {
+                if is_clean {
+                    let entry = st.roots.get(&root).expect("clean root is cached").clone();
+                    graphs.extend(entry.0.clone());
+                    cache.insert(root, entry);
+                } else {
+                    let (graph, provider) = results.next().expect("one result per dirty root");
+                    let mut support = provider.touched.clone().unwrap_or_default();
+                    support.sort_unstable();
+                    support.dedup();
+                    graphs.extend(graph.clone());
+                    cache.insert(root, (graph, support));
+                    providers.push(provider);
+                }
+            }
+            st.roots = cache;
+            graphs
+        } else {
+            let (graphs, provs) = self.pathmap.discover_pooled_among(
+                &signals,
+                &self.roots,
+                &self.universe,
+                &self.labels,
+                num_workers,
+                make_provider,
+            );
+            providers = provs;
+            graphs
+        };
         for provider in providers {
             if let Some(scr) = &mut self.screening {
                 // Pairs first reached this refresh enter the coarse tier
@@ -866,6 +1206,20 @@ impl OnlineAnalyzer {
                 }
             }
             self.incs.extend(provider.fresh);
+        }
+        // Snapshot this refresh's geometry, epochs, and pruned set: the
+        // reference frame the next refresh's quiet predicate is proven
+        // against. (The bounds and root caches were refreshed in place.)
+        if let Some(mut st) = inc_state {
+            st.prev = Some((start, end, data_end));
+            st.epochs = self
+                .windows
+                .iter()
+                .map(|(&edge, w)| (edge, w.epoch()))
+                .collect();
+            st.pruned = pruned.clone().unwrap_or_default();
+            st.fingerprint = fingerprint;
+            self.incremental = Some(st);
         }
         self.change.record(at, &graphs);
         if !graphs.is_empty() && !self.subscribers.is_empty() {
@@ -889,6 +1243,14 @@ impl OnlineAnalyzer {
     /// screening is disabled.
     pub fn screening_stats(&self) -> Option<ScreeningStats> {
         self.screening.as_ref().map(|scr| scr.stats)
+    }
+
+    /// Counters of the activity-gated incremental tier's most recent
+    /// refresh: how many coarse and fine pairs were skipped and how many
+    /// root graphs were reused. `None` when [`PathmapConfig::incremental`]
+    /// is off.
+    pub fn incremental_stats(&self) -> Option<IncrementalStats> {
+        self.incremental.as_ref().map(|st| st.stats)
     }
 
     /// Correlation-series buffer-reuse counters accumulated across
@@ -996,7 +1358,7 @@ fn reduction_pass(
         .collect();
     demoted.sort_unstable();
     // Root sources decimated once per (client, level), not per edge.
-    let mut src_cache: HashMap<(NodeId, u64), RleSeries> = HashMap::new();
+    let mut src_cache: FxHashMap<(NodeId, u64), RleSeries> = FxHashMap::default();
     for (edge, level) in demoted {
         let Some(store) = red.stores.get(&edge) else {
             continue;
@@ -1146,6 +1508,54 @@ fn demote_edge(
 /// after a stream heal) is a one-shot from-scratch computation where any
 /// stateless engine applies; warm windows stay on the exact incremental
 /// RLE corrections.
+/// Whether the windows in quiet-flag map `quiet` say both signals of
+/// `key` — the client's root signal on its `(client, front)` edge and the
+/// candidate edge itself — were quiet this refresh. Windows with no flag
+/// (newly appeared) are never quiet.
+fn pair_is_quiet(
+    quiet: &FxHashMap<(NodeId, NodeId), bool>,
+    fronts: &HashMap<NodeId, NodeId>,
+    key: PairKey,
+) -> bool {
+    fronts
+        .get(&key.0)
+        .is_some_and(|&front| quiet.get(&(key.0, front)).copied().unwrap_or(false))
+        && quiet.get(&key.1).copied().unwrap_or(false)
+}
+
+/// Whether [`advance_pair`] would take the exact incremental path for
+/// this pair (as opposed to a from-scratch refill): the recorded window
+/// overlaps the target window correctly and both streams retain history
+/// back to the recorded start. The activity-gated skip and the batched
+/// refill pre-pass both consult this predicate so their decisions mirror
+/// the maintenance path exactly.
+fn advance_possible<'w>(
+    inc: &IncrementalCorrelator,
+    client: NodeId,
+    edge: (NodeId, NodeId),
+    max_lag: u64,
+    window: (Tick, Tick),
+    lookup: &impl Fn((NodeId, NodeId)) -> Option<&'w SlidingWindow>,
+    fronts: &HashMap<NodeId, NodeId>,
+) -> bool {
+    if inc.max_lag() != max_lag {
+        return false;
+    }
+    let (ws, we) = window;
+    let x_window = fronts
+        .get(&client)
+        .and_then(|&front| lookup((client, front)));
+    match (inc.window(), x_window) {
+        (Some((s, e)), Some(xw)) => {
+            s <= ws && e >= ws && e <= we && xw.start() <= s && {
+                // y history for the eviction span [s, ws + L).
+                lookup(edge).map(|yw| yw.start() <= s).unwrap_or(false)
+            }
+        }
+        _ => false,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn advance_pair<'w>(
     inc: &mut IncrementalCorrelator,
@@ -1163,25 +1573,16 @@ fn advance_pair<'w>(
     if inc.max_lag() != max_lag {
         *inc = IncrementalCorrelator::new(max_lag);
     }
-    // The x signal is always the client's root signal, retained on the
+    // Determine whether an exact incremental advance is possible. The x
+    // signal is always the client's root signal, retained on the
     // (client, front) window — needed for eviction corrections that
     // reach before the current view.
-    let x_window = fronts
-        .get(&client)
-        .and_then(|&front| lookup((client, front)));
-    // Determine whether an exact incremental advance is possible.
-    let advance_ok = match (inc.window(), x_window) {
-        (Some((s, e)), Some(xw)) => {
-            s <= ws && e >= ws && e <= we && xw.start() <= s && {
-                // y history for the eviction span [s, ws + L).
-                lookup(edge).map(|yw| yw.start() <= s).unwrap_or(false)
-            }
-        }
-        _ => false,
-    };
-    if advance_ok {
+    if advance_possible(inc, client, edge, max_lag, window, lookup, fronts) {
         let (s, e) = inc.window().expect("checked");
-        let xw = x_window.expect("checked");
+        let xw = fronts
+            .get(&client)
+            .and_then(|&front| lookup((client, front)))
+            .expect("checked");
         let yw = lookup(edge).expect("checked");
         let y_horizon = yw.end();
         if e < we {
@@ -1217,6 +1618,10 @@ struct CachedProvider<'a> {
     /// Pairs the coarse screening tier pruned this refresh: discovery
     /// skips them without touching (or creating) fine correlators.
     screened: Option<&'a HashSet<PairKey>>,
+    /// When the incremental tier is on, every pair this root's
+    /// exploration consulted — the root's *support set*, which decides
+    /// whether its cached graph may be reused next refresh.
+    touched: Option<Vec<PairKey>>,
 }
 
 impl CorrelationProvider for CachedProvider<'_> {
@@ -1228,6 +1633,9 @@ impl CorrelationProvider for CachedProvider<'_> {
         y: &RleSeries,
         max_lag: u64,
     ) -> CorrSeries {
+        if let Some(touched) = &mut self.touched {
+            touched.push((client, edge));
+        }
         if let Some(corr) = self.cache.get(&(client, edge)) {
             return corr.clone();
         }
@@ -1259,6 +1667,9 @@ impl CorrelationProvider for CachedProvider<'_> {
         _y: &RleSeries,
         _max_lag: u64,
     ) -> bool {
+        if let Some(touched) = &mut self.touched {
+            touched.push((client, edge));
+        }
         self.screened
             .is_some_and(|pruned| pruned.contains(&(client, edge)))
     }
@@ -1360,6 +1771,49 @@ mod tests {
 
     fn run_online(seed: u64, total_secs: u64) -> (Vec<ServiceGraph>, OnlineAnalyzer) {
         drive_online(two_tier(seed), cfg(), total_secs)
+    }
+
+    /// Like [`two_tier`] but with a single deterministic burst: arrivals
+    /// every 25 ms for the first 10 s, then total silence — long enough
+    /// for every nonzero tick to leave retention so the activity gate's
+    /// quiet predicate can fire on the tail refreshes.
+    fn two_tier_bursty(seed: u64) -> Simulation {
+        let mut t = TopologyBuilder::new();
+        let class = t.service_class("c");
+        let web = t.service("web", ServiceConfig::new(DelayDist::constant_millis(2)));
+        let db = t.service("db", ServiceConfig::new(DelayDist::exponential_millis(8)));
+        let arrivals: Vec<Nanos> = (0..400).map(|i| Nanos::from_millis(i * 25)).collect();
+        let cli = t.client("cli", class, web, Workload::trace(arrivals));
+        t.connect(cli, web, DelayDist::constant_millis(1));
+        t.connect(web, db, DelayDist::constant_millis(1));
+        t.route(web, class, Route::fixed(db));
+        t.route(db, class, Route::terminal());
+        Simulation::new(t.build().unwrap(), seed)
+    }
+
+    /// The activity gate must actually *skip* once the deployment goes
+    /// idle (non-vacuous coverage of the slide path), while the final
+    /// graphs stay equivalent to the eager run.
+    #[test]
+    fn incremental_skips_idle_windows_and_matches_eager() {
+        let cfg_on = PathmapConfig::builder()
+            .window(Nanos::from_secs(10))
+            .refresh(Nanos::from_secs(2))
+            .max_delay(Nanos::from_secs(1))
+            .incremental(true)
+            .build();
+        let (eager, _) = drive_online(two_tier_bursty(5), cfg(), 80);
+        let (gated, analyzer) = drive_online(two_tier_bursty(5), cfg_on, 80);
+        assert_graphs_equivalent(&eager, &gated);
+        let stats = analyzer.incremental_stats().expect("incremental tier on");
+        assert!(
+            stats.fine_skipped > 0,
+            "deep-idle refresh skipped no fine pair: {stats:?}"
+        );
+        assert!(
+            stats.reused_roots > 0,
+            "deep-idle refresh reused no root graph: {stats:?}"
+        );
     }
 
     /// Asserts two graph sets are structurally identical (edge sets, spike

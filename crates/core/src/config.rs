@@ -170,6 +170,7 @@ pub struct PathmapConfig {
     wire: WireVersion,
     transport: Transport,
     reduction: Option<ReductionConfig>,
+    incremental: bool,
 }
 
 impl Default for PathmapConfig {
@@ -291,6 +292,23 @@ impl PathmapConfig {
         self.reduction.as_ref()
     }
 
+    /// Whether the analyzer runs activity-gated incremental refreshes.
+    ///
+    /// When enabled, per-refresh cost tracks *activity* rather than
+    /// inventory: pairs whose source and target windows provably carried
+    /// no run-boundary change across the slide skip screening and
+    /// correlation (their cached bound and `CorrSeries` carry forward
+    /// bit-identically), roots whose entire support set is quiet reuse
+    /// last refresh's `ServiceGraph`, and cold refills batch each
+    /// client's fan-out through the shared-transform FFT entry point.
+    /// `false` (the default) keeps every code path bit-for-bit identical
+    /// to previous releases — and the skip machinery is itself proven
+    /// (DESIGN.md §6.7, `tests/incremental_equivalence.rs`) to leave the
+    /// discovered graphs bitwise unchanged when enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
     /// Instantiates the configured correlation engine.
     ///
     /// For [`CorrelationBackend::Auto`] without an explicit cost model
@@ -341,6 +359,7 @@ pub struct PathmapConfigBuilder {
     wire: WireVersion,
     transport: Transport,
     reduction: Option<ReductionConfig>,
+    incremental: bool,
 }
 
 impl Default for PathmapConfigBuilder {
@@ -361,6 +380,7 @@ impl Default for PathmapConfigBuilder {
             wire: WireVersion::default(),
             transport: Transport::default(),
             reduction: None,
+            incremental: false,
         }
     }
 }
@@ -467,6 +487,14 @@ impl PathmapConfigBuilder {
         self
     }
 
+    /// Enables or disables activity-gated incremental refresh (default:
+    /// off, bit-for-bit identical to previous releases; see
+    /// [`PathmapConfig::incremental`]).
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
     /// Applies environment-variable overrides (the CI configuration-matrix
     /// hook; tests opting in call this last, so a plain build is
     /// unaffected):
@@ -486,6 +514,8 @@ impl PathmapConfigBuilder {
     ///   `E2EPROF_SCREENING=off` or `E2EPROF_WIRE=v1` alongside an
     ///   enabled reduction still fails the [`build`](Self::build)
     ///   invariants loudly.
+    /// * `E2EPROF_INCREMENTAL` ∈ `off | on` — enables activity-gated
+    ///   incremental refresh (default off).
     ///
     /// # Panics
     ///
@@ -566,6 +596,13 @@ impl PathmapConfigBuilder {
                 }
             }
         }
+        if let Ok(v) = std::env::var("E2EPROF_INCREMENTAL") {
+            self.incremental = match v.as_str() {
+                "" | "off" => false,
+                "on" => true,
+                other => panic!("E2EPROF_INCREMENTAL has unknown value {other:?}"),
+            };
+        }
         self
     }
 
@@ -593,6 +630,7 @@ impl PathmapConfigBuilder {
             wire: self.wire,
             transport: self.transport,
             reduction: self.reduction,
+            incremental: self.incremental,
         };
         assert!(cfg.window_ticks() > 0, "window must span at least one tick");
         assert!(
@@ -811,6 +849,15 @@ mod tests {
         for t in [Transport::Tcp, Transport::Unix] {
             assert_eq!(PathmapConfig::builder().transport(t).build().transport(), t);
         }
+    }
+
+    #[test]
+    fn incremental_defaults_off_and_is_selectable() {
+        assert!(!PathmapConfig::default().incremental());
+        assert!(PathmapConfig::builder()
+            .incremental(true)
+            .build()
+            .incremental());
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub mod prelude {
         CorrelationBackend, PathmapConfig, ReductionConfig, ScreeningConfig, Transport, WireVersion,
     };
     pub use crate::graph::{NodeLabels, ServiceGraph};
-    pub use crate::pathmap::{roots_from_topology, Pathmap, ScreeningStats};
+    pub use crate::pathmap::{roots_from_topology, IncrementalStats, Pathmap, ScreeningStats};
     pub use crate::reduction::HintState;
     pub use crate::signals::EdgeSignals;
     pub use crate::tracer::{ChannelSink, FrameSink, PollOutcome, TracerAgent};
@@ -112,7 +112,7 @@ pub use config::{
     CorrelationBackend, PathmapConfig, ReductionConfig, ScreeningConfig, Transport, WireVersion,
 };
 pub use graph::{NodeLabels, ServiceGraph};
-pub use pathmap::{roots_from_topology, Pathmap, ScreeningStats};
+pub use pathmap::{roots_from_topology, IncrementalStats, Pathmap, ScreeningStats};
 pub use reduction::HintState;
 pub use signals::EdgeSignals;
 pub use tracer::{ChannelSink, FrameSink, PollOutcome, TracerAgent};

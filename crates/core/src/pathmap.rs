@@ -83,6 +83,58 @@ impl ScreeningStats {
     }
 }
 
+/// Counters from the activity-gated incremental refresh
+/// ([`crate::config::PathmapConfig::incremental`]): how much per-refresh
+/// work the change-epoch gate and dirty-root cache avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Coarse screening pairs considered this refresh.
+    pub coarse_pairs: u64,
+    /// Coarse pairs skipped (cached bound and decision carried forward).
+    pub coarse_skipped: u64,
+    /// Fine correlation pairs considered this refresh.
+    pub fine_pairs: u64,
+    /// Fine pairs skipped (cached `CorrSeries` carried forward).
+    pub fine_skipped: u64,
+    /// Roots eligible for discovery this refresh.
+    pub roots: u64,
+    /// Roots that reused last refresh's `ServiceGraph` unchanged.
+    pub reused_roots: u64,
+}
+
+impl IncrementalStats {
+    /// The fraction of fine pairs skipped in `[0, 1]` (`0` when nothing
+    /// was considered).
+    pub fn fine_skipped_fraction(&self) -> f64 {
+        if self.fine_pairs == 0 {
+            0.0
+        } else {
+            self.fine_skipped as f64 / self.fine_pairs as f64
+        }
+    }
+
+    /// The fraction of roots reused in `[0, 1]` (`0` when nothing was
+    /// discovered).
+    pub fn reused_fraction(&self) -> f64 {
+        if self.roots == 0 {
+            0.0
+        } else {
+            self.reused_roots as f64 / self.roots as f64
+        }
+    }
+
+    /// Accumulates another analyzer's counters into this one (the CLI
+    /// sums over shards, like [`ScreeningStats::absorb`]).
+    pub fn absorb(&mut self, other: IncrementalStats) {
+        self.coarse_pairs += other.coarse_pairs;
+        self.coarse_skipped += other.coarse_skipped;
+        self.fine_pairs += other.fine_pairs;
+        self.fine_skipped += other.fine_skipped;
+        self.roots += other.roots;
+        self.reused_roots += other.reused_roots;
+    }
+}
+
 /// Stateless provider wrapping any [`Correlator`] engine.
 #[derive(Debug)]
 pub struct StatelessProvider<'a> {
@@ -410,12 +462,14 @@ impl Pathmap {
         P: CorrelationProvider + Send,
         F: Fn() -> P + Sync,
     {
-        let clients = client_universe;
-        let results = crate::parallel::map_sharded(roots, num_workers, |&(client, front)| {
-            let mut provider = make_provider();
-            let graph = self.discover_one(signals, client, front, clients, labels, &mut provider);
-            (graph, provider)
-        });
+        let results = self.discover_each_among(
+            signals,
+            roots,
+            client_universe,
+            labels,
+            num_workers,
+            make_provider,
+        );
         let mut graphs = Vec::with_capacity(results.len());
         let mut providers = Vec::with_capacity(results.len());
         for (graph, provider) in results {
@@ -423,6 +477,35 @@ impl Pathmap {
             providers.push(provider);
         }
         (graphs, providers)
+    }
+
+    /// Like [`discover_pooled_among`](Pathmap::discover_pooled_among), but
+    /// un-flattened: one `(Option<ServiceGraph>, P)` slot per input root,
+    /// in root order (`None` where the root's source signal is absent).
+    ///
+    /// The online analyzer's dirty-root reuse path needs the per-root
+    /// alignment: it discovers only the *dirty* subset of roots here and
+    /// splices cached graphs for the clean roots in between, which the
+    /// flattened form cannot express.
+    pub fn discover_each_among<P, F>(
+        &self,
+        signals: &EdgeSignals,
+        roots: &[(NodeId, NodeId)],
+        client_universe: &HashSet<NodeId>,
+        labels: &NodeLabels,
+        num_workers: usize,
+        make_provider: F,
+    ) -> Vec<(Option<ServiceGraph>, P)>
+    where
+        P: CorrelationProvider + Send,
+        F: Fn() -> P + Sync,
+    {
+        let clients = client_universe;
+        crate::parallel::map_sharded(roots, num_workers, |&(client, front)| {
+            let mut provider = make_provider();
+            let graph = self.discover_one(signals, client, front, clients, labels, &mut provider);
+            (graph, provider)
+        })
     }
 
     /// Runs `ServiceRoot` with an explicit correlation provider.

@@ -40,6 +40,14 @@ pub struct DecimatedWindow {
     /// The fine-resolution suffix not yet folded into `coarse`: spans
     /// `[folded_end·k, fine_end)`. `None` before any data.
     tail: Option<RleSeries>,
+    /// Change-epoch contribution of the buffered tail: bumped when nonzero
+    /// content enters the tail or the pyramid resets. Folds move content
+    /// into `coarse`, whose own epoch then advances; [`epoch`] sums both,
+    /// so it is monotone and only ever stable when *no* nonzero content
+    /// moved anywhere in the pyramid.
+    ///
+    /// [`epoch`]: DecimatedWindow::epoch
+    tail_epoch: u64,
 }
 
 impl DecimatedWindow {
@@ -58,12 +66,22 @@ impl DecimatedWindow {
             factor,
             coarse: SlidingWindow::new(fine_capacity.div_ceil(factor) + 2),
             tail: None,
+            tail_epoch: 0,
         }
     }
 
     /// The decimation factor `k`.
     pub fn factor(&self) -> u64 {
         self.factor
+    }
+
+    /// The pyramid's change epoch: the coarse window's
+    /// [`SlidingWindow::epoch`] plus the tail's contribution. Stable
+    /// across ingests of all-zero chunks (and folds of all-zero blocks);
+    /// advances whenever a nonzero run enters the pyramid, is evicted
+    /// from coarse retention, or the stream resets across a gap.
+    pub fn epoch(&self) -> u64 {
+        self.coarse.epoch() + self.tail_epoch
     }
 
     /// The retained coarse window (in coarse ticks of `k` fine ticks each).
@@ -91,13 +109,21 @@ impl DecimatedWindow {
     /// ignored (both return `false`).
     pub fn append_or_reset(&mut self, chunk: &RleSeries) -> bool {
         let Some(tail) = &mut self.tail else {
+            if chunk.num_runs() > 0 {
+                self.tail_epoch += 1;
+            }
             self.tail = Some(chunk.clone());
             self.fold();
             return false;
         };
         let end = tail.end();
         if chunk.start() > end {
-            // Frames lost: restart the pyramid at the chunk's origin.
+            // Frames lost: restart the pyramid at the chunk's origin. A
+            // reset always bumps the epoch — everything cached across it
+            // (even over all-zero data) is invalid. The replaced coarse
+            // window restarts its own epoch at zero, so fold its count
+            // into the tail's to keep [`epoch`](Self::epoch) monotone.
+            self.tail_epoch += self.coarse.epoch() + 1;
             self.coarse = SlidingWindow::new(self.coarse.capacity());
             self.tail = Some(chunk.clone());
             self.fold();
@@ -106,6 +132,9 @@ impl DecimatedWindow {
             false // stale duplicate
         } else {
             let suffix = chunk.slice(end, chunk.end());
+            if suffix.num_runs() > 0 {
+                self.tail_epoch += 1;
+            }
             tail.append_chunk(&suffix);
             self.fold();
             false
@@ -123,6 +152,10 @@ impl DecimatedWindow {
     /// Any buffered fine tail is discarded — once the source streams
     /// coarse, buffered fine ticks can never complete their block.
     pub fn append_coarse_or_reset(&mut self, chunk: &RleSeries) -> bool {
+        // Discarding a nonzero buffered tail is a content change.
+        if self.tail.as_ref().is_some_and(|t| t.num_runs() > 0) {
+            self.tail_epoch += 1;
+        }
         self.tail = Some(RleSeries::empty(
             Tick::new(chunk.end().index() * self.factor),
             0,
@@ -318,6 +351,26 @@ mod tests {
             ],
             4,
         );
+    }
+
+    #[test]
+    fn epoch_tracks_content_not_zero_ingest() {
+        let mut dec = DecimatedWindow::new(1 << 20, 4);
+        assert_eq!(dec.epoch(), 0);
+        // Zero chunks fold zero blocks: no epoch movement.
+        dec.append_or_reset(&chunk(0, 8, vec![]));
+        dec.append_or_reset(&chunk(8, 8, vec![]));
+        assert_eq!(dec.epoch(), 0);
+        // Nonzero content advances the epoch.
+        dec.append_or_reset(&chunk(16, 8, vec![Run::new(Tick::new(17), 3, 1.0)]));
+        let e = dec.epoch();
+        assert!(e > 0);
+        // Back to zero traffic: stable again.
+        dec.append_or_reset(&chunk(24, 8, vec![]));
+        assert_eq!(dec.epoch(), e);
+        // A gap reset always bumps, even over all-zero data.
+        assert!(dec.append_or_reset(&chunk(100, 8, vec![])));
+        assert!(dec.epoch() > e);
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub struct SlidingWindow {
     /// Retained span `[start, end)`; `None` before any data.
     span: Option<(Tick, Tick)>,
     runs: VecDeque<Run>,
+    /// Change epoch: bumped exactly when nonzero content enters or leaves
+    /// the retained span (a run appended, merged, popped, or clipped, or
+    /// the window reset across a gap). Appending or evicting all-zero
+    /// spans does *not* bump it — run boundaries are the only events that
+    /// can change any window sum, energy, or lagged product, so an
+    /// unchanged epoch certifies the retained nonzero runs are bitwise
+    /// identical (at identical absolute ticks) to when the epoch was read.
+    epoch: u64,
 }
 
 impl SlidingWindow {
@@ -57,12 +65,36 @@ impl SlidingWindow {
             capacity,
             span: None,
             runs: VecDeque::new(),
+            epoch: 0,
         }
     }
 
     /// The retention capacity in ticks.
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// The change epoch: a monotone counter that advances exactly when a
+    /// run boundary enters or leaves the retained span (see the field
+    /// docs). Two equal readings bracket a period in which no nonzero
+    /// content was appended, evicted, or reset — every retained run is
+    /// bitwise unchanged at the same absolute ticks.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether any retained (nonzero) run intersects `[from, to)`.
+    ///
+    /// `O(log runs)`. Only *retained* runs are visible: combine with an
+    /// unchanged [`epoch`](Self::epoch) to certify a span was run-free
+    /// over a whole period (eviction of a nonzero run bumps the epoch, so
+    /// an unchanged epoch means nothing escaped this query's view).
+    pub fn has_runs_in(&self, from: Tick, to: Tick) -> bool {
+        if to <= from {
+            return false;
+        }
+        let i = self.runs.partition_point(|r| r.end() <= from);
+        self.runs.get(i).map(|r| r.start() < to).unwrap_or(false)
     }
 
     /// Whether any data has been appended.
@@ -93,6 +125,9 @@ impl SlidingWindow {
             None => {
                 self.span = Some((chunk.start(), chunk.end()));
                 self.runs.extend(chunk.runs().iter().copied());
+                if !self.runs.is_empty() {
+                    self.epoch += 1;
+                }
             }
             Some((_, end)) => {
                 assert_eq!(
@@ -110,7 +145,9 @@ impl SlidingWindow {
     /// back run when it continues it, and advancing the span to `new_end`.
     fn push_runs(&mut self, new_end: Tick, runs: impl Iterator<Item = Run>) {
         let mut first = true;
+        let mut any = false;
         for r in runs {
+            any = true;
             if std::mem::take(&mut first) {
                 if let Some(last) = self.runs.back_mut() {
                     if last.end() == r.start() && last.value().to_bits() == r.value().to_bits() {
@@ -120,6 +157,9 @@ impl SlidingWindow {
                 }
             }
             self.runs.push_back(r);
+        }
+        if any {
+            self.epoch += 1;
         }
         let span = self.span.as_mut().expect("push_runs on empty window");
         span.1 = new_end;
@@ -136,9 +176,11 @@ impl SlidingWindow {
             return;
         }
         let new_start = Tick::new(end.index() - self.capacity);
+        let mut changed = false;
         while let Some(front) = self.runs.front() {
             if front.end() <= new_start {
                 self.runs.pop_front();
+                changed = true;
             } else {
                 break;
             }
@@ -146,7 +188,11 @@ impl SlidingWindow {
         if let Some(front) = self.runs.front_mut() {
             if front.start() < new_start {
                 *front = Run::new(new_start, front.end() - new_start, front.value());
+                changed = true;
             }
+        }
+        if changed {
+            self.epoch += 1;
         }
         self.span = Some((new_start, end));
     }
@@ -215,6 +261,9 @@ impl SlidingWindow {
             None => {
                 self.span = Some((start, chunk_end));
                 self.runs.extend(runs);
+                if !self.runs.is_empty() {
+                    self.epoch += 1;
+                }
                 self.evict();
                 false
             }
@@ -222,9 +271,12 @@ impl SlidingWindow {
                 // A true gap: reset to the chunk verbatim (it is the
                 // entire retained history; eviction waits for the next
                 // append, exactly as the reset-by-clone always behaved).
+                // A reset discards everything retained, so the epoch
+                // always advances — nothing cached across it is valid.
                 self.runs.clear();
                 self.span = Some((start, chunk_end));
                 self.runs.extend(runs);
+                self.epoch += 1;
                 true
             }
             Some((_, end)) if chunk_end <= end => false, // stale duplicate
@@ -421,6 +473,66 @@ mod tests {
         assert!(!healed);
         assert!(!consumed, "stale chunk's runs must not be read");
         assert_eq!(w.end(), Tick::new(20));
+    }
+
+    #[test]
+    fn epoch_ignores_zero_only_appends_and_evictions() {
+        let mut w = SlidingWindow::new(6);
+        assert_eq!(w.epoch(), 0);
+        // All-zero chunks never bump, even across evictions of zero spans.
+        w.append_chunk(&chunk(0, 4, vec![]));
+        w.append_chunk(&chunk(4, 4, vec![]));
+        w.append_chunk(&chunk(8, 4, vec![]));
+        assert_eq!(w.epoch(), 0);
+        // A nonzero run entering bumps once.
+        w.append_chunk(&chunk(12, 4, vec![Run::new(Tick::new(13), 2, 1.0)]));
+        let e = w.epoch();
+        assert!(e > 0);
+        // Zero appends that do not yet evict the run: unchanged.
+        w.append_chunk(&chunk(16, 1, vec![]));
+        assert_eq!(w.epoch(), e);
+        // The run starts clipping out of retention: bumps again.
+        w.append_chunk(&chunk(17, 4, vec![]));
+        assert!(w.epoch() > e);
+    }
+
+    #[test]
+    fn epoch_bumps_on_gap_reset_and_merge() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 10, vec![Run::new(Tick::new(8), 2, 1.0)]));
+        let e0 = w.epoch();
+        // A merged continuation is still new content.
+        w.append_chunk(&chunk(10, 10, vec![Run::new(Tick::new(10), 3, 1.0)]));
+        let e1 = w.epoch();
+        assert!(e1 > e0);
+        // A gap reset always bumps, even to an all-zero chunk.
+        assert!(w.append_or_reset(&chunk(50, 10, vec![])));
+        assert!(w.epoch() > e1);
+    }
+
+    #[test]
+    fn unchanged_epoch_means_identical_runs() {
+        let mut w = SlidingWindow::new(40);
+        w.append_chunk(&chunk(0, 10, vec![Run::new(Tick::new(4), 3, 2.0)]));
+        let e = w.epoch();
+        let before = w.series();
+        w.append_chunk(&chunk(10, 10, vec![]));
+        w.append_chunk(&chunk(20, 10, vec![]));
+        assert_eq!(w.epoch(), e);
+        assert_eq!(w.series().runs(), before.runs());
+    }
+
+    #[test]
+    fn has_runs_in_finds_intersections() {
+        let mut w = SlidingWindow::new(100);
+        w.append_chunk(&chunk(0, 30, vec![Run::new(Tick::new(10), 5, 1.0)]));
+        assert!(w.has_runs_in(Tick::new(0), Tick::new(30)));
+        assert!(w.has_runs_in(Tick::new(14), Tick::new(16)));
+        assert!(w.has_runs_in(Tick::new(0), Tick::new(11)));
+        assert!(!w.has_runs_in(Tick::new(0), Tick::new(10)));
+        assert!(!w.has_runs_in(Tick::new(15), Tick::new(30)));
+        assert!(!w.has_runs_in(Tick::new(20), Tick::new(20)));
+        assert!(!SlidingWindow::new(5).has_runs_in(Tick::new(0), Tick::new(100)));
     }
 
     #[test]

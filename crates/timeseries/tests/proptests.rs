@@ -463,3 +463,53 @@ proptest! {
         let _ = wire::decode(&frame);
     }
 }
+
+proptest! {
+    /// The change-epoch contract the analyzer's activity gate stands on:
+    /// an unchanged epoch across any run of appends certifies that the
+    /// retained nonzero runs are **bitwise identical at identical
+    /// absolute ticks** to when the epoch was read, and `has_runs_in`
+    /// agrees with a brute-force scan of the retained series. Together
+    /// these let a refresh prove a boundary region stayed all-zero for a
+    /// whole inter-refresh period without replaying the stream.
+    #[test]
+    fn window_epoch_certifies_unchanged_content(
+        chunks in prop::collection::vec(signal_strategy(), 1..12),
+        capacity in 10u64..150,
+        probe in prop::collection::vec((0u64..400, 0u64..100), 1..8),
+    ) {
+        use e2eprof_timeseries::window::SlidingWindow;
+        let cells = |w: &SlidingWindow| -> Vec<(u64, u64)> {
+            let s = w.series();
+            (s.start().index()..s.end().index())
+                .map(|t| (t, s.value_at(Tick::new(t)).to_bits()))
+                .filter(|&(_, bits)| bits != 0.0f64.to_bits())
+                .collect()
+        };
+        let mut w = SlidingWindow::new(capacity);
+        let mut prev_epoch = w.epoch();
+        let mut prev_cells = cells(&w);
+        for (_, values) in chunks {
+            let chunk = DenseSeries::new(w.end(), values).to_sparse().to_rle();
+            let had_content = !chunk.runs().is_empty();
+            w.append_chunk(&chunk);
+            let now_cells = cells(&w);
+            if w.epoch() == prev_epoch {
+                // Nothing may have entered or left retention.
+                prop_assert_eq!(&now_cells, &prev_cells, "epoch stable but content moved");
+                prop_assert!(!had_content, "nonzero chunk left the epoch unchanged");
+            }
+            if now_cells != prev_cells {
+                prop_assert!(w.epoch() > prev_epoch, "content moved without an epoch bump");
+            }
+            prev_epoch = w.epoch();
+            prev_cells = now_cells;
+            // has_runs_in must agree with a brute-force scan everywhere.
+            for &(from, len) in &probe {
+                let (a, b) = (Tick::new(from), Tick::new(from + len));
+                let brute = prev_cells.iter().any(|&(t, _)| a.index() <= t && t < b.index());
+                prop_assert_eq!(w.has_runs_in(a, b), brute, "has_runs_in({}, {})", from, from + len);
+            }
+        }
+    }
+}

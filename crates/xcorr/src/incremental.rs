@@ -129,6 +129,50 @@ impl IncrementalCorrelator {
         self.window = Some((new_start, e));
     }
 
+    /// Slides the recorded window to `span` without touching the
+    /// accumulator.
+    ///
+    /// This is the activity-gated skip path (DESIGN.md §6.7): the caller
+    /// has *proved* — via retention epochs plus boundary-run checks over
+    /// the exact regions the slide adds and evicts — that every correction
+    /// term [`append`](Self::append)/[`evict_to`](Self::evict_to) would
+    /// compute for this slide is a sum of zero products, so the
+    /// accumulated lagged products for the new window are bitwise
+    /// identical to the old ones and only the window bookkeeping moves.
+    /// Calling this without that proof silently corrupts the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no data was appended yet or `span` is inverted.
+    pub fn slide(&mut self, span: (Tick, Tick)) {
+        assert!(self.window.is_some(), "slide on an empty correlator");
+        assert!(span.0 <= span.1, "window start must precede end");
+        self.window = Some(span);
+    }
+
+    /// Installs an externally computed accumulator for the window `span`.
+    ///
+    /// The batched shared-transform refill path computes a whole client
+    /// fan-out of `CorrSeries` in one [`crate::fft::correlate_many`] pass
+    /// and seeds each pair's correlator with its slot — equivalent to
+    /// [`refill`](Self::refill) when `corr` is what that engine would have
+    /// produced over `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is inverted or `corr`'s lag bound differs from
+    /// this correlator's.
+    pub fn install(&mut self, corr: CorrSeries, span: (Tick, Tick)) {
+        assert!(span.0 <= span.1, "window start must precede end");
+        assert_eq!(
+            corr.max_lag(),
+            self.max_lag,
+            "installed series has the wrong lag bound"
+        );
+        self.acc = corr;
+        self.window = Some(span);
+    }
+
     /// Discards all state, returning to the empty window.
     pub fn reset(&mut self) {
         self.acc = CorrSeries::zeros(self.max_lag);
@@ -274,6 +318,55 @@ mod tests {
         appended.evict_to(Tick::new(30), &x, &y);
         refilled.evict_to(Tick::new(30), &x, &y);
         assert_eq!(appended.corr().values(), refilled.corr().values());
+    }
+
+    #[test]
+    fn slide_moves_window_and_keeps_accumulator_bits() {
+        let x = signal(80, 21);
+        let mut inc = IncrementalCorrelator::new(12);
+        inc.append(&x, &x);
+        let before: Vec<u64> = inc.corr().values().iter().map(|v| v.to_bits()).collect();
+        inc.slide((Tick::new(5), Tick::new(90)));
+        assert_eq!(inc.window(), Some((Tick::new(5), Tick::new(90))));
+        let after: Vec<u64> = inc.corr().values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty correlator")]
+    fn slide_before_append_panics() {
+        IncrementalCorrelator::new(4).slide((Tick::new(0), Tick::new(1)));
+    }
+
+    #[test]
+    fn install_matches_refill() {
+        let x = signal(120, 11);
+        let y = signal(150, 17);
+        let max_lag = 16;
+        let engine = crate::engine::RleCorrelator;
+
+        let mut refilled = IncrementalCorrelator::new(max_lag);
+        refilled.refill(&engine, &x, &y);
+
+        let mut installed = IncrementalCorrelator::new(max_lag);
+        installed.install(
+            crate::engine::Correlator::correlate(&engine, &x, &y, max_lag),
+            (x.start(), x.end()),
+        );
+
+        assert_eq!(refilled.window(), installed.window());
+        assert_eq!(refilled.corr().values(), installed.corr().values());
+
+        refilled.evict_to(Tick::new(40), &x, &y);
+        installed.evict_to(Tick::new(40), &x, &y);
+        assert_eq!(refilled.corr().values(), installed.corr().values());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong lag bound")]
+    fn install_rejects_mismatched_lag() {
+        let mut inc = IncrementalCorrelator::new(4);
+        inc.install(CorrSeries::zeros(5), (Tick::new(0), Tick::new(1)));
     }
 
     #[test]

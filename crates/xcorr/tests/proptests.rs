@@ -420,3 +420,75 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The activity-gated skip invariant (DESIGN.md §6.7): when both
+    /// signals are run-free over the two boundary regions a window slide
+    /// touches — `[s0, s1 + L)` around the moving start and `[e0, e1 + L)`
+    /// around the moving end — then `slide` (the skip path: move the
+    /// window, keep the accumulator verbatim) is **bitwise identical** to
+    /// the full append + evict advance the eager analyzer performs. Every
+    /// correction term is a sum of zero products over those regions, and
+    /// the signals are non-negative so no `-0.0` can make `+= 0.0` move a
+    /// bit.
+    #[test]
+    fn quiet_slide_is_bitwise_identical_to_advance(
+        (_, xv) in signal_strategy(260),
+        (_, yv) in signal_strategy(300),
+        max_lag in 1u64..25,
+        s0 in 0u64..40,
+        w in 30u64..90,
+        ds in 0u64..20,
+        de in 0u64..20,
+    ) {
+        let (e0, s1) = (s0 + w, s0 + ds);
+        let e1 = e0 + de;
+        let horizon = (e1 + max_lag) as usize;
+        let mut xv = xv;
+        let mut yv = yv;
+        xv.resize(horizon.max(xv.len()), 0.0);
+        yv.resize(horizon.max(yv.len()), 0.0);
+        // Force the quiet predicate: zero both boundary regions.
+        for v in [&mut xv, &mut yv] {
+            for t in s0..(s1 + max_lag).min(v.len() as u64) { v[t as usize] = 0.0; }
+            for t in e0..(e1 + max_lag).min(v.len() as u64) { v[t as usize] = 0.0; }
+        }
+        let x = to_rle(0, xv);
+        let y = to_rle(0, yv);
+        let y_horizon = y.end();
+
+        // Two correlators warmed identically over the previous window.
+        let mut adv = IncrementalCorrelator::new(max_lag);
+        let mut skip = IncrementalCorrelator::new(max_lag);
+        for inc in [&mut adv, &mut skip] {
+            inc.append(&x.slice(Tick::new(s0), Tick::new(e0)), &y);
+        }
+
+        // Eager maintenance path, exactly as the analyzer's advance_pair
+        // issues it: append the new suffix, then evict to the new start.
+        if e0 < e1 {
+            adv.append(
+                &x.slice(Tick::new(e0), Tick::new(e1)),
+                &y.slice(Tick::new(e0), y_horizon),
+            );
+        }
+        adv.evict_to(
+            Tick::new(s1),
+            &x.slice(Tick::new(s0), Tick::new(s1)),
+            &y.slice(Tick::new(s0), Tick::new((s1 + max_lag).min(y_horizon.index()))),
+        );
+
+        // Activity-gated skip path.
+        skip.slide((Tick::new(s1), Tick::new(e1)));
+
+        prop_assert_eq!(adv.window(), skip.window());
+        let (a, b) = (adv.corr().values(), skip.corr().values());
+        prop_assert_eq!(a.len(), b.len());
+        for (d, (va, vb)) in a.iter().zip(b).enumerate() {
+            prop_assert_eq!(
+                va.to_bits(), vb.to_bits(),
+                "lag {}: advance {} != skipped {}", d, va, vb
+            );
+        }
+    }
+}

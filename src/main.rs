@@ -299,6 +299,25 @@ fn distributed(args: &[String]) -> ExitCode {
         pipeline.broker().delivered(),
         pipeline.broker().duplicates_rejected(),
     );
+    let incremental = pipeline
+        .shards()
+        .iter()
+        .filter_map(|s| s.analyzer.incremental_stats())
+        .fold(None, |acc: Option<IncrementalStats>, stats| {
+            let mut total = acc.unwrap_or_default();
+            total.absorb(stats);
+            Some(total)
+        });
+    if let Some(stats) = incremental {
+        println!(
+            "incremental: {}/{} fine pair(s) skipped ({:.0}%), {}/{} root graph(s) reused",
+            stats.fine_skipped,
+            stats.fine_pairs,
+            stats.fine_skipped_fraction() * 100.0,
+            stats.reused_roots,
+            stats.roots,
+        );
+    }
     if pipeline.backfills_emitted() > 0 {
         println!(
             "reduction: {} backfill frame(s) emitted",
