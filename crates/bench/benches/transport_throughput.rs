@@ -1,6 +1,6 @@
 //! Transport-layer throughput: the same synthetic tracer workload driven
 //! through (a) the in-process channel and (b) loopback TCP — framed,
-//! CRC-checked, brokered, and fanned out to 1 and 4 analyzer shards.
+//! CRC-checked, brokered, and fanned out to 1, 4, and 8 analyzer shards.
 //!
 //! The workload is the ingest bench's shape (bursty density-shaped RLE
 //! chunks over 64 edges, one wire-v2 batch frame per flush) so the two
@@ -10,11 +10,20 @@
 //! subscribes to the full stream, so the 4-shard case moves 4× the bytes
 //! of the 1-shard case.
 //!
+//! The broker-side acceptor is wrapped in [`CountingAcceptor`], so every
+//! `write`/`write_vectored` the broker issues (tracer acks aside, these
+//! are the subscriber-fan-out flushes) is counted; the report includes
+//! `syscalls_per_record` per TCP configuration. With write coalescing
+//! the broker retires up to [`COALESCE_MAX_FRAMES`] frames per call, so
+//! this ratio is the direct measure of the batching win.
+//!
 //! Writes `BENCH_transport_throughput.json` with records/sec per
-//! configuration. No speedup assertion across transports — a socket is
-//! not faster than a memcpy; what the numbers must show is that the
-//! transport sustains tracer-flush rates with headroom (asserted as a
-//! floor on the TCP paths).
+//! configuration. Two assertions gate regressions:
+//! - every TCP path must clear a 100k records/s floor (keep-up with
+//!   real tracer flush rates), and
+//! - the 1-shard TCP path must be at least 2× the pre-zero-copy
+//!   baseline ([`PR9_TCP1_RECORDS_PER_SEC`]), locking in the
+//!   pass-through + coalescing gain.
 
 use crossbeam::channel::unbounded;
 use e2eprof_bench::{fmt_duration, write_bench_json, JsonValue};
@@ -24,14 +33,21 @@ use e2eprof_core::tracer::{FrameSink, TracerFrame};
 use e2eprof_core::{PathmapConfig, WireVersion};
 use e2eprof_net::link::{AnalyzerConn, LinkConfig, TracerLink};
 use e2eprof_net::pipeline::Endpoint;
-use e2eprof_net::BrokerHandle;
+use e2eprof_net::{BrokerHandle, CountingAcceptor, IoCounters};
 use e2eprof_timeseries::{wire, Nanos, Quanta, RleSeries, Run, Tick};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const EDGES: usize = 64;
 const FLUSHES: u64 = 300;
 const CHUNK_TICKS: u64 = 16;
 const REPS: usize = 5;
+
+/// Loopback TCP ×1 records/s measured immediately before the zero-copy
+/// data plane landed (decode/re-encode broker, one `write` per frame).
+/// The pass-through relay + vectored coalescing must at least double it.
+const PR9_TCP1_RECORDS_PER_SEC: f64 = 23_163_499.15;
 
 fn config() -> PathmapConfig {
     PathmapConfig::builder()
@@ -129,12 +145,25 @@ fn drive_inproc(frames: &[bytes::Bytes]) -> Duration {
     t0.elapsed()
 }
 
+/// One TCP run's measurements: wall time plus the broker-side write-call
+/// count (each at most one kernel syscall on a real socket).
+struct TcpRun {
+    elapsed: Duration,
+    broker_write_calls: u64,
+}
+
 /// Frames over loopback TCP: link → broker → `shards` subscribed
-/// analyzers, each ingesting the full stream concurrently.
-fn drive_tcp(frames: &[bytes::Bytes], shards: usize) -> Duration {
+/// analyzers, each ingesting the full stream concurrently. The broker's
+/// acceptor is wrapped so every write call it issues is counted.
+fn drive_tcp(frames: &[bytes::Bytes], shards: usize) -> TcpRun {
     let endpoint = Endpoint::Tcp.bind().expect("bind loopback");
-    let broker = BrokerHandle::spawn(
+    let counters = IoCounters::shared();
+    let counting = Arc::new(CountingAcceptor::new(
         endpoint.acceptor(),
+        Arc::clone(&counters),
+    ));
+    let broker = BrokerHandle::spawn(
+        counting,
         e2eprof_net::BrokerConfig {
             ring_capacity: frames.len().max(1024),
         },
@@ -155,7 +184,14 @@ fn drive_tcp(frames: &[bytes::Bytes], shards: usize) -> Duration {
             assert_eq!(analyzer.ingest_expected(expected), expected);
         }));
     }
-    let mut link = TracerLink::new(0, endpoint.dialer(), LinkConfig::default());
+    // A bursty sender: let up to 16 frames ride one coalesced vectored
+    // write instead of paying a syscall per frame, with an explicit
+    // drain at the end of the burst.
+    let link_config = LinkConfig {
+        coalesce_depth: 16,
+        ..LinkConfig::default()
+    };
+    let mut link = TracerLink::new(0, endpoint.dialer(), link_config);
     let t0 = Instant::now();
     for payload in frames {
         let dropped = link.send_frame(TracerFrame::Batch {
@@ -163,6 +199,7 @@ fn drive_tcp(frames: &[bytes::Bytes], shards: usize) -> Duration {
         });
         assert_eq!(dropped, 0, "bench must not hit backpressure drops");
     }
+    link.drain();
     for ingester in ingesters {
         ingester.join().expect("shard ingester");
     }
@@ -171,11 +208,23 @@ fn drive_tcp(frames: &[bytes::Bytes], shards: usize) -> Duration {
     for conn in &mut conns {
         conn.stop();
     }
-    elapsed
+    TcpRun {
+        elapsed,
+        broker_write_calls: counters.write_calls.load(Ordering::Relaxed),
+    }
 }
 
 fn best_of(reps: usize, f: impl Fn() -> Duration) -> Duration {
     (0..reps).map(|_| f()).min().expect("at least one rep")
+}
+
+/// Fastest rep by wall time; syscall counts come from that same rep so
+/// the ratio is internally consistent.
+fn best_tcp(reps: usize, f: impl Fn() -> TcpRun) -> TcpRun {
+    (0..reps)
+        .map(|_| f())
+        .min_by_key(|r| r.elapsed)
+        .expect("at least one rep")
 }
 
 fn main() {
@@ -194,33 +243,56 @@ fn main() {
     );
 
     let inproc = best_of(REPS, || drive_inproc(&encoded));
-    let tcp1 = best_of(REPS, || drive_tcp(&encoded, 1));
-    let tcp4 = best_of(REPS, || drive_tcp(&encoded, 4));
+    let tcp1 = best_tcp(REPS, || drive_tcp(&encoded, 1));
+    let tcp4 = best_tcp(REPS, || drive_tcp(&encoded, 4));
+    let tcp8 = best_tcp(REPS, || drive_tcp(&encoded, 8));
 
     let rps = |d: Duration| total_records as f64 / d.as_secs_f64();
-    let report_line = |name: &str, d: Duration| {
+    let spr = |run: &TcpRun| run.broker_write_calls as f64 / total_records as f64;
+    let report_inproc = |name: &str, d: Duration| {
         println!(
             "  {name:<22} {:>9}  {:>7.2} M records/s",
             fmt_duration(d),
             rps(d) / 1e6
         );
     };
-    report_line("in-process channel", inproc);
-    report_line("tcp loopback x1", tcp1);
-    report_line("tcp loopback x4", tcp4);
+    let report_tcp = |name: &str, run: &TcpRun| {
+        println!(
+            "  {name:<22} {:>9}  {:>7.2} M records/s  {:>6} broker writes  {:.2e} syscalls/record",
+            fmt_duration(run.elapsed),
+            rps(run.elapsed) / 1e6,
+            run.broker_write_calls,
+            spr(run)
+        );
+    };
+    report_inproc("in-process channel", inproc);
+    report_tcp("tcp loopback x1", &tcp1);
+    report_tcp("tcp loopback x4", &tcp4);
+    report_tcp("tcp loopback x8", &tcp8);
 
     // Floor: a tracer flushes every ΔW (seconds); the transport must
     // clear this synthetic 300-flush stream at >= 100k records/s even
-    // with 4 subscribed shards, or it could not keep up with real
+    // with 8 subscribed shards, or it could not keep up with real
     // deployments.
-    for (name, d) in [("tcp x1", tcp1), ("tcp x4", tcp4)] {
+    for (name, run) in [("tcp x1", &tcp1), ("tcp x4", &tcp4), ("tcp x8", &tcp8)] {
         assert!(
-            rps(d) >= 1e5,
+            rps(run.elapsed) >= 1e5,
             "{name}: {:.0} records/s is below the 100k floor",
-            rps(d)
+            rps(run.elapsed)
         );
     }
+    // Regression gate for the zero-copy data plane: pass-through relay +
+    // coalesced vectored writes must at least double the decode/re-encode
+    // broker's single-shard throughput.
+    assert!(
+        rps(tcp1.elapsed) >= 2.0 * PR9_TCP1_RECORDS_PER_SEC,
+        "tcp x1: {:.0} records/s is below 2x the pre-zero-copy baseline ({:.0})",
+        rps(tcp1.elapsed),
+        PR9_TCP1_RECORDS_PER_SEC
+    );
 
+    let tcp_ns =
+        |run: &TcpRun| JsonValue::Int(run.elapsed.as_nanos().try_into().unwrap_or(u64::MAX));
     let report = JsonValue::Obj(vec![
         (
             "bench".into(),
@@ -235,26 +307,57 @@ fn main() {
             "inproc_ns".into(),
             JsonValue::Int(inproc.as_nanos().try_into().unwrap_or(u64::MAX)),
         ),
-        (
-            "tcp_1shard_ns".into(),
-            JsonValue::Int(tcp1.as_nanos().try_into().unwrap_or(u64::MAX)),
-        ),
-        (
-            "tcp_4shard_ns".into(),
-            JsonValue::Int(tcp4.as_nanos().try_into().unwrap_or(u64::MAX)),
-        ),
+        ("tcp_1shard_ns".into(), tcp_ns(&tcp1)),
+        ("tcp_4shard_ns".into(), tcp_ns(&tcp4)),
+        ("tcp_8shard_ns".into(), tcp_ns(&tcp8)),
         ("inproc_records_per_sec".into(), JsonValue::Num(rps(inproc))),
         (
             "tcp_1shard_records_per_sec".into(),
-            JsonValue::Num(rps(tcp1)),
+            JsonValue::Num(rps(tcp1.elapsed)),
         ),
         (
             "tcp_4shard_records_per_sec".into(),
-            JsonValue::Num(rps(tcp4)),
+            JsonValue::Num(rps(tcp4.elapsed)),
+        ),
+        (
+            "tcp_8shard_records_per_sec".into(),
+            JsonValue::Num(rps(tcp8.elapsed)),
+        ),
+        (
+            "tcp_1shard_broker_write_calls".into(),
+            JsonValue::Int(tcp1.broker_write_calls),
+        ),
+        (
+            "tcp_4shard_broker_write_calls".into(),
+            JsonValue::Int(tcp4.broker_write_calls),
+        ),
+        (
+            "tcp_8shard_broker_write_calls".into(),
+            JsonValue::Int(tcp8.broker_write_calls),
+        ),
+        (
+            "tcp_1shard_syscalls_per_record".into(),
+            JsonValue::Num(spr(&tcp1)),
+        ),
+        (
+            "tcp_4shard_syscalls_per_record".into(),
+            JsonValue::Num(spr(&tcp4)),
+        ),
+        (
+            "tcp_8shard_syscalls_per_record".into(),
+            JsonValue::Num(spr(&tcp8)),
+        ),
+        (
+            "pr9_tcp_1shard_records_per_sec".into(),
+            JsonValue::Num(PR9_TCP1_RECORDS_PER_SEC),
+        ),
+        (
+            "tcp_1shard_speedup_vs_pr9".into(),
+            JsonValue::Num(rps(tcp1.elapsed) / PR9_TCP1_RECORDS_PER_SEC),
         ),
         (
             "tcp_overhead_vs_inproc".into(),
-            JsonValue::Num(tcp1.as_secs_f64() / inproc.as_secs_f64()),
+            JsonValue::Num(tcp1.elapsed.as_secs_f64() / inproc.as_secs_f64()),
         ),
     ]);
     let path = write_bench_json("transport_throughput", &report).expect("write bench artifact");

@@ -17,11 +17,13 @@
 //!   reconnecting analyzer receives exactly the frames it missed.
 //! - Data sequence numbers start at 1; 0 means "nothing received yet".
 
-use crate::frame::{encode_frame_to_vec, Frame, FrameDecoder, FrameKind};
+use crate::frame::{FrameDecoder, FrameKind, RawFrame};
 use crate::msg::{decode_announce, decode_hello, decode_subscribe, Role, SubscribeSpec};
 use crate::queue::{ReplayFrame, ReplayRing, RingCursor};
 use crate::registry::{Freshness, PeerId, Registry, SeqDedup};
-use crate::stream::{Acceptor, SplitStream};
+use crate::stream::{
+    write_coalesced, Acceptor, SplitStream, COALESCE_MAX_BYTES, COALESCE_MAX_FRAMES,
+};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,9 +57,12 @@ impl Default for BrokerConfig {
 #[derive(Default)]
 struct HintHub {
     /// Hint origin → (seq, fully encoded `Hint` envelope).
-    latest: BTreeMap<u32, (u64, Arc<Vec<u8>>)>,
-    /// Live hint subscribers (write halves), keyed by peer.
-    subs: Vec<(PeerId, Box<dyn SplitStream>)>,
+    latest: BTreeMap<u32, (u64, Arc<[u8]>)>,
+    /// Live hint subscribers. The hub lock guards only this list and
+    /// `latest`; actual socket writes happen under each subscriber's own
+    /// writer mutex, so one stalled tracer cannot freeze fan-out to the
+    /// others or block new `HintSub` handshakes (head-of-line fix).
+    subs: Vec<HintSub>,
     /// Set on broker shutdown. A hint subscription arriving afterwards is
     /// rejected (its connection closed) instead of registered: the accept
     /// thread may outlive shutdown on kernel listeners, and a sub
@@ -66,8 +71,31 @@ struct HintHub {
     closed: bool,
 }
 
+/// A hint subscriber's shareable write half: publishers lock this
+/// per-subscriber mutex — never the hub lock — while writing, so writes
+/// to independent subscribers proceed concurrently and a stall affects
+/// only its own connection.
+type HintWriter = Arc<Mutex<Box<dyn SplitStream>>>;
+
+/// One live hint subscriber.
+struct HintSub {
+    peer: PeerId,
+    /// Write half; see [`HintWriter`].
+    writer: HintWriter,
+    /// A second handle to the same connection used by shutdown: closing
+    /// via the kernel/pipe layer needs no writer mutex, so it unwedges a
+    /// publisher blocked mid-write on this subscriber.
+    closer: Box<dyn SplitStream>,
+}
+
 struct Shared {
     registry: Mutex<Registry>,
+    /// Bumped (under the registry lock) whenever the origin → edges map
+    /// changes — announcements and tracer disconnects. Subscriber writers
+    /// compare it against their cached fan-out filter's generation and
+    /// rebuild the cache lazily, so the steady-state data path never
+    /// takes the registry lock.
+    registry_gen: AtomicU64,
     ring: ReplayRing,
     dedup: Mutex<SeqDedup>,
     hints: Mutex<HintHub>,
@@ -87,6 +115,7 @@ impl BrokerHandle {
     pub fn spawn(acceptor: Arc<dyn Acceptor>, config: BrokerConfig) -> BrokerHandle {
         let shared = Arc::new(Shared {
             registry: Mutex::new(Registry::new()),
+            registry_gen: AtomicU64::new(0),
             ring: ReplayRing::new(config.ring_capacity),
             dedup: Mutex::new(SeqDedup::new()),
             hints: Mutex::new(HintHub::default()),
@@ -106,12 +135,17 @@ impl BrokerHandle {
     pub fn shutdown(&self) {
         self.acceptor.close_acceptor();
         self.shared.ring.close();
-        let mut hub = self.shared.hints.lock().expect("hint lock");
-        hub.closed = true;
-        for (_, sub) in hub.subs.iter_mut() {
-            sub.shutdown_stream();
+        let subs = {
+            let mut hub = self.shared.hints.lock().expect("hint lock");
+            hub.closed = true;
+            std::mem::take(&mut hub.subs)
+        };
+        // Close via the dedicated closer handles, outside the hub lock and
+        // without touching the writer mutexes — a publisher blocked
+        // mid-write on a stalled subscriber is unwedged by the close.
+        for mut sub in subs {
+            sub.closer.shutdown_stream();
         }
-        hub.subs.clear();
     }
 
     /// Frames evicted from the replay ring under backpressure.
@@ -153,15 +187,20 @@ fn accept_loop(acceptor: &dyn Acceptor, shared: &Arc<Shared>) {
     }
 }
 
-/// Per-connection reader loop: decode frames, dispatch, clean up on any
-/// exit path (EOF, IO error, framing error, protocol misuse).
+/// Per-connection reader loop: validate envelopes, dispatch, clean up on
+/// any exit path (EOF, IO error, framing error, protocol misuse).
+///
+/// Decoding is via [`FrameDecoder::next_raw`]: every frame is validated
+/// (header bounds + CRC over header and payload) but *not* decoded —
+/// data frames relay their original bytes, only control frames parse
+/// their payloads.
 fn serve_conn(mut conn: Box<dyn SplitStream>, peer: PeerId, shared: &Arc<Shared>) {
     let mut dec = FrameDecoder::new();
-    let mut buf = vec![0u8; 16 * 1024];
+    let mut buf = vec![0u8; 64 * 1024];
     let mut role: Option<Role> = None;
     'conn: loop {
         loop {
-            match dec.next_frame() {
+            match dec.next_raw() {
                 Ok(Some(frame)) => {
                     if handle_frame(&frame, &mut conn, peer, &mut role, shared).is_err() {
                         conn.shutdown_stream();
@@ -185,11 +224,12 @@ fn serve_conn(mut conn: Box<dyn SplitStream>, peer: PeerId, shared: &Arc<Shared>
         }
     }
     match role {
-        Some(Role::Tracer { node }) => shared
-            .registry
-            .lock()
-            .expect("registry lock")
-            .tracer_disconnected(node),
+        Some(Role::Tracer { node }) => {
+            let mut registry = shared.registry.lock().expect("registry lock");
+            registry.tracer_disconnected(node);
+            // Origin → edges changed; invalidate cached fan-out filters.
+            shared.registry_gen.fetch_add(1, Ordering::Release);
+        }
         Some(Role::Analyzer { .. }) => shared
             .registry
             .lock()
@@ -200,7 +240,7 @@ fn serve_conn(mut conn: Box<dyn SplitStream>, peer: PeerId, shared: &Arc<Shared>
             .lock()
             .expect("hint lock")
             .subs
-            .retain(|(p, _)| *p != peer),
+            .retain(|s| s.peer != peer),
         None => {}
     }
     // Wake a writer blocked on this connection, if any.
@@ -208,7 +248,7 @@ fn serve_conn(mut conn: Box<dyn SplitStream>, peer: PeerId, shared: &Arc<Shared>
 }
 
 fn handle_frame(
-    frame: &Frame,
+    frame: &RawFrame,
     conn: &mut Box<dyn SplitStream>,
     peer: PeerId,
     role: &mut Option<Role>,
@@ -216,24 +256,23 @@ fn handle_frame(
 ) -> Result<(), ()> {
     match frame.kind {
         FrameKind::Hello => {
-            *role = Some(decode_hello(&frame.payload).map_err(|_| ())?);
+            *role = Some(decode_hello(frame.payload()).map_err(|_| ())?);
             Ok(())
         }
         FrameKind::Announce => {
             let Some(Role::Tracer { node }) = *role else {
                 return Err(());
             };
-            let edges = decode_announce(&frame.payload).map_err(|_| ())?;
-            shared
-                .registry
-                .lock()
-                .expect("registry lock")
-                .announce(node, &edges);
+            let edges = decode_announce(frame.payload()).map_err(|_| ())?;
+            let mut registry = shared.registry.lock().expect("registry lock");
+            registry.announce(node, &edges);
+            // Origin → edges changed; invalidate cached fan-out filters.
+            shared.registry_gen.fetch_add(1, Ordering::Release);
             Ok(())
         }
         FrameKind::Subscribe => match *role {
             Some(Role::Analyzer { .. }) => {
-                let sub = decode_subscribe(&frame.payload).map_err(|_| ())?;
+                let sub = decode_subscribe(frame.payload()).map_err(|_| ())?;
                 shared
                     .registry
                     .lock()
@@ -252,22 +291,46 @@ fn handle_frame(
                 // A tracer subscribing to reduction hints: replay the
                 // latest stored snapshot per shard (skipping what the
                 // subscriber already holds), then keep the write half for
-                // live fan-out.
-                let sub = decode_subscribe(&frame.payload).map_err(|_| ())?;
-                let resume: BTreeMap<u32, u64> = sub.resume.iter().copied().collect();
-                let mut writer = conn.try_clone_stream().map_err(|_| ())?;
-                let mut hub = shared.hints.lock().expect("hint lock");
-                if hub.closed {
-                    return Err(());
-                }
-                for (origin, (seq, bytes)) in &hub.latest {
-                    if *seq <= resume.get(origin).copied().unwrap_or(0) {
-                        continue;
+                // live fan-out. Replay writes happen *outside* the hub
+                // lock; the loop re-checks for snapshots that arrived
+                // while writing and registers only once caught up, so no
+                // snapshot is missed and no other subscriber stalls
+                // behind this handshake.
+                let sub = decode_subscribe(frame.payload()).map_err(|_| ())?;
+                let mut have: BTreeMap<u32, u64> = sub.resume.iter().copied().collect();
+                let writer = Arc::new(Mutex::new(conn.try_clone_stream().map_err(|_| ())?));
+                let mut closer = Some(conn.try_clone_stream().map_err(|_| ())?);
+                loop {
+                    let pending: Vec<(u32, u64, Arc<[u8]>)> = {
+                        let mut hub = shared.hints.lock().expect("hint lock");
+                        if hub.closed {
+                            return Err(());
+                        }
+                        let pending: Vec<_> = hub
+                            .latest
+                            .iter()
+                            .filter(|(origin, (seq, _))| {
+                                *seq > have.get(origin).copied().unwrap_or(0)
+                            })
+                            .map(|(origin, (seq, bytes))| (*origin, *seq, Arc::clone(bytes)))
+                            .collect();
+                        if pending.is_empty() {
+                            hub.subs.push(HintSub {
+                                peer,
+                                writer: Arc::clone(&writer),
+                                closer: closer.take().expect("closer consumed once"),
+                            });
+                            return Ok(());
+                        }
+                        pending
+                    };
+                    for (origin, seq, bytes) in pending {
+                        let mut w = writer.lock().expect("hint writer lock");
+                        w.write_all(&bytes).map_err(|_| ())?;
+                        drop(w);
+                        have.insert(origin, seq);
                     }
-                    writer.write_all(bytes).map_err(|_| ())?;
                 }
-                hub.subs.push((peer, writer));
-                Ok(())
             }
             _ => Err(()),
         },
@@ -281,12 +344,14 @@ fn handle_frame(
                 .expect("dedup lock")
                 .offer(frame.origin, frame.seq);
             if fresh == Freshness::Fresh {
-                let bytes =
-                    encode_frame_to_vec(frame.kind, frame.origin, frame.seq, &frame.payload);
+                // Pass-through relay: the envelope already carries a CRC
+                // over header and payload that this decoder verified, so
+                // the validated receive bytes are pushed to the ring
+                // as-is — no payload decode, no re-encode, no copy.
                 shared.ring.push(ReplayFrame {
                     origin: frame.origin,
                     seq: frame.seq,
-                    bytes: Arc::new(bytes),
+                    bytes: Arc::clone(&frame.bytes),
                 });
             }
             Ok(())
@@ -301,28 +366,99 @@ fn handle_frame(
                 .expect("dedup lock")
                 .offer(frame.origin, frame.seq);
             if fresh == Freshness::Fresh {
-                let bytes = Arc::new(encode_frame_to_vec(
-                    FrameKind::Hint,
-                    frame.origin,
-                    frame.seq,
-                    &frame.payload,
-                ));
-                let mut hub = shared.hints.lock().expect("hint lock");
-                hub.latest
-                    .insert(frame.origin, (frame.seq, Arc::clone(&bytes)));
-                // Dead subscribers are dropped here; they re-subscribe
-                // with resume positions and get the latest snapshot back.
-                hub.subs
-                    .retain_mut(|(_, sub)| sub.write_all(&bytes).is_ok());
+                // Pass-through for hints too: store and fan out the
+                // validated receive bytes.
+                let bytes = Arc::clone(&frame.bytes);
+                let targets: Vec<(PeerId, HintWriter)> = {
+                    let mut hub = shared.hints.lock().expect("hint lock");
+                    hub.latest
+                        .insert(frame.origin, (frame.seq, Arc::clone(&bytes)));
+                    hub.subs
+                        .iter()
+                        .map(|s| (s.peer, Arc::clone(&s.writer)))
+                        .collect()
+                };
+                // Writes go through each subscriber's own mutex with the
+                // hub lock released: a stalled subscriber delays only
+                // itself. Dead subscribers are swept afterwards; they
+                // re-subscribe with resume positions and get the latest
+                // snapshot back.
+                let mut dead = Vec::new();
+                for (peer, sub_writer) in targets {
+                    let mut w = sub_writer.lock().expect("hint writer lock");
+                    if w.write_all(&bytes).is_err() {
+                        dead.push(peer);
+                    }
+                }
+                if !dead.is_empty() {
+                    let mut hub = shared.hints.lock().expect("hint lock");
+                    hub.subs.retain(|s| !dead.contains(&s.peer));
+                }
             }
             Ok(())
         }
     }
 }
 
+/// A subscriber's fan-out filter with a generation-validated cache.
+///
+/// `Edges` subscriptions need the registry's origin → edges map to decide
+/// whether a frame is wanted. Taking the registry lock per frame would
+/// serialize every subscriber writer against announce traffic, so each
+/// writer memoizes `origin → wanted` and only falls back to the lock on a
+/// cache miss. The cache is invalidated wholesale whenever
+/// `Shared::registry_gen` moves — announcements and tracer disconnects
+/// bump it under the registry lock, so any mutation after the generation
+/// was sampled forces a rebuild on the next frame.
+struct FanoutFilter {
+    spec: SubscribeSpec,
+    cache: BTreeMap<u32, bool>,
+    generation: u64,
+}
+
+impl FanoutFilter {
+    fn new(spec: SubscribeSpec) -> Self {
+        FanoutFilter {
+            spec,
+            cache: BTreeMap::new(),
+            generation: u64::MAX,
+        }
+    }
+
+    fn wanted(&mut self, origin: u32, shared: &Shared) -> bool {
+        let want = match &self.spec {
+            SubscribeSpec::All => return true,
+            SubscribeSpec::Edges(want) => want,
+        };
+        let generation = shared.registry_gen.load(Ordering::Acquire);
+        if generation != self.generation {
+            self.cache.clear();
+            self.generation = generation;
+        }
+        if let Some(&wanted) = self.cache.get(&origin) {
+            return wanted;
+        }
+        let wanted = {
+            let registry = shared.registry.lock().expect("registry lock");
+            let have = registry.edges_of(origin);
+            want.iter().any(|e| have.contains(e))
+        };
+        self.cache.insert(origin, wanted);
+        wanted
+    }
+}
+
 /// Fan-out loop for one subscriber: walk the ring, skip frames the
 /// subscriber already holds (resume positions) or did not ask for (spec),
 /// write the rest. Exits when the ring closes or the connection dies.
+///
+/// Frames are drained in coalesced batches: one blocking read, then
+/// non-blocking reads extend the batch until the ring runs dry or the
+/// batch reaches [`COALESCE_MAX_BYTES`]/[`COALESCE_MAX_FRAMES`], and the
+/// whole batch is flushed with one vectored write (or one staged write on
+/// streams without genuine vectored support). Batches never wait for
+/// more data — a lone frame flushes immediately — so coalescing trades
+/// zero latency for fewer syscalls.
 fn subscriber_writer(
     mut stream: Box<dyn SplitStream>,
     mut cursor: RingCursor,
@@ -330,25 +466,55 @@ fn subscriber_writer(
     spec: SubscribeSpec,
     shared: &Arc<Shared>,
 ) {
-    while let Some(frame) = cursor.next_blocking() {
-        if frame.seq <= resume.get(&frame.origin).copied().unwrap_or(0) {
-            continue;
-        }
-        let wanted = match &spec {
-            SubscribeSpec::All => true,
-            SubscribeSpec::Edges(want) => {
-                let registry = shared.registry.lock().expect("registry lock");
-                let have = registry.edges_of(frame.origin);
-                want.iter().any(|e| have.contains(e))
+    let vectored = stream.vectored_writes();
+    let mut filter = FanoutFilter::new(spec);
+    let mut batch: Vec<ReplayFrame> = Vec::new();
+    let mut staging: Vec<u8> = Vec::new();
+    'conn: while let Some(first) = cursor.next_blocking() {
+        batch.clear();
+        let mut bytes = 0usize;
+        let mut next = Some(first);
+        loop {
+            if let Some(frame) = next.take() {
+                let skip = frame.seq <= resume.get(&frame.origin).copied().unwrap_or(0)
+                    || !filter.wanted(frame.origin, shared);
+                if !skip {
+                    bytes += frame.bytes.len();
+                    batch.push(frame);
+                }
             }
-        };
-        if !wanted {
+            if bytes >= COALESCE_MAX_BYTES || batch.len() >= COALESCE_MAX_FRAMES {
+                break;
+            }
+            match cursor.try_next() {
+                Some(frame) => next = Some(frame),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
             continue;
         }
-        if stream.write_all(&frame.bytes).is_err() {
-            break;
+        let bufs: Vec<&[u8]> = batch.iter().map(|f| f.bytes.as_ref()).collect();
+        let (written, err) = write_coalesced(&mut stream, vectored, &bufs, &mut staging);
+        // Count exactly the frames that were *fully* written — the
+        // delivery counter feeds the pipeline's deterministic barrier, so
+        // a frame cut mid-envelope (discarded by the peer's decoder and
+        // replayed on resubscribe) must not be counted here.
+        let mut delivered = 0u64;
+        let mut acc = 0usize;
+        for frame in &batch {
+            acc += frame.bytes.len();
+            if acc > written {
+                break;
+            }
+            delivered += 1;
         }
-        shared.delivered.fetch_add(1, Ordering::Relaxed);
+        if delivered > 0 {
+            shared.delivered.fetch_add(delivered, Ordering::Relaxed);
+        }
+        if err.is_some() {
+            break 'conn;
+        }
     }
     stream.shutdown_stream();
 }
@@ -356,7 +522,7 @@ fn subscriber_writer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::encode_frame;
+    use crate::frame::{encode_frame, encode_frame_to_vec, Frame};
     use crate::mem::MemListener;
     use crate::msg::{encode_announce, encode_hello, encode_subscribe, Subscribe};
     use crate::stream::{Dialer, NetStream};

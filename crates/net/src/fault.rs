@@ -273,6 +273,15 @@ impl<S: NetStream> NetStream for FaultyStream<S> {
     fn shutdown_stream(&mut self) {
         self.inner.shutdown_stream();
     }
+
+    /// Deliberately `false` (the trait default): a coalesced flush over a
+    /// faulty stream must take the staging path so every byte funnels
+    /// through [`write`](Self::write)'s cut/jitter/stall accounting —
+    /// which is also what lets scripted cuts land *inside* a coalesced
+    /// batch at exact byte offsets.
+    fn vectored_writes(&self) -> bool {
+        false
+    }
 }
 
 /// A [`Dialer`] handing out connections wrapped under a queue of fault
@@ -310,6 +319,10 @@ impl<D: Dialer> Dialer for FaultyDialer<D> {
 impl NetStream for Box<dyn NetStream> {
     fn shutdown_stream(&mut self) {
         (**self).shutdown_stream();
+    }
+
+    fn vectored_writes(&self) -> bool {
+        (**self).vectored_writes()
     }
 }
 

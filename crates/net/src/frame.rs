@@ -28,6 +28,7 @@
 use bytes::Bytes;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Magic prefix of every transport envelope.
 pub const NET_MAGIC: &[u8; 4] = b"E2EN";
@@ -133,16 +134,61 @@ impl fmt::Display for FrameError {
 
 impl Error for FrameError {}
 
-/// CRC-32 (IEEE, reflected polynomial 0xEDB88320) over `bytes`, continuing
-/// from `crc` (start with `0`).
-pub fn crc32(mut crc: u32, bytes: &[u8]) -> u32 {
-    crc = !crc;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
+/// Byte-indexed CRC-32 lookup table for the reflected IEEE polynomial,
+/// built at compile time. One table lookup per byte replaces the eight
+/// conditional shifts of the bitwise form — the checksum is the only
+/// per-byte work left on the broker's pass-through path, so it is worth
+/// keeping cheap.
+/// Slice-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[n][i]` extends `TABLES[n-1][i]` by one more zero byte,
+/// letting the hot loop fold eight input bytes per iteration with eight
+/// independent loads instead of eight dependent shift-xor steps.
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
         }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut n = 1;
+    while n < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[n - 1][i];
+            tables[n][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        n += 1;
+    }
+    tables
+};
+
+/// CRC-32 (IEEE, reflected polynomial 0xEDB88320) over `bytes`, continuing
+/// from `crc` (start with `0`).
+pub fn crc32(crc: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !crc;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = CRC32_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC32_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[4][(lo >> 24) as usize]
+            ^ CRC32_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC32_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC32_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
@@ -172,6 +218,69 @@ pub fn encode_frame_to_vec(kind: FrameKind, origin: u32, seq: u64, payload: &[u8
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     encode_frame(kind, origin, seq, payload, &mut out);
     out
+}
+
+/// Encodes the envelope *head* — header plus an optional payload prefix —
+/// for a frame whose logical payload is `prefix ++ tail`, without copying
+/// `tail`. The returned buffer concatenated with `tail` is byte-identical
+/// to `encode_frame_to_vec(kind, origin, seq, prefix ++ tail)`.
+///
+/// This is the zero-copy send-queue primitive: the tracer link keeps the
+/// (small, owned) head and the (shared, refcounted) tail as separate
+/// gather segments and hands both to a vectored write.
+pub fn encode_frame_head(
+    kind: FrameKind,
+    origin: u32,
+    seq: u64,
+    prefix: &[u8],
+    tail: &[u8],
+) -> Vec<u8> {
+    let len = prefix.len() as u64 + tail.len() as u64;
+    assert!(
+        len <= u64::from(MAX_PAYLOAD_LEN),
+        "payload exceeds transport cap"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + prefix.len());
+    out.extend_from_slice(NET_MAGIC);
+    let body_start = out.len();
+    out.push(NET_VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(&origin.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&(len as u32).to_be_bytes());
+    let crc = crc32(crc32(crc32(0, &out[body_start..]), prefix), tail);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out.extend_from_slice(prefix);
+    out
+}
+
+/// One *validated but undecoded* transport envelope: the header fields the
+/// relay needs for routing plus the complete envelope bytes (header and
+/// payload) as a shared, refcounted slice.
+///
+/// This is the broker's pass-through currency. The CRC in the header
+/// covers everything after the magic, so a frame that passed
+/// [`FrameDecoder::next_raw`] validation can be forwarded byte-for-byte —
+/// re-encoding it would reproduce exactly these bytes (see the
+/// `passthrough` proptests) — and any damage introduced *after* relay is
+/// still caught by the receiving decoder's own CRC check.
+#[derive(Debug, Clone)]
+pub struct RawFrame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// Node index of the originating tracer (0 for analyzer control).
+    pub origin: u32,
+    /// Per-origin sequence number (data frames; 0 for control).
+    pub seq: u64,
+    /// The complete envelope: header followed by payload.
+    pub bytes: Arc<[u8]>,
+}
+
+impl RawFrame {
+    /// The payload bytes (everything after the fixed header).
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[HEADER_LEN..]
+    }
 }
 
 /// Incremental, sans-io transport decoder.
@@ -213,11 +322,56 @@ impl FrameDecoder {
     /// Returns `Ok(None)` when more bytes are needed. Any framing error is
     /// sticky: once returned, every later call returns it again.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match self.next_validated()? {
+            None => Ok(None),
+            Some(v) => {
+                let avail = &self.buf[self.pos..];
+                let frame = Frame {
+                    kind: v.kind,
+                    origin: v.origin,
+                    seq: v.seq,
+                    payload: Bytes::copy_from_slice(&avail[HEADER_LEN..v.total]),
+                };
+                self.pos += v.total;
+                Ok(Some(frame))
+            }
+        }
+    }
+
+    /// Attempts to validate the next complete envelope *without decoding
+    /// it*: header fields and CRC are checked exactly as in
+    /// [`next_frame`](Self::next_frame), but the payload is never parsed or
+    /// re-encoded — the whole envelope is copied once out of the stream
+    /// buffer into a shared `Arc<[u8]>` ready for byte-for-byte relay.
+    ///
+    /// Same contract otherwise: `Ok(None)` means more bytes are needed,
+    /// and any framing error is sticky.
+    pub fn next_raw(&mut self) -> Result<Option<RawFrame>, FrameError> {
+        match self.next_validated()? {
+            None => Ok(None),
+            Some(v) => {
+                let avail = &self.buf[self.pos..];
+                let frame = RawFrame {
+                    kind: v.kind,
+                    origin: v.origin,
+                    seq: v.seq,
+                    bytes: Arc::from(&avail[..v.total]),
+                };
+                self.pos += v.total;
+                Ok(Some(frame))
+            }
+        }
+    }
+
+    /// Shared validation: header bounds, kind, length cap, and CRC over
+    /// header-after-magic plus payload. Does not consume bytes — callers
+    /// advance `pos` by `total` after materializing their frame view.
+    fn next_validated(&mut self) -> Result<Option<Validated>, FrameError> {
         if let Some(err) = &self.poisoned {
             return Err(err.clone());
         }
-        match self.parse() {
-            Ok(frame) => Ok(frame),
+        match self.validate() {
+            Ok(v) => Ok(v),
             Err(err) => {
                 self.poisoned = Some(err.clone());
                 Err(err)
@@ -225,7 +379,7 @@ impl FrameDecoder {
         }
     }
 
-    fn parse(&mut self) -> Result<Option<Frame>, FrameError> {
+    fn validate(&self) -> Result<Option<Validated>, FrameError> {
         let avail = &self.buf[self.pos..];
         if avail.len() < HEADER_LEN {
             // Header incomplete — but reject a provably bad magic early so
@@ -261,15 +415,21 @@ impl FrameDecoder {
         if actual != declared_crc {
             return Err(FrameError::ChecksumMismatch);
         }
-        let frame = Frame {
+        Ok(Some(Validated {
             kind,
             origin,
             seq,
-            payload: Bytes::copy_from_slice(payload),
-        };
-        self.pos += total;
-        Ok(Some(frame))
+            total,
+        }))
     }
+}
+
+/// Routing fields of a validated-but-unconsumed envelope.
+struct Validated {
+    kind: FrameKind,
+    origin: u32,
+    seq: u64,
+    total: usize,
 }
 
 #[cfg(test)]
@@ -358,5 +518,63 @@ mod tests {
     fn crc32_known_vector() {
         // IEEE CRC-32 of "123456789".
         assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(0, data);
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32(crc32(0, a), b), oneshot);
+        }
+    }
+
+    #[test]
+    fn raw_frame_bytes_are_identical_to_encoded_input() {
+        let payload = b"opaque relay payload".as_slice();
+        let encoded = encode_frame_to_vec(FrameKind::Backfill, 9, 77, payload);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encoded);
+        let raw = dec.next_raw().unwrap().unwrap();
+        assert_eq!(raw.kind, FrameKind::Backfill);
+        assert_eq!(raw.origin, 9);
+        assert_eq!(raw.seq, 77);
+        assert_eq!(raw.bytes.as_ref(), encoded.as_slice());
+        assert_eq!(raw.payload(), payload);
+        assert!(dec.next_raw().unwrap().is_none());
+    }
+
+    #[test]
+    fn next_raw_is_sticky_on_corruption() {
+        let mut encoded = encode_frame_to_vec(FrameKind::DataBatch, 1, 1, b"x");
+        *encoded.last_mut().unwrap() ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encoded);
+        assert_eq!(dec.next_raw().unwrap_err(), FrameError::ChecksumMismatch);
+        dec.feed(&encode_frame_to_vec(FrameKind::DataBatch, 1, 2, b"y"));
+        assert_eq!(dec.next_raw().unwrap_err(), FrameError::ChecksumMismatch);
+        assert_eq!(dec.next_frame().unwrap_err(), FrameError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn encode_frame_head_matches_contiguous_encoding() {
+        let prefix = 0xDEAD_BEEF_0BAD_CAFE_u64.to_be_bytes();
+        let tail = b"series bytes".as_slice();
+        let mut whole = prefix.to_vec();
+        whole.extend_from_slice(tail);
+        let reference = encode_frame_to_vec(FrameKind::DataSeries, 3, 12, &whole);
+        let head = encode_frame_head(FrameKind::DataSeries, 3, 12, &prefix, tail);
+        let mut gathered = head.clone();
+        gathered.extend_from_slice(tail);
+        assert_eq!(gathered, reference);
+        // Empty prefix (the batch/backfill shape).
+        let head = encode_frame_head(FrameKind::DataBatch, 3, 13, &[], tail);
+        let mut gathered = head;
+        gathered.extend_from_slice(tail);
+        assert_eq!(
+            gathered,
+            encode_frame_to_vec(FrameKind::DataBatch, 3, 13, tail)
+        );
     }
 }

@@ -43,9 +43,12 @@ pub mod stream;
 
 pub use broker::{BrokerConfig, BrokerHandle};
 pub use fault::{FaultPlan, FaultyDialer, FaultyStream};
-pub use frame::{Frame, FrameDecoder, FrameError, FrameKind};
+pub use frame::{Frame, FrameDecoder, FrameError, FrameKind, RawFrame};
 pub use link::{
     AnalyzerConn, HintConn, HintSender, LinkConfig, LinkStats, TracerLink, HINT_ORIGIN_BIT,
 };
 pub use pipeline::{BoundEndpoint, DistributedPipeline, Endpoint, PipelineBuilder};
-pub use stream::{Acceptor, Dialer, NetStream, TcpDialer, UnixDialer};
+pub use stream::{
+    Acceptor, CountingAcceptor, CountingStream, Dialer, IoCounters, NetStream, TcpDialer,
+    UnixDialer, COALESCE_MAX_BYTES, COALESCE_MAX_FRAMES,
+};

@@ -18,14 +18,16 @@
 //! per-origin order — which is why a faulted run's graphs are bit
 //! identical to an uninterrupted run's.
 
-use crate::frame::{encode_frame_to_vec, FrameDecoder, FrameKind};
+use crate::frame::{
+    encode_frame_head, encode_frame_to_vec, FrameDecoder, FrameKind, RawFrame, HEADER_LEN,
+};
 use crate::msg::{
     decode_hint, encode_announce, encode_hello, encode_hint, encode_subscribe, Role, Subscribe,
     SubscribeSpec,
 };
-use crate::queue::{QueueStats, SendQueue};
+use crate::queue::{QueueStats, QueuedFrame, SendQueue};
 use crate::registry::{Freshness, SeqDedup};
-use crate::stream::{Dialer, NetStream};
+use crate::stream::{write_coalesced, Dialer, NetStream, COALESCE_MAX_BYTES, COALESCE_MAX_FRAMES};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use e2eprof_core::reduction::HintState;
@@ -56,6 +58,14 @@ pub struct LinkConfig {
     pub backoff_base: Duration,
     /// Upper bound the exponential backoff saturates at.
     pub backoff_cap: Duration,
+    /// Frames `send_frame` lets accumulate before it flushes. The
+    /// default of 1 flushes on every send (lowest latency — today's
+    /// semantics); a bursty sender can raise it so one coalesced
+    /// vectored write carries up to this many frames, then call
+    /// [`TracerLink::drain`] at its natural batch boundary to push out
+    /// the tail. Deferred frames are not counted as delivered until a
+    /// flush actually lands them.
+    pub coalesce_depth: usize,
 }
 
 impl Default for LinkConfig {
@@ -65,6 +75,7 @@ impl Default for LinkConfig {
             max_flush_redials: 8,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
+            coalesce_depth: 1,
         }
     }
 }
@@ -154,6 +165,9 @@ pub struct TracerLink {
     /// losing accepted ones (TCP semantics, mirrored by the in-memory
     /// pipe's drain-then-EOF close).
     delivered: Arc<AtomicU64>,
+    /// Reused staging buffer for coalesced flushes over streams without
+    /// genuine vectored writes.
+    staging: Vec<u8>,
 }
 
 impl TracerLink {
@@ -173,6 +187,7 @@ impl TracerLink {
             dials: 0,
             redials: Arc::new(AtomicU64::new(0)),
             delivered: Arc::new(AtomicU64::new(0)),
+            staging: Vec::new(),
         }
     }
 
@@ -202,6 +217,14 @@ impl TracerLink {
     /// Frames queued but not yet fully written.
     pub fn backlog(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Flushes every queued frame now, regardless of
+    /// [`LinkConfig::coalesce_depth`]. A sender running with a depth
+    /// above 1 must call this at its batch boundary — deferred frames
+    /// only count as delivered once a flush lands them.
+    pub fn drain(&mut self) {
+        self.flush();
     }
 
     /// Writes the connection preamble (Hello, then the current Announce)
@@ -276,23 +299,29 @@ impl TracerLink {
                     self.announce_dirty = false;
                 }
             }
+            // Coalesced drain: gather the queue into one bounded batch of
+            // borrowed segments and flush it with a single vectored write
+            // (or one staged write) — one syscall per flush instead of
+            // one per frame. On error the fully-written prefix is retired
+            // (those frames reached the peer or died with the stream's
+            // accepted bytes — same cases as before) and the partial
+            // frame rewinds to be resent whole on the next connection.
             while !self.queue.is_empty() {
                 let conn = self.conn.as_mut().expect("connected above");
-                let written = {
-                    let (frame, at) = self.queue.front().expect("non-empty queue");
-                    conn.write(&frame[at..])
-                };
-                match written {
-                    Ok(0) | Err(_) => {
-                        self.conn = None;
-                        self.queue.rewind_front();
-                        break;
-                    }
-                    Ok(n) => {
-                        if self.queue.advance(n) {
-                            self.delivered.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                let vectored = conn.vectored_writes();
+                let mut bufs: Vec<&[u8]> = Vec::new();
+                self.queue
+                    .gather(COALESCE_MAX_FRAMES, COALESCE_MAX_BYTES, &mut bufs);
+                let (written, err) = write_coalesced(conn, vectored, &bufs, &mut self.staging);
+                drop(bufs);
+                let completed = self.queue.advance_bytes(written);
+                if completed > 0 {
+                    self.delivered.fetch_add(completed, Ordering::Relaxed);
+                }
+                if err.is_some() {
+                    self.conn = None;
+                    self.queue.rewind_front();
+                    break;
                 }
             }
             if self.conn.is_some() && self.queue.is_empty() && !self.announce_dirty {
@@ -321,24 +350,29 @@ impl std::fmt::Debug for TracerLink {
 
 impl FrameSink for TracerLink {
     fn send_frame(&mut self, frame: TracerFrame) -> u64 {
-        let (kind, payload) = match frame {
-            TracerFrame::Batch { payload } => (FrameKind::DataBatch, payload.to_vec()),
-            TracerFrame::Backfill { payload } => (FrameKind::Backfill, payload.to_vec()),
+        // The payload `Bytes` rides into the queue as a shared segment —
+        // only the envelope head (header plus the series edge prefix) is
+        // materialized; the gather flush hands both to the stream without
+        // ever copying the payload.
+        let (kind, prefix, tail) = match frame {
+            TracerFrame::Batch { payload } => (FrameKind::DataBatch, Vec::new(), payload),
+            TracerFrame::Backfill { payload } => (FrameKind::Backfill, Vec::new(), payload),
             TracerFrame::Series { edge, payload } => {
                 // DataSeries payloads carry the edge in an 8-byte prefix
                 // (v1 wire frames identify edges out of band).
-                let mut v = Vec::with_capacity(8 + payload.len());
-                v.extend_from_slice(&(edge.0.index() as u32).to_be_bytes());
-                v.extend_from_slice(&(edge.1.index() as u32).to_be_bytes());
-                v.extend_from_slice(&payload);
-                (FrameKind::DataSeries, v)
+                let mut prefix = Vec::with_capacity(8);
+                prefix.extend_from_slice(&(edge.0.index() as u32).to_be_bytes());
+                prefix.extend_from_slice(&(edge.1.index() as u32).to_be_bytes());
+                (FrameKind::DataSeries, prefix, payload)
             }
         };
         let seq = self.next_seq;
         self.next_seq += 1;
-        let bytes = encode_frame_to_vec(kind, self.origin, seq, &payload);
-        let dropped = self.queue.push(bytes);
-        self.flush();
+        let head = encode_frame_head(kind, self.origin, seq, &prefix, &tail);
+        let dropped = self.queue.push(QueuedFrame::new(head, tail));
+        if self.queue.len() >= self.config.coalesce_depth.max(1) {
+            self.flush();
+        }
         dropped
     }
 
@@ -463,16 +497,16 @@ fn reader_loop(
         }
         backoff.reset();
         let mut dec = FrameDecoder::new();
-        let mut buf = vec![0u8; 16 * 1024];
+        let mut buf = vec![0u8; 64 * 1024];
         'conn: loop {
             loop {
-                match dec.next_frame() {
+                match dec.next_raw() {
                     Ok(Some(frame)) if frame.kind.is_data() => {
                         if dedup.offer(frame.origin, frame.seq) == Freshness::Duplicate {
                             stats.duplicates.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
-                        let Some(tracer_frame) = to_tracer_frame(frame.kind, &frame.payload) else {
+                        let Some(tracer_frame) = to_tracer_frame(&frame) else {
                             stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                             conn.shutdown_stream();
                             break 'conn;
@@ -525,15 +559,14 @@ fn subscribe(
     conn.write_all(&bytes)
 }
 
-/// Reverses [`TracerLink::send_frame`]'s payload mapping.
-fn to_tracer_frame(kind: FrameKind, payload: &[u8]) -> Option<TracerFrame> {
-    match kind {
-        FrameKind::DataBatch => Some(TracerFrame::Batch {
-            payload: Bytes::copy_from_slice(payload),
-        }),
-        FrameKind::Backfill => Some(TracerFrame::Backfill {
-            payload: Bytes::copy_from_slice(payload),
-        }),
+/// Reverses [`TracerLink::send_frame`]'s payload mapping. Zero-copy: the
+/// `TracerFrame` payload is a window into the validated receive bytes —
+/// the same shared allocation the decoder produced, never re-copied.
+fn to_tracer_frame(frame: &RawFrame) -> Option<TracerFrame> {
+    let payload = Bytes::from_arc(Arc::clone(&frame.bytes)).slice(HEADER_LEN..frame.bytes.len());
+    match frame.kind {
+        FrameKind::DataBatch => Some(TracerFrame::Batch { payload }),
+        FrameKind::Backfill => Some(TracerFrame::Backfill { payload }),
         FrameKind::DataSeries => {
             if payload.len() < 8 {
                 return None;
@@ -542,7 +575,7 @@ fn to_tracer_frame(kind: FrameKind, payload: &[u8]) -> Option<TracerFrame> {
             let dst = u32::from_be_bytes(payload[4..8].try_into().expect("4 bytes"));
             Some(TracerFrame::Series {
                 edge: (NodeId::new(src), NodeId::new(dst)),
-                payload: Bytes::copy_from_slice(&payload[8..]),
+                payload: payload.slice(8..payload.len()),
             })
         }
         _ => None,
@@ -789,7 +822,7 @@ fn hint_reader_loop(
         }
         backoff.reset();
         let mut dec = FrameDecoder::new();
-        let mut buf = vec![0u8; 16 * 1024];
+        let mut buf = vec![0u8; 64 * 1024];
         'conn: loop {
             loop {
                 match dec.next_frame() {

@@ -39,6 +39,24 @@ impl Pipe {
         Ok(bytes.len())
     }
 
+    /// Appends every buffer under one lock acquisition — the in-memory
+    /// analogue of `writev`, so coalesced flushes over mem transport are
+    /// genuinely one "syscall".
+    fn write_vectored(&self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let (lock, cvar) = &*self.0;
+        let mut state = lock.lock().expect("pipe lock");
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        let mut n = 0;
+        for buf in bufs {
+            state.buf.extend(buf.iter().copied());
+            n += buf.len();
+        }
+        cvar.notify_all();
+        Ok(n)
+    }
+
     fn read(&self, out: &mut [u8]) -> io::Result<usize> {
         if out.is_empty() {
             return Ok(0);
@@ -99,6 +117,10 @@ impl Write for MemStream {
         self.tx.write(buf)
     }
 
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        self.tx.write_vectored(bufs)
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
     }
@@ -108,6 +130,10 @@ impl NetStream for MemStream {
     fn shutdown_stream(&mut self) {
         self.tx.close();
         self.rx.close();
+    }
+
+    fn vectored_writes(&self) -> bool {
+        true
     }
 }
 
@@ -209,6 +235,20 @@ mod tests {
         b.write_all(b"pong").unwrap();
         a.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn vectored_write_is_one_contiguous_append() {
+        let (mut a, mut b) = mem_pair();
+        let bufs = [
+            io::IoSlice::new(b"head"),
+            io::IoSlice::new(b""),
+            io::IoSlice::new(b"payload"),
+        ];
+        assert_eq!(a.write_vectored(&bufs).unwrap(), 11);
+        let mut buf = [0u8; 11];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"headpayload");
     }
 
     #[test]

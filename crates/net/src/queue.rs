@@ -12,6 +12,7 @@
 //! Counters record every admission, send, and drop so backpressure is
 //! observable instead of silent.
 
+use bytes::Bytes;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -26,13 +27,50 @@ pub struct QueueStats {
     pub dropped_oldest: u64,
 }
 
+/// One queued envelope, stored as two gather segments: the owned `head`
+/// (envelope header plus any payload prefix, produced by
+/// [`encode_frame_head`](crate::frame::encode_frame_head)) and the
+/// refcounted payload `tail` shared with the tracer that produced it.
+/// Keeping them separate means enqueueing never copies the payload — a
+/// vectored flush hands both segments to the kernel as-is.
+#[derive(Debug, Clone)]
+pub struct QueuedFrame {
+    head: Vec<u8>,
+    tail: Bytes,
+}
+
+impl QueuedFrame {
+    /// A frame whose payload tail rides as a shared, uncopied segment.
+    pub fn new(head: Vec<u8>, tail: Bytes) -> Self {
+        QueuedFrame { head, tail }
+    }
+
+    /// A fully-materialized frame (control frames, tests).
+    pub fn contiguous(bytes: Vec<u8>) -> Self {
+        QueuedFrame {
+            head: bytes,
+            tail: Bytes::new(),
+        }
+    }
+
+    /// Total wire length of the frame.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// Whether the frame is empty (never true for real envelopes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A bounded FIFO of encoded frames with drop-oldest backpressure.
 ///
 /// Single-threaded: the tracer link both enqueues (during `poll`) and
 /// drains (during flush) from the same thread.
 #[derive(Debug)]
 pub struct SendQueue {
-    frames: VecDeque<Vec<u8>>,
+    frames: VecDeque<QueuedFrame>,
     capacity: usize,
     /// Byte offset already written of the front frame; the front frame is
     /// exempt from eviction while this is non-zero.
@@ -68,7 +106,7 @@ impl SendQueue {
 
     /// Admits a frame, evicting the oldest evictable frame if full.
     /// Returns the number of frames dropped (0 or 1).
-    pub fn push(&mut self, frame: Vec<u8>) -> u64 {
+    pub fn push(&mut self, frame: QueuedFrame) -> u64 {
         let mut dropped = 0;
         if self.frames.len() >= self.capacity {
             // Never evict a frame that has started onto the wire.
@@ -84,28 +122,81 @@ impl SendQueue {
         dropped
     }
 
-    /// The front frame and how many of its bytes are already written.
-    pub fn front(&self) -> Option<(&[u8], usize)> {
-        self.frames
-            .front()
-            .map(|f| (f.as_slice(), self.front_written))
+    /// Collects the next coalesced flush batch into `out` as borrowed
+    /// gather segments: the front frame from its already-written offset,
+    /// then whole frames while the batch stays within `max_frames` and
+    /// `max_bytes`. The front frame is always included even if it alone
+    /// exceeds `max_bytes` (progress must be possible). Returns the total
+    /// byte length gathered.
+    pub fn gather<'a>(
+        &'a self,
+        max_frames: usize,
+        max_bytes: usize,
+        out: &mut Vec<&'a [u8]>,
+    ) -> usize {
+        out.clear();
+        let mut bytes = 0usize;
+        for (i, f) in self.frames.iter().enumerate() {
+            let skip = if i == 0 { self.front_written } else { 0 };
+            let remaining = f.len() - skip;
+            if i > 0 && (i >= max_frames || bytes + remaining > max_bytes) {
+                break;
+            }
+            if skip < f.head.len() {
+                out.push(&f.head[skip..]);
+                if !f.tail.is_empty() {
+                    out.push(&f.tail);
+                }
+            } else {
+                let tail_skip = skip - f.head.len();
+                if tail_skip < f.tail.len() {
+                    out.push(&f.tail[tail_skip..]);
+                }
+            }
+            bytes += remaining;
+        }
+        bytes
+    }
+
+    /// Records `n` more bytes written from the front of the queue — the
+    /// coalesced counterpart of [`advance`](Self::advance): completed
+    /// frames are popped (in order) and the remainder becomes the new
+    /// front's written offset. Returns how many frames completed.
+    pub fn advance_bytes(&mut self, mut n: usize) -> u64 {
+        let mut completed = 0u64;
+        while n > 0 {
+            let front_len = self
+                .frames
+                .front()
+                .expect("advance past queued bytes")
+                .len();
+            let remaining = front_len - self.front_written;
+            if n >= remaining {
+                n -= remaining;
+                self.frames.pop_front();
+                self.front_written = 0;
+                self.stats.sent += 1;
+                completed += 1;
+            } else {
+                self.front_written += n;
+                n = 0;
+            }
+        }
+        completed
     }
 
     /// Records `n` more bytes of the front frame written; pops it when
     /// complete. Returns true if a frame finished.
     pub fn advance(&mut self, n: usize) -> bool {
-        let done = {
-            let front = self.frames.front().expect("advance with empty queue");
-            self.front_written += n;
-            assert!(self.front_written <= front.len(), "advance past frame end");
-            self.front_written == front.len()
-        };
-        if done {
-            self.frames.pop_front();
-            self.front_written = 0;
-            self.stats.sent += 1;
+        if let Some(front) = self.frames.front() {
+            assert!(
+                self.front_written + n <= front.len(),
+                "advance past frame end"
+            );
+        } else {
+            panic!("advance with empty queue");
         }
-        done
+        self.advance_bytes(n) > 0
     }
 
     /// Resets the in-flight offset: after a connection dies mid-frame the
@@ -123,8 +214,9 @@ pub struct ReplayFrame {
     pub origin: u32,
     /// Per-origin sequence number.
     pub seq: u64,
-    /// Fully encoded wire bytes (envelope included).
-    pub bytes: Arc<Vec<u8>>,
+    /// Fully encoded wire bytes (envelope included) — shared with the
+    /// receive path that validated them, never re-encoded.
+    pub bytes: Arc<[u8]>,
 }
 
 /// A bounded multi-consumer replay ring the broker fans data frames out
@@ -247,6 +339,28 @@ impl RingCursor {
             state = cvar.wait(state).expect("ring lock");
         }
     }
+
+    /// Returns the next frame if one is already available, without
+    /// blocking — the batching drain: a subscriber writer takes one frame
+    /// via [`next_blocking`](Self::next_blocking), then keeps extending
+    /// the coalesced batch with `try_next` until the ring runs dry or the
+    /// batch hits its flush bounds.
+    pub fn try_next(&mut self) -> Option<ReplayFrame> {
+        let (lock, _) = &*self.ring;
+        let state = lock.lock().expect("ring lock");
+        let oldest = state.admitted - state.frames.len() as u64;
+        if self.next < oldest {
+            self.next = oldest;
+        }
+        if self.next < state.admitted {
+            let at = (self.next - oldest) as usize;
+            let frame = state.frames[at].clone();
+            self.next += 1;
+            Some(frame)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -257,41 +371,106 @@ mod tests {
         ReplayFrame {
             origin,
             seq,
-            bytes: Arc::new(vec![origin as u8, seq as u8]),
+            bytes: Arc::from(&[origin as u8, seq as u8][..]),
         }
+    }
+
+    /// The queue's pending bytes, flattened via `gather` with no bounds.
+    fn flat(q: &SendQueue) -> Vec<u8> {
+        let mut segs = Vec::new();
+        q.gather(usize::MAX, usize::MAX, &mut segs);
+        segs.concat()
     }
 
     #[test]
     fn send_queue_drops_oldest_when_full() {
         let mut q = SendQueue::new(2);
-        assert_eq!(q.push(vec![1]), 0);
-        assert_eq!(q.push(vec![2]), 0);
-        assert_eq!(q.push(vec![3]), 1, "third push evicts the oldest");
+        assert_eq!(q.push(QueuedFrame::contiguous(vec![1])), 0);
+        assert_eq!(q.push(QueuedFrame::contiguous(vec![2])), 0);
+        assert_eq!(
+            q.push(QueuedFrame::contiguous(vec![3])),
+            1,
+            "third push evicts the oldest"
+        );
         assert_eq!(q.stats().dropped_oldest, 1);
-        assert_eq!(q.front().unwrap().0, &[2], "frame 1 was the victim");
+        assert_eq!(flat(&q), vec![2, 3], "frame 1 was the victim");
     }
 
     #[test]
     fn send_queue_never_drops_inflight_front() {
         let mut q = SendQueue::new(2);
-        q.push(vec![1, 1]);
-        q.push(vec![2, 2]);
+        q.push(QueuedFrame::contiguous(vec![1, 1]));
+        q.push(QueuedFrame::contiguous(vec![2, 2]));
         assert!(!q.advance(1), "front partially written");
-        q.push(vec![3, 3]);
+        q.push(QueuedFrame::contiguous(vec![3, 3]));
         // The partially-written front survives; the second frame is evicted.
-        assert_eq!(q.front().unwrap(), (&[1u8, 1][..], 1));
+        assert_eq!(flat(&q), vec![1, 3, 3], "front resumes at offset 1");
         assert_eq!(q.stats().dropped_oldest, 1);
         assert!(q.advance(1), "front completes");
-        assert_eq!(q.front().unwrap().0, &[3, 3]);
+        assert_eq!(flat(&q), vec![3, 3]);
     }
 
     #[test]
     fn send_queue_rewind_resends_from_start() {
         let mut q = SendQueue::new(4);
-        q.push(vec![9, 9, 9]);
+        q.push(QueuedFrame::contiguous(vec![9, 9, 9]));
         q.advance(2);
         q.rewind_front();
-        assert_eq!(q.front().unwrap(), (&[9u8, 9, 9][..], 0));
+        assert_eq!(flat(&q), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn gather_respects_bounds_and_split_frames() {
+        let mut q = SendQueue::new(8);
+        q.push(QueuedFrame::new(
+            vec![1, 2],
+            Bytes::copy_from_slice(&[3, 4]),
+        ));
+        q.push(QueuedFrame::new(vec![5], Bytes::copy_from_slice(&[6])));
+        q.push(QueuedFrame::contiguous(vec![7]));
+        let mut segs = Vec::new();
+        // Unbounded: head/tail segments of all three frames, in order.
+        assert_eq!(q.gather(usize::MAX, usize::MAX, &mut segs), 7);
+        assert_eq!(segs.concat(), vec![1, 2, 3, 4, 5, 6, 7]);
+        // Frame cap stops after two frames.
+        assert_eq!(q.gather(2, usize::MAX, &mut segs), 6);
+        assert_eq!(segs.concat(), vec![1, 2, 3, 4, 5, 6]);
+        // Byte cap: the front always rides, the second frame (2 bytes)
+        // would exceed 5 bytes total.
+        assert_eq!(q.gather(usize::MAX, 5, &mut segs), 4);
+        assert_eq!(segs.concat(), vec![1, 2, 3, 4]);
+        // Byte cap below the front's size still yields the whole front.
+        assert_eq!(q.gather(usize::MAX, 1, &mut segs), 4);
+        assert_eq!(segs.concat(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn gather_resumes_mid_head_and_mid_tail() {
+        let mut q = SendQueue::new(8);
+        q.push(QueuedFrame::new(
+            vec![1, 2, 3],
+            Bytes::copy_from_slice(&[4, 5, 6]),
+        ));
+        q.advance_bytes(1); // inside the head
+        assert_eq!(flat(&q), vec![2, 3, 4, 5, 6]);
+        q.advance_bytes(3); // now inside the tail
+        assert_eq!(flat(&q), vec![5, 6]);
+    }
+
+    #[test]
+    fn advance_bytes_retires_whole_frames_and_tracks_partials() {
+        let mut q = SendQueue::new(8);
+        q.push(QueuedFrame::new(vec![1, 2], Bytes::copy_from_slice(&[3])));
+        q.push(QueuedFrame::contiguous(vec![4, 5]));
+        q.push(QueuedFrame::contiguous(vec![6]));
+        // 3 (frame 1) + 1 (partial frame 2) bytes written.
+        assert_eq!(q.advance_bytes(4), 1);
+        assert_eq!(q.stats().sent, 1);
+        assert_eq!(flat(&q), vec![5, 6]);
+        // Finish frame 2 and all of frame 3.
+        assert_eq!(q.advance_bytes(2), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().sent, 3);
     }
 
     #[test]
@@ -325,6 +504,19 @@ mod tests {
         ring.push(frame(2, 11));
         assert_eq!(cur.next_blocking().unwrap().seq, 10);
         assert_eq!(cur.next_blocking().unwrap().seq, 11);
+    }
+
+    #[test]
+    fn try_next_drains_without_blocking() {
+        let ring = ReplayRing::new(4);
+        ring.push(frame(1, 1));
+        ring.push(frame(1, 2));
+        let mut cur = ring.cursor();
+        assert_eq!(cur.try_next().unwrap().seq, 1);
+        assert_eq!(cur.try_next().unwrap().seq, 2);
+        assert!(cur.try_next().is_none(), "dry ring returns immediately");
+        ring.push(frame(1, 3));
+        assert_eq!(cur.try_next().unwrap().seq, 3);
     }
 
     #[test]

@@ -146,6 +146,66 @@ fn jitter_and_stalls_change_timing_not_results() {
     assert_identical(&anchor, &faulted, "jitter+stall");
 }
 
+/// Cuts that land *inside* a coalesced multi-frame batch. With a zero
+/// redial budget, each failed poll leaves its frame queued, so the
+/// backlog grows across polls; the first connection that survives its
+/// handshake flushes the whole backlog as one coalesced write — and the
+/// scripted byte-offset cut severs that write mid-batch. The
+/// fully-written prefix must be retired exactly once (never re-sent into
+/// the dedup window as a *different* count), the partial frame must be
+/// rewound and resent whole, and the graphs must stay bit-identical to
+/// an unfaulted run at 1 and 4 shards.
+#[test]
+fn cuts_mid_coalesced_batch_leave_graphs_identical() {
+    use e2eprof::net::link::LinkConfig;
+    for shards in [1, 4] {
+        let anchor = clean_run(shards);
+        let mut app = build_app();
+        let endpoint = Endpoint::Mem.bind().expect("bind");
+        let mut link = LinkConfig::immediate();
+        // One flush attempt per poll: a cut connection leaves the frame
+        // queued instead of redialing inside the same flush, so the
+        // backlog (and with it the coalesced batch) builds up.
+        link.max_flush_redials = 0;
+        let builder = PipelineBuilder::new(cfg(), shards)
+            .link_config(link)
+            .tracer_faults(
+                0,
+                vec![
+                    // Three connections die during the handshake (byte 1)
+                    // — three polls' frames pile up — then the fourth
+                    // survives the handshake and is cut mid-way through
+                    // the coalesced backlog flush.
+                    FaultPlan::cut_write_at(1),
+                    FaultPlan::cut_write_at(1),
+                    FaultPlan::cut_write_at(1),
+                    FaultPlan::cut_write_at(260),
+                ],
+            )
+            .tracer_faults(
+                1,
+                vec![
+                    FaultPlan::cut_write_at(1),
+                    FaultPlan::cut_write_at(1),
+                    FaultPlan::cut_write_at(520),
+                ],
+            )
+            .tracer_faults(
+                2,
+                vec![FaultPlan::cut_write_at(1), FaultPlan::cut_write_at(900)],
+            )
+            // And a subscriber cut landing mid-way through the broker's
+            // coalesced replay backlog on reconnect.
+            .analyzer_faults(0, vec![FaultPlan::cut_read_at(700)]);
+        let faulted = run_distributed(app.sim_mut(), builder, &endpoint, STEPS, STEP, LAG);
+        assert_identical(
+            &anchor,
+            &faulted,
+            &format!("coalesced-batch cuts x{shards}"),
+        );
+    }
+}
+
 #[test]
 fn cuts_compose_with_jitter_across_shard_counts() {
     for shards in [1, 4] {
